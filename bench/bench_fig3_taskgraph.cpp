@@ -1,0 +1,88 @@
+// E1 (Fig. 1 + Fig. 3): regenerates the paper's example task graph —
+// the 10 jobs with their (A, D, C) tuples and the reduced edge set —
+// and benchmarks the derivation itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/fig1.hpp"
+#include "taskgraph/analysis.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace fppn;
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+
+  std::printf("=== Fig. 3: task graph for the Fig. 1 process network ===\n");
+  std::printf("hyperperiod H = %s ms (paper: 200)\n",
+              derived.hyperperiod.to_string().c_str());
+  std::printf("jobs = %zu (paper: 10), edges after reduction = %zu, removed = %zu\n\n",
+              derived.graph.job_count(), derived.graph.edge_count(),
+              derived.edges_removed);
+  std::printf("%s\n", derived.graph.to_table().c_str());
+
+  const ServerInfo& coef = derived.servers.at(app.coef_b);
+  std::printf("CoefB server: period %s (user FilterB), corrected deadline %s "
+              "(= 700 - 200), truncated to H\n",
+              coef.server_period.to_string().c_str(),
+              coef.corrected_deadline.to_string().c_str());
+  const auto in_a = derived.graph.find("InputA[1]");
+  const auto norm = derived.graph.find("NormA[1]");
+  std::printf("redundant InputA[1]->NormA[1] edge removed: %s (paper: removed)\n",
+              derived.graph.has_edge(*in_a, *norm) ? "NO" : "yes");
+
+  const LoadResult load = task_graph_load(derived.graph);
+  std::printf("Load(TG) = %s (~%.3f) over [%s, %s) => >= %lld processor(s)\n\n",
+              load.load.to_string().c_str(), load.load_value(),
+              load.window_start.to_string().c_str(),
+              load.window_end.to_string().c_str(),
+              static_cast<long long>(load.min_processors()));
+  std::printf("DOT:\n%s\n", derived.graph.to_dot().c_str());
+}
+
+void BM_DeriveFig3(benchmark::State& state) {
+  using namespace fppn;
+  const auto app = apps::build_fig1();
+  const WcetMap wcets = app.fig3_wcets();
+  for (auto _ : state) {
+    auto derived = derive_task_graph(app.net, wcets);
+    benchmark::DoNotOptimize(derived.graph.job_count());
+  }
+}
+BENCHMARK(BM_DeriveFig3);
+
+void BM_TransitiveReduction(benchmark::State& state) {
+  using namespace fppn;
+  const auto app = apps::build_fig1();
+  const WcetMap wcets = app.fig3_wcets();
+  DerivationOptions opts;
+  opts.transitive_reduce = false;
+  for (auto _ : state) {
+    auto derived = derive_task_graph(app.net, wcets, opts);
+    benchmark::DoNotOptimize(derived.graph.transitive_reduce());
+  }
+}
+BENCHMARK(BM_TransitiveReduction);
+
+void BM_LoadMetric(benchmark::State& state) {
+  using namespace fppn;
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(task_graph_load(derived.graph).load_value());
+  }
+}
+BENCHMARK(BM_LoadMetric);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

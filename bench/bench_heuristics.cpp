@@ -1,0 +1,163 @@
+// E6 (§III-B ablation): schedule-priority heuristics compared — ALAP-EDF,
+// b-level, modified deadline-monotonic and plain arrival order — on the
+// paper's graphs and on random layered task graphs: feasibility rate and
+// makespan.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "apps/fft.hpp"
+#include "apps/fig1.hpp"
+#include "apps/fms.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/local_search.hpp"
+#include "taskgraph/analysis.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace {
+
+using namespace fppn;
+
+/// Random layered DAG: `layers` x `width` jobs, period/deadline `frame`,
+/// random WCETs and random forward edges.
+TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
+  std::uniform_int_distribution<int> fan(1, 3);
+  TaskGraph tg(Duration::ms(frame));
+  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      Job j;
+      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
+      j.arrival = Time::ms(0);
+      j.deadline = Time::ms(frame);
+      j.wcet = Duration::ms(wcet(rng));
+      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
+      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
+    }
+  }
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      const int out = fan(rng);
+      for (int e = 0; e < out; ++e) {
+        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
+                    grid[static_cast<std::size_t>(l + 1)]
+                        [static_cast<std::size_t>(pick(rng))]);
+      }
+    }
+  }
+  return tg;
+}
+
+void print_report() {
+  std::printf("=== SP-heuristic ablation (list scheduling, M processors) ===\n\n");
+
+  // Paper graphs.
+  struct NamedGraph {
+    std::string name;
+    TaskGraph tg;
+    std::int64_t processors;
+  };
+  std::vector<NamedGraph> graphs;
+  {
+    const auto fig1 = apps::build_fig1();
+    graphs.push_back(
+        {"fig1 (M=2)", derive_task_graph(fig1.net, fig1.fig3_wcets()).graph, 2});
+    const auto fft = apps::build_fft(8);
+    graphs.push_back(
+        {"fft8 (M=2)",
+         derive_task_graph(fft.net, fft.uniform_wcets(Duration::ratio_ms(40, 3)))
+             .graph,
+         2});
+    const auto fms = apps::build_fms();
+    graphs.push_back(
+        {"fms (M=1)", derive_task_graph(fms.net, fms.default_wcets()).graph, 1});
+  }
+  std::printf("%-12s", "graph");
+  for (const PriorityHeuristic h : all_heuristics()) {
+    std::printf(" %-22s", to_string(h).c_str());
+  }
+  std::printf("\n");
+  for (auto& g : graphs) {
+    std::printf("%-12s", g.name.c_str());
+    for (const PriorityHeuristic h : all_heuristics()) {
+      const auto s = list_schedule(g.tg, h, g.processors);
+      const bool ok = s.check_feasibility(g.tg).feasible();
+      std::printf(" %-22s", (std::string(ok ? "feasible " : "INFEASIBLE ") +
+                             s.makespan(g.tg).to_string() + "ms")
+                                .c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Random graphs: feasibility rate over 100 seeds on tight frames, with
+  // local-search SP optimization as the fifth contender.
+  std::printf("\nrandom layered graphs (6x6 jobs, frame 180 ms, M=4), 100 seeds:\n");
+  std::printf("%-22s %-16s %-14s\n", "heuristic", "feasible-rate", "avg-makespan");
+  for (const PriorityHeuristic h : all_heuristics()) {
+    int feasible = 0;
+    double makespan_sum = 0.0;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+      const TaskGraph tg = random_task_graph(6, 6, 180, seed);
+      const auto s = list_schedule(tg, h, 4);
+      feasible += s.check_feasibility(tg).feasible() ? 1 : 0;
+      makespan_sum += s.makespan(tg).to_double_ms();
+    }
+    std::printf("%-22s %-16s %-14.1f\n", to_string(h).c_str(),
+                (std::to_string(feasible) + "/100").c_str(), makespan_sum / 100.0);
+  }
+  {
+    int feasible = 0;
+    double makespan_sum = 0.0;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+      const TaskGraph tg = random_task_graph(6, 6, 180, seed);
+      LocalSearchOptions opts;
+      opts.processors = 4;
+      opts.max_iterations = 400;
+      opts.restarts = 1;
+      opts.seed = seed + 1;
+      const LocalSearchResult r = optimize_priority(tg, opts);
+      feasible += r.feasible ? 1 : 0;
+      makespan_sum += r.makespan.to_double_ms();
+    }
+    std::printf("%-22s %-16s %-14.1f\n", "local-search",
+                (std::to_string(feasible) + "/100").c_str(), makespan_sum / 100.0);
+  }
+  std::printf("\n");
+}
+
+void BM_HeuristicOnFms(benchmark::State& state) {
+  const auto app = apps::build_fms();
+  const auto derived = derive_task_graph(app.net, app.default_wcets());
+  const auto h = all_heuristics()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_priority(derived.graph, h).size());
+  }
+  state.SetLabel(to_string(h));
+}
+BENCHMARK(BM_HeuristicOnFms)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomGraphSchedule(benchmark::State& state) {
+  const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(1)), 500, 7);
+  for (auto _ : state) {
+    auto s = list_schedule(tg, PriorityHeuristic::kBLevel, 4);
+    benchmark::DoNotOptimize(s.makespan(tg));
+  }
+}
+BENCHMARK(BM_RandomGraphSchedule)->Args({6, 6})->Args({10, 10})->Args({20, 10});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

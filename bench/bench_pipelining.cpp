@@ -1,0 +1,110 @@
+// E8 (extension; the paper's future work "buffering and pipelining"):
+// single-slot vs buffered channels on an N-stage pipeline whose per-stage
+// work exceeds what serialized execution can sustain. Series reported:
+// minimum processors and steady-state makespan per hyperperiod as the
+// buffer capacity grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fppn/network.hpp"
+#include "sched/search.hpp"
+#include "taskgraph/analysis.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace {
+
+using namespace fppn;
+
+struct PipelineNet {
+  Network net;
+  std::vector<ProcessId> stages;
+};
+
+/// N stages at period 100 ms, deadline 300 ms, chained by channels of the
+/// given capacity (1 = the paper's single-slot semantics).
+PipelineNet make_pipeline(int stages, int capacity) {
+  PipelineNet p;
+  NetworkBuilder b;
+  for (int i = 0; i < stages; ++i) {
+    p.stages.push_back(b.periodic("st" + std::to_string(i), Duration::ms(100),
+                                  Duration::ms(300), no_op_behavior()));
+  }
+  for (int i = 0; i + 1 < stages; ++i) {
+    const std::string name = "q" + std::to_string(i);
+    if (capacity <= 1) {
+      b.fifo(name, p.stages[static_cast<std::size_t>(i)],
+             p.stages[static_cast<std::size_t>(i + 1)]);
+      b.priority(p.stages[static_cast<std::size_t>(i)],
+                 p.stages[static_cast<std::size_t>(i + 1)]);
+    } else {
+      b.buffered_fifo(name, p.stages[static_cast<std::size_t>(i)],
+                      p.stages[static_cast<std::size_t>(i + 1)], capacity);
+    }
+  }
+  p.net = std::move(b).build();
+  return p;
+}
+
+void print_report() {
+  std::printf("=== Pipelining ablation: single-slot vs buffered channels ===\n");
+  std::printf("(3-stage pipeline, T = 100 ms, d = 300 ms, C = 70 ms per stage;\n");
+  std::printf(" middle-stage alternation 140 ms per 100 ms period -> impossible without\n");
+  std::printf(" buffering, regardless of processors — the §III-A edge rule)\n\n");
+  std::printf("%-10s %-12s %-14s %-12s\n", "capacity", "min procs", "feasible?",
+              "makespan");
+  for (const int capacity : {1, 2, 3, 4}) {
+    const PipelineNet p = make_pipeline(3, capacity);
+    DerivationOptions opts;
+    opts.unfolding = 10;
+    opts.truncate_deadlines = false;  // steady-state view
+    const auto derived = derive_task_graph(p.net, Duration::ms(70), opts);
+    const auto result = min_processors(derived.graph, 8);
+    std::printf("%-10d %-12lld %-14s %-12s\n", capacity,
+                static_cast<long long>(result.processors),
+                result.processors > 0 ? "yes" : "NO (any M)",
+                result.attempt.has_value()
+                    ? result.attempt->schedule.makespan(derived.graph)
+                          .to_string()
+                          .c_str()
+                    : "-");
+  }
+  std::printf("\ncapacity 1 reproduces the serialization limit; capacity >= 2\n"
+              "unlocks the pipeline: over the 10-period horizon the windowed load is\n~1.8 (pipeline fill/drain), so two processors suffice; a steady-state\npipeline at 3 x 0.7 utilization would need three.\n\n");
+}
+
+void BM_BufferedDerivation(benchmark::State& state) {
+  const PipelineNet p =
+      make_pipeline(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  DerivationOptions opts;
+  opts.unfolding = 4;
+  for (auto _ : state) {
+    auto derived = derive_task_graph(p.net, Duration::ms(20), opts);
+    benchmark::DoNotOptimize(derived.graph.edge_count());
+  }
+}
+BENCHMARK(BM_BufferedDerivation)->Args({3, 1})->Args({3, 2})->Args({6, 2})
+    ->Args({6, 4});
+
+void BM_BufferedMinProcessors(benchmark::State& state) {
+  const PipelineNet p = make_pipeline(3, static_cast<int>(state.range(0)));
+  DerivationOptions opts;
+  opts.unfolding = 10;
+  opts.truncate_deadlines = false;
+  const auto derived = derive_task_graph(p.net, Duration::ms(70), opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_processors(derived.graph, 8).processors);
+  }
+}
+BENCHMARK(BM_BufferedMinProcessors)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "apps/fig1.hpp"
+
+#include <cmath>
+
+namespace fppn::apps {
+namespace {
+
+double as_double(const Value& v, double fallback) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+/// InputA: forward the k-th external sample to both filter paths.
+class InputABehavior final : public ProcessBehavior {
+ public:
+  void on_job(JobContext& ctx) override {
+    const Value x = ctx.read("InA");
+    const double sample = as_double(x, 0.0);
+    ctx.write("inA_fA", sample);
+    ctx.write("inA_fB", sample);
+  }
+};
+
+/// FilterA: leaky integrator over the (every other invocation) input,
+/// scaled by the feedback gain computed by NormA.
+class FilterABehavior final : public ProcessBehavior {
+ public:
+  void on_job(JobContext& ctx) override {
+    const Value x = ctx.read("inA_fA");
+    if (has_data(x)) {
+      acc_ = 0.5 * acc_ + as_double(x, 0.0);
+    } else {
+      acc_ = 0.5 * acc_;  // decay between input samples
+    }
+    const double gain = as_double(ctx.read("fbA"), 1.0);
+    const double out = acc_ * gain;
+    ctx.write("fA_nA", out);
+    ctx.write("mixA", out);
+  }
+
+ private:
+  double acc_ = 0.0;
+};
+
+/// NormA: soft normalizer; also produces FilterA's feedback gain.
+class NormABehavior final : public ProcessBehavior {
+ public:
+  void on_job(JobContext& ctx) override {
+    const double v = as_double(ctx.read("fA_nA"), 0.0);
+    const double norm = v / (1.0 + std::abs(v));
+    ctx.write("nA_outA", norm);
+    ctx.write("fbA", 1.0 / (1.0 + std::abs(v)));
+  }
+};
+
+class OutputABehavior final : public ProcessBehavior {
+ public:
+  void on_job(JobContext& ctx) override {
+    const Value v = ctx.read("nA_outA");
+    ctx.write("Out1", has_data(v) ? v : Value{0.0});
+  }
+};
+
+/// CoefB: store the sporadically commanded coefficient on the blackboard.
+class CoefBBehavior final : public ProcessBehavior {
+ public:
+  void on_job(JobContext& ctx) override {
+    const Value c = ctx.read("CoefIn");
+    if (has_data(c)) {
+      ctx.write("coefB", as_double(c, 1.0));
+    }
+  }
+};
+
+/// FilterB: gain filter with the last commanded coefficient.
+class FilterBBehavior final : public ProcessBehavior {
+ public:
+  void on_job(JobContext& ctx) override {
+    const double x = as_double(ctx.read("inA_fB"), 0.0);
+    const double c = as_double(ctx.read("coefB"), 1.0);
+    ctx.write("fB_outB", c * x);
+  }
+};
+
+/// OutputB: mix the FilterB output (when present) with the FilterA path.
+class OutputBBehavior final : public ProcessBehavior {
+ public:
+  void on_job(JobContext& ctx) override {
+    const Value y = ctx.read("fB_outB");
+    const Value m = ctx.read("mixA");
+    const double out = as_double(y, 0.0) + 0.25 * as_double(m, 0.0);
+    ctx.write("Out2", out);
+  }
+};
+
+template <class B>
+BehaviorFactory make() {
+  return [] { return std::make_unique<B>(); };
+}
+
+}  // namespace
+
+Fig1App build_fig1() {
+  Fig1App app;
+  NetworkBuilder b;
+  const auto ms = [](std::int64_t v) { return Duration::ms(v); };
+
+  app.input_a = b.periodic("InputA", ms(200), ms(200), make<InputABehavior>());
+  app.filter_a = b.periodic("FilterA", ms(100), ms(100), make<FilterABehavior>());
+  app.filter_b = b.periodic("FilterB", ms(200), ms(200), make<FilterBBehavior>());
+  app.norm_a = b.periodic("NormA", ms(200), ms(200), make<NormABehavior>());
+  app.output_a = b.periodic("OutputA", ms(200), ms(200), make<OutputABehavior>());
+  app.output_b = b.periodic("OutputB", ms(100), ms(100), make<OutputBBehavior>());
+  app.coef_b = b.sporadic("CoefB", 2, ms(700), ms(700), make<CoefBBehavior>());
+
+  b.fifo("inA_fA", app.input_a, app.filter_a);
+  b.fifo("inA_fB", app.input_a, app.filter_b);
+  b.blackboard("fA_nA", app.filter_a, app.norm_a);
+  b.blackboard("mixA", app.filter_a, app.output_b);
+  b.blackboard("fbA", app.norm_a, app.filter_a);  // the feedback loop
+  b.fifo("nA_outA", app.norm_a, app.output_a);
+  b.blackboard("coefB", app.coef_b, app.filter_b);
+  b.fifo("fB_outB", app.filter_b, app.output_b);
+
+  app.in_a = b.external_input("InA", app.input_a);
+  app.coef_in = b.external_input("CoefIn", app.coef_b);
+  app.out1 = b.external_output("Out1", app.output_a);
+  app.out2 = b.external_output("Out2", app.output_b);
+
+  // Functional priorities as drawn in Fig. 1 (writer over reader, except
+  // the feedback channel, which is covered by FilterA -> NormA).
+  b.priority(app.input_a, app.filter_a);
+  b.priority(app.input_a, app.filter_b);
+  b.priority(app.input_a, app.norm_a);
+  b.priority(app.filter_a, app.norm_a);
+  b.priority(app.filter_a, app.output_b);
+  b.priority(app.norm_a, app.output_a);
+  b.priority(app.filter_b, app.output_b);
+  b.priority(app.coef_b, app.filter_b);
+
+  app.net = std::move(b).build();
+  return app;
+}
+
+WcetMap Fig1App::fig3_wcets() const {
+  WcetMap map;
+  for (std::size_t i = 0; i < net.process_count(); ++i) {
+    map.emplace(ProcessId{i}, Duration::ms(25));
+  }
+  return map;
+}
+
+InputScripts Fig1App::make_inputs(const std::vector<double>& samples,
+                                  const std::vector<double>& coefs) const {
+  InputScripts scripts;
+  std::vector<Value> s(samples.begin(), samples.end());
+  std::vector<Value> c(coefs.begin(), coefs.end());
+  scripts.emplace(in_a, std::move(s));
+  scripts.emplace(coef_in, std::move(c));
+  return scripts;
+}
+
+}  // namespace fppn::apps

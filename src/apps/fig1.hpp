@@ -1,0 +1,51 @@
+// The running example of the paper (Fig. 1): an imaginary signal
+// processing application with a 200 ms input sample period, reconfigurable
+// filter coefficients and a feedback loop.
+//
+// Processes (periods; all deadlines equal the periods):
+//   InputA   200 ms   splits the input samples to both filter paths
+//   FilterA  100 ms   IIR-style filter with a feedback gain from NormA
+//   FilterB  200 ms   gain filter with sporadically reconfigured coefficient
+//   NormA    200 ms   normalizer, feeds OutputA and the feedback gain
+//   OutputA  200 ms   external output 1
+//   OutputB  100 ms   external output 2, mixes FilterB and FilterA paths
+//   CoefB    sporadic, at most 2 per 700 ms, deadline 700 ms — configures
+//            FilterB's coefficient (its "user" process, T_u = 200 <= 700)
+//
+// Functional priorities: InputA -> {FilterA, FilterB, NormA},
+// FilterA -> {NormA, OutputB}, NormA -> OutputA, FilterB -> OutputB,
+// CoefB -> FilterB (the sporadic has priority over its user here, giving
+// the right-closed (a, b] server windows of Fig. 2).
+//
+// With uniform 25 ms WCETs the derived task graph is exactly Fig. 3 of the
+// paper: hyperperiod 200 ms, 10 jobs with the published (A, D, C) tuples,
+// CoefB served by two server jobs deadline-corrected to 700-200 = 500 and
+// truncated to 200, and the redundant InputA[1] -> NormA[1] edge removed
+// by transitive reduction.
+#pragma once
+
+#include "fppn/exec_state.hpp"
+#include "fppn/network.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace fppn::apps {
+
+struct Fig1App {
+  Network net;
+  ProcessId input_a, filter_a, filter_b, norm_a, output_a, output_b, coef_b;
+  ChannelId in_a;        ///< external input: samples for InputA
+  ChannelId coef_in;     ///< external input: coefficient commands for CoefB
+  ChannelId out1, out2;  ///< external outputs
+
+  /// Uniform 25 ms WCETs (the Fig. 3 assumption).
+  [[nodiscard]] WcetMap fig3_wcets() const;
+
+  /// Input scripts: `samples` for InA (one per InputA job), `coefs` for
+  /// CoefIn (one per CoefB invocation).
+  [[nodiscard]] InputScripts make_inputs(const std::vector<double>& samples,
+                                         const std::vector<double>& coefs) const;
+};
+
+[[nodiscard]] Fig1App build_fig1();
+
+}  // namespace fppn::apps

@@ -1,0 +1,71 @@
+#include "fppn/actions.hpp"
+
+#include <sstream>
+
+#include "fppn/network.hpp"
+
+namespace fppn {
+
+std::vector<WriteAction> ActionTrace::writes_to(ChannelId c) const {
+  std::vector<WriteAction> out;
+  for (const Action& a : actions_) {
+    if (const auto* w = std::get_if<WriteAction>(&a); w != nullptr && w->channel == c) {
+      out.push_back(*w);
+    }
+  }
+  return out;
+}
+
+std::vector<Action> ActionTrace::of_process(ProcessId p) const {
+  std::vector<Action> out;
+  for (const Action& a : actions_) {
+    const bool match = std::visit(
+        [&](const auto& act) {
+          using T = std::decay_t<decltype(act)>;
+          if constexpr (std::is_same_v<T, WaitAction>) {
+            return false;
+          } else {
+            return act.process == p;
+          }
+        },
+        a);
+    if (match) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::string trace_to_string(const ActionTrace& trace, const Network& net,
+                            bool multiline) {
+  std::ostringstream os;
+  const char* sep = multiline ? "\n" : " ";
+  bool first = true;
+  for (const Action& a : trace.actions()) {
+    if (!first) {
+      os << sep;
+    }
+    first = false;
+    std::visit(
+        [&](const auto& act) {
+          using T = std::decay_t<decltype(act)>;
+          if constexpr (std::is_same_v<T, WaitAction>) {
+            os << "w(" << act.time << ")";
+          } else if constexpr (std::is_same_v<T, JobStartAction>) {
+            os << net.process(act.process).name << "[" << act.k << "]:start";
+          } else if constexpr (std::is_same_v<T, JobEndAction>) {
+            os << net.process(act.process).name << "[" << act.k << "]:end";
+          } else if constexpr (std::is_same_v<T, ReadAction>) {
+            os << net.process(act.process).name << "[" << act.k << "]:read("
+               << net.channel(act.channel).name << ")=" << act.value;
+          } else if constexpr (std::is_same_v<T, WriteAction>) {
+            os << net.process(act.process).name << "[" << act.k << "]:write("
+               << net.channel(act.channel).name << ")=" << act.value;
+          }
+        },
+        a);
+  }
+  return os.str();
+}
+
+}  // namespace fppn

@@ -1,0 +1,115 @@
+#include "fppn/automaton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fppn {
+
+Automaton::Automaton(std::string initial_location, VarMap initial_vars)
+    : initial_(std::move(initial_location)), initial_vars_(std::move(initial_vars)) {
+  locations_.push_back(initial_);
+}
+
+Automaton& Automaton::location(const std::string& name) {
+  if (std::find(locations_.begin(), locations_.end(), name) == locations_.end()) {
+    locations_.push_back(name);
+  }
+  return *this;
+}
+
+Automaton& Automaton::transition(Transition t) {
+  location(t.from);
+  location(t.to);
+  transitions_.push_back(std::move(t));
+  return *this;
+}
+
+Automaton& Automaton::step(const std::string& from, AutomatonAction action,
+                           const std::string& to) {
+  Transition t;
+  t.from = from;
+  t.guard = nullptr;
+  t.actions.push_back(std::move(action));
+  t.to = to;
+  return transition(std::move(t));
+}
+
+std::vector<const Transition*> Automaton::from(const std::string& loc) const {
+  std::vector<const Transition*> out;
+  for (const Transition& t : transitions_) {
+    if (t.from == loc) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+AutomatonBehavior::AutomatonBehavior(std::shared_ptr<const Automaton> automaton,
+                                     std::size_t max_steps)
+    : automaton_(std::move(automaton)),
+      vars_(automaton_->initial_vars()),
+      max_steps_(max_steps) {}
+
+namespace {
+
+void apply_action(const AutomatonAction& action, VarMap& vars, JobContext& ctx) {
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, AssignAction>) {
+          vars[a.target] = a.compute(vars);
+        } else if constexpr (std::is_same_v<T, ReadChannelAction>) {
+          vars[a.target] = ctx.read(a.channel);
+        } else if constexpr (std::is_same_v<T, WriteChannelAction>) {
+          const auto it = vars.find(a.source);
+          if (it == vars.end()) {
+            throw std::logic_error("automaton write from undefined variable '" +
+                                   a.source + "'");
+          }
+          ctx.write(a.channel, it->second);
+        }
+      },
+      action);
+}
+
+}  // namespace
+
+void AutomatonBehavior::on_job(JobContext& ctx) {
+  std::string loc = automaton_->initial_location();
+  std::size_t steps = 0;
+  // A job execution run is *nonempty*: take at least one step, stop upon
+  // returning to the initial location.
+  do {
+    const Transition* chosen = nullptr;
+    for (const Transition* t : automaton_->from(loc)) {
+      const bool enabled = !t->guard || t->guard(vars_);
+      if (enabled) {
+        if (chosen != nullptr) {
+          throw std::logic_error("automaton nondeterministic at location '" + loc +
+                                 "'");
+        }
+        chosen = t;
+      }
+    }
+    if (chosen == nullptr) {
+      throw std::logic_error("automaton stuck at location '" + loc +
+                             "' (no enabled transition)");
+    }
+    for (const AutomatonAction& a : chosen->actions) {
+      apply_action(a, vars_, ctx);
+    }
+    loc = chosen->to;
+    if (++steps > max_steps_) {
+      throw std::logic_error("automaton exceeded max steps in one job run");
+    }
+  } while (loc != automaton_->initial_location());
+}
+
+BehaviorFactory automaton_behavior(std::shared_ptr<const Automaton> a,
+                                   std::size_t max_steps) {
+  return [a = std::move(a), max_steps]() {
+    return std::make_unique<AutomatonBehavior>(a, max_steps);
+  };
+}
+
+}  // namespace fppn

@@ -1,0 +1,127 @@
+// Process automata (Def. 2.2).
+//
+// A process is formally a deterministic automaton
+//   (l_p0, L_p, X_p, X_p0, I_p, O_p, A_p, T_p)
+// whose transitions carry a guard over the internal variables and an
+// action: a variable assignment, a channel read or a channel write. A job
+// execution run is a nonempty sequence of steps returning to the initial
+// location — the "subroutine" view.
+//
+// This module gives the automaton a first-class representation plus an
+// interpreter (AutomatonBehavior) so processes can be specified either as
+// native C++ behaviors or as explicit automata; the TA translation
+// (src/ta) consumes the explicit form. Determinism of the automaton (at
+// most one enabled transition per step) is enforced at run time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fppn/exec_state.hpp"
+#include "fppn/value.hpp"
+
+namespace fppn {
+
+/// Variable valuation X_p -> Value.
+using VarMap = std::map<std::string, Value>;
+
+/// Guard: predicate over the variables (G_p in Def. 2.2).
+using Guard = std::function<bool(const VarMap&)>;
+
+/// x := f(X): assigns the result of `compute` to variable `target`.
+struct AssignAction {
+  std::string target;
+  std::function<Value(const VarMap&)> compute;
+};
+
+/// x ? c: reads channel `channel` into variable `target`.
+struct ReadChannelAction {
+  std::string target;
+  std::string channel;
+};
+
+/// x ! c: writes the current value of `source` to `channel`.
+struct WriteChannelAction {
+  std::string source;
+  std::string channel;
+};
+
+using AutomatonAction =
+    std::variant<AssignAction, ReadChannelAction, WriteChannelAction>;
+
+/// One element of the transition relation T_p.
+struct Transition {
+  std::string from;
+  Guard guard;                      ///< nullptr == always enabled
+  std::vector<AutomatonAction> actions;
+  std::string to;
+};
+
+/// The automaton structure. Locations are strings ("source line numbers"
+/// in the paper's reading); `initial` is l_p0; `initial_vars` is X_p0.
+class Automaton {
+ public:
+  Automaton(std::string initial_location, VarMap initial_vars);
+
+  /// Declares a location (the initial location is declared implicitly).
+  Automaton& location(const std::string& name);
+
+  /// Adds a transition; endpoints are auto-declared.
+  Automaton& transition(Transition t);
+
+  /// Convenience: unguarded transition with one action.
+  Automaton& step(const std::string& from, AutomatonAction action,
+                  const std::string& to);
+
+  [[nodiscard]] const std::string& initial_location() const noexcept {
+    return initial_;
+  }
+  [[nodiscard]] const VarMap& initial_vars() const noexcept { return initial_vars_; }
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] const std::vector<std::string>& locations() const noexcept {
+    return locations_;
+  }
+
+  /// Transitions leaving `loc`, in declaration order.
+  [[nodiscard]] std::vector<const Transition*> from(const std::string& loc) const;
+
+ private:
+  std::string initial_;
+  VarMap initial_vars_;
+  std::vector<std::string> locations_;
+  std::vector<Transition> transitions_;
+};
+
+/// Interprets an Automaton as a ProcessBehavior: each on_job() performs one
+/// job execution run — steps from the initial location until it returns
+/// there (or throws after `max_steps` to catch diverging automata).
+/// Throws std::logic_error when zero or more than one transition is
+/// enabled (the automaton must be deterministic).
+class AutomatonBehavior final : public ProcessBehavior {
+ public:
+  explicit AutomatonBehavior(std::shared_ptr<const Automaton> automaton,
+                             std::size_t max_steps = 10'000);
+
+  void on_job(JobContext& ctx) override;
+
+  [[nodiscard]] const VarMap& vars() const noexcept { return vars_; }
+
+ private:
+  std::shared_ptr<const Automaton> automaton_;
+  VarMap vars_;
+  std::size_t max_steps_;
+};
+
+/// Behavior factory running a shared automaton definition (each execution
+/// gets a fresh interpreter with X_p0).
+[[nodiscard]] BehaviorFactory automaton_behavior(std::shared_ptr<const Automaton> a,
+                                                 std::size_t max_steps = 10'000);
+
+}  // namespace fppn

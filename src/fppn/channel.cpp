@@ -1,0 +1,68 @@
+#include "fppn/channel.hpp"
+
+namespace fppn {
+
+std::string to_string(ChannelKind k) {
+  switch (k) {
+    case ChannelKind::kFifo:
+      return "fifo";
+    case ChannelKind::kBlackboard:
+      return "blackboard";
+  }
+  return "?";
+}
+
+std::string to_string(ChannelScope s) {
+  switch (s) {
+    case ChannelScope::kInternal:
+      return "internal";
+    case ChannelScope::kExternalInput:
+      return "external-input";
+    case ChannelScope::kExternalOutput:
+      return "external-output";
+  }
+  return "?";
+}
+
+Value ChannelRuntime::read() {
+  if (kind_ == ChannelKind::kFifo) {
+    if (fifo_.empty()) {
+      return no_data();
+    }
+    Value v = std::move(fifo_.front());
+    fifo_.pop_front();
+    return v;
+  }
+  return board_.has_value() ? *board_ : no_data();
+}
+
+void ChannelRuntime::write(Value v) {
+  history_.push_back(v);
+  if (kind_ == ChannelKind::kFifo) {
+    fifo_.push_back(std::move(v));
+  } else {
+    board_ = std::move(v);
+  }
+}
+
+Value ChannelRuntime::peek() const {
+  if (kind_ == ChannelKind::kFifo) {
+    return fifo_.empty() ? no_data() : fifo_.front();
+  }
+  return board_.has_value() ? *board_ : no_data();
+}
+
+std::size_t ChannelRuntime::buffered() const noexcept {
+  if (kind_ == ChannelKind::kFifo) {
+    return fifo_.size();
+  }
+  return board_.has_value() ? 1 : 0;
+}
+
+void ChannelRuntime::reset() {
+  fifo_.clear();
+  board_.reset();
+  history_.clear();
+}
+
+}  // namespace fppn

@@ -1,0 +1,63 @@
+#include "fppn/semantics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace fppn {
+
+std::vector<ProcessId> order_simultaneous(const Network& net,
+                                          const std::vector<ProcessId>& invoked_multiset,
+                                          SimultaneityTieBreak tie_break) {
+  // Count multiplicities, keep one node per distinct process.
+  std::map<ProcessId, int> multiplicity;
+  for (const ProcessId p : invoked_multiset) {
+    ++multiplicity[p];
+  }
+  std::vector<NodeId> subset;
+  subset.reserve(multiplicity.size());
+  for (const auto& [p, cnt] : multiplicity) {
+    (void)cnt;
+    subset.push_back(NodeId(p.value()));
+  }
+  const auto prefer = [tie_break](NodeId a, NodeId b) {
+    return tie_break == SimultaneityTieBreak::kByProcessId ? a < b : a > b;
+  };
+  const auto order = topological_sort_subset(net.priority_graph(), subset, prefer);
+  if (!order.has_value()) {
+    throw std::invalid_argument(
+        "simultaneous invocation group cannot be ordered: FP cycle");
+  }
+  std::vector<ProcessId> result;
+  result.reserve(invoked_multiset.size());
+  for (const NodeId n : *order) {
+    const ProcessId p{n.value()};
+    for (int i = 0; i < multiplicity[p]; ++i) {
+      result.push_back(p);
+    }
+  }
+  return result;
+}
+
+ZeroDelayResult run_zero_delay(const Network& net, const InvocationPlan& plan,
+                               const InputScripts& inputs,
+                               SimultaneityTieBreak tie_break) {
+  ExecutionState state(net, inputs);
+  std::size_t jobs = 0;
+  for (const InvocationGroup& group : plan.groups()) {
+    state.advance_time(group.time);
+    for (const ProcessId p : order_simultaneous(net, group.processes, tie_break)) {
+      state.run_job(p, group.time);
+      ++jobs;
+    }
+  }
+  ZeroDelayResult result;
+  result.trace = state.trace();
+  result.histories = state.histories();
+  result.jobs_executed = jobs;
+  return result;
+}
+
+}  // namespace fppn

@@ -1,0 +1,60 @@
+#include "fppn/value.hpp"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace fppn {
+
+std::string value_to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "none"; }
+    std::string operator()(std::int64_t x) const { return std::to_string(x); }
+    std::string operator()(double x) const {
+      std::ostringstream os;
+      os << x;
+      return os.str();
+    }
+    std::string operator()(const std::string& s) const { return "\"" + s + "\""; }
+    std::string operator()(const std::vector<double>& xs) const {
+      std::ostringstream os;
+      os << "[";
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << xs[i];
+      }
+      os << "]";
+      return os.str();
+    }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << value_to_string(v);
+}
+
+std::size_t value_hash(const Value& v) {
+  constexpr std::size_t kMix = 0x9e3779b97f4a7c15ULL;
+  struct Visitor {
+    std::size_t operator()(std::monostate) const { return 0x5bd1e995U; }
+    std::size_t operator()(std::int64_t x) const {
+      return std::hash<std::int64_t>{}(x);
+    }
+    std::size_t operator()(double x) const { return std::hash<double>{}(x); }
+    std::size_t operator()(const std::string& s) const {
+      return std::hash<std::string>{}(s);
+    }
+    std::size_t operator()(const std::vector<double>& xs) const {
+      std::size_t h = xs.size();
+      for (const double x : xs) {
+        h ^= std::hash<double>{}(x) + kMix + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  const std::size_t payload = std::visit(Visitor{}, v);
+  return payload ^ (v.index() * kMix);
+}
+
+}  // namespace fppn

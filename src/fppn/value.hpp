@@ -1,0 +1,38 @@
+// The channel alphabet (Sigma_c in Def. 2.1).
+//
+// Channels carry Values: a closed variant sufficient for the paper's two
+// case studies (complex samples for the FFT, sensor records for the FMS)
+// plus an explicit "no data available" element returned when reading an
+// empty FIFO or an uninitialized blackboard (§II-A).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fppn {
+
+/// A data sample on a channel. std::monostate is the non-availability
+/// indicator the paper's non-blocking reads return.
+using Value = std::variant<std::monostate, std::int64_t, double, std::string,
+                           std::vector<double>>;
+
+/// The "no data" element.
+[[nodiscard]] inline Value no_data() { return Value{std::monostate{}}; }
+
+[[nodiscard]] inline bool has_data(const Value& v) {
+  return !std::holds_alternative<std::monostate>(v);
+}
+
+/// Human-readable rendering, e.g. "none", "42", "3.5", "\"abc\"", "[1, 2]".
+[[nodiscard]] std::string value_to_string(const Value& v);
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Deterministic content hash (used by determinism property tests to
+/// fingerprint whole channel histories cheaply).
+[[nodiscard]] std::size_t value_hash(const Value& v);
+
+}  // namespace fppn

@@ -1,0 +1,80 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fppn {
+
+Digraph::Digraph(std::size_t node_count) : out_(node_count), in_(node_count) {}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return NodeId(out_.size() - 1);
+}
+
+void Digraph::check_node(NodeId n) const {
+  if (!n.is_valid() || n.value() >= out_.size()) {
+    throw std::invalid_argument("digraph: node id out of range");
+  }
+}
+
+bool Digraph::add_edge(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  if (from == to) {
+    throw std::invalid_argument("digraph: self-loop rejected");
+  }
+  if (has_edge(from, to)) {
+    return false;
+  }
+  out_[from.value()].push_back(to);
+  in_[to.value()].push_back(from);
+  ++edge_count_;
+  return true;
+}
+
+bool Digraph::remove_edge(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  auto& succ = out_[from.value()];
+  const auto it = std::find(succ.begin(), succ.end(), to);
+  if (it == succ.end()) {
+    return false;
+  }
+  succ.erase(it);
+  auto& pred = in_[to.value()];
+  pred.erase(std::find(pred.begin(), pred.end(), from));
+  --edge_count_;
+  return true;
+}
+
+bool Digraph::has_edge(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  const auto& succ = out_[from.value()];
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+const std::vector<NodeId>& Digraph::successors(NodeId n) const {
+  check_node(n);
+  return out_[n.value()];
+}
+
+const std::vector<NodeId>& Digraph::predecessors(NodeId n) const {
+  check_node(n);
+  return in_[n.value()];
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  result.reserve(edge_count_);
+  for (std::size_t u = 0; u < out_.size(); ++u) {
+    for (const NodeId v : out_[u]) {
+      result.emplace_back(NodeId(u), v);
+    }
+  }
+  return result;
+}
+
+}  // namespace fppn

@@ -1,0 +1,57 @@
+// Minimal directed-graph container used by the functional-priority relation,
+// the task graph and the timed-automata network.
+//
+// Nodes are dense indices (NodeId); edges are stored both as out- and
+// in-adjacency so predecessor scans (list scheduling, ALAP) are O(indegree).
+// Parallel edges are rejected; self-loops are rejected (every graph in this
+// library is either a DAG or must be checked for acyclicity explicitly).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rt/ids.hpp"
+
+namespace fppn {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  /// Graph with `node_count` nodes and no edges.
+  explicit Digraph(std::size_t node_count);
+
+  /// Appends a node; returns its id.
+  NodeId add_node();
+
+  /// Adds edge from -> to. Returns false (and does nothing) if the edge is
+  /// already present. Throws std::invalid_argument on self-loops or
+  /// out-of-range endpoints.
+  bool add_edge(NodeId from, NodeId to);
+
+  /// Removes an edge if present; returns whether it was present.
+  bool remove_edge(NodeId from, NodeId to);
+
+  [[nodiscard]] bool has_edge(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId n) const;
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId n) const;
+
+  [[nodiscard]] std::size_t out_degree(NodeId n) const { return successors(n).size(); }
+  [[nodiscard]] std::size_t in_degree(NodeId n) const { return predecessors(n).size(); }
+
+  /// All edges as (from, to) pairs, in deterministic (from, insertion) order.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace fppn

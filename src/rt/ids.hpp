@@ -1,0 +1,67 @@
+// Strong index types.
+//
+// Processes, channels, jobs and processors are all referred to by dense
+// indices into their owning containers; wrapping each in its own type
+// prevents cross-indexing (e.g. using a job index to look up a process).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace fppn {
+
+namespace detail {
+
+/// CRTP-free strong index: Tag distinguishes unrelated index spaces.
+template <class Tag>
+class StrongIndex {
+ public:
+  constexpr StrongIndex() noexcept : value_(kInvalid) {}
+  constexpr explicit StrongIndex(std::size_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::size_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool is_valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongIndex, StrongIndex) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(StrongIndex,
+                                                    StrongIndex) noexcept = default;
+
+  static constexpr StrongIndex invalid() noexcept { return StrongIndex(); }
+
+ private:
+  static constexpr std::size_t kInvalid = std::numeric_limits<std::size_t>::max();
+  std::size_t value_;
+};
+
+}  // namespace detail
+
+struct ProcessTag {};
+struct ChannelTag {};
+struct JobTag {};
+struct ProcessorTag {};
+struct NodeTag {};
+
+/// Index of a process within a Network.
+using ProcessId = detail::StrongIndex<ProcessTag>;
+/// Index of a channel (internal or external) within a Network.
+using ChannelId = detail::StrongIndex<ChannelTag>;
+/// Index of a job within a TaskGraph.
+using JobId = detail::StrongIndex<JobTag>;
+/// Index of a processor within a platform.
+using ProcessorId = detail::StrongIndex<ProcessorTag>;
+/// Index of a node within a generic Digraph.
+using NodeId = detail::StrongIndex<NodeTag>;
+
+}  // namespace fppn
+
+namespace std {
+template <class Tag>
+struct hash<fppn::detail::StrongIndex<Tag>> {
+  std::size_t operator()(const fppn::detail::StrongIndex<Tag>& id) const noexcept {
+    return std::hash<std::size_t>{}(id.value());
+  }
+};
+}  // namespace std

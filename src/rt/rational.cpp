@@ -1,0 +1,156 @@
+#include "rt/rational.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace fppn {
+namespace {
+
+// Overflow-checked primitives. Model time values stay small (milliseconds
+// over a few hyperperiods) but hyperperiod LCMs of adversarial inputs can
+// blow up; fail loudly instead of wrapping.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw RationalError("rational arithmetic overflow in multiplication");
+  }
+  return out;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw RationalError("rational arithmetic overflow in addition");
+  }
+  return out;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) {
+    throw RationalError("rational with zero denominator");
+  }
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+double Rational::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) {
+    return std::to_string(num_);
+  }
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Reduce before cross-multiplying to delay overflow: use den gcd.
+  const std::int64_t g = std::gcd(den_, rhs.den_);
+  const std::int64_t lhs_scale = rhs.den_ / g;
+  const std::int64_t rhs_scale = den_ / g;
+  num_ = checked_add(checked_mul(num_, lhs_scale), checked_mul(rhs.num_, rhs_scale));
+  den_ = checked_mul(den_, lhs_scale);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  // Cross-reduce first so intermediate products stay small.
+  const std::int64_t g1 = std::gcd(num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_, den_);
+  num_ = checked_mul(num_ / g1, rhs.num_ / g2);
+  den_ = checked_mul(den_ / g2, rhs.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_ == 0) {
+    throw RationalError("rational division by zero");
+  }
+  return *this *= Rational(rhs.den_, rhs.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
+  // lhs.num/lhs.den <=> rhs.num/rhs.den with positive denominators.
+  const std::int64_t g = std::gcd(lhs.den_, rhs.den_);
+  const std::int64_t a = checked_mul(lhs.num_, rhs.den_ / g);
+  const std::int64_t b = checked_mul(rhs.num_, lhs.den_ / g);
+  return a <=> b;
+}
+
+std::int64_t Rational::floor() const noexcept {
+  if (num_ >= 0 || num_ % den_ == 0) {
+    return num_ / den_;
+  }
+  return num_ / den_ - 1;
+}
+
+std::int64_t Rational::ceil() const noexcept {
+  if (num_ <= 0 || num_ % den_ == 0) {
+    return num_ / den_;
+  }
+  return num_ / den_ + 1;
+}
+
+std::int64_t Rational::floor_div(const Rational& a, const Rational& b) {
+  if (!b.is_positive()) {
+    throw RationalError("floor_div requires a positive divisor");
+  }
+  return (a / b).floor();
+}
+
+Rational Rational::gcd(const Rational& a, const Rational& b) {
+  if (a.is_negative() || b.is_negative()) {
+    throw RationalError("rational gcd requires non-negative operands");
+  }
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  const std::int64_t n = std::gcd(a.num_, b.num_);
+  const std::int64_t d = checked_mul(a.den_ / std::gcd(a.den_, b.den_), b.den_);
+  return {n, d};
+}
+
+Rational Rational::lcm(const Rational& a, const Rational& b) {
+  if (!a.is_positive() || !b.is_positive()) {
+    throw RationalError("rational lcm requires positive operands");
+  }
+  const std::int64_t g = std::gcd(a.num_, b.num_);
+  const std::int64_t n = checked_mul(a.num_ / g, b.num_);
+  const std::int64_t d = std::gcd(a.den_, b.den_);
+  return {n, d};
+}
+
+Rational Rational::abs(const Rational& r) { return r.is_negative() ? -r : r; }
+
+Rational Rational::min(const Rational& a, const Rational& b) { return a <= b ? a : b; }
+
+Rational Rational::max(const Rational& a, const Rational& b) { return a >= b ? a : b; }
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace fppn

@@ -1,0 +1,29 @@
+#include "rt/time.hpp"
+
+#include <ostream>
+
+namespace fppn {
+
+Time& Time::operator+=(const Duration& d) {
+  value_ += d.value();
+  return *this;
+}
+
+Time& Time::operator-=(const Duration& d) {
+  value_ -= d.value();
+  return *this;
+}
+
+Duration operator-(const Time& a, const Time& b) {
+  return Duration(a.value() - b.value());
+}
+
+std::ostream& operator<<(std::ostream& os, const Time& t) {
+  return os << t.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Duration& d) {
+  return os << d.to_string();
+}
+
+}  // namespace fppn

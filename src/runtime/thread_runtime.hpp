@@ -1,0 +1,40 @@
+// Real-time deployment of the static-order policy on std::thread workers —
+// the analogue of the paper's Linux multi-thread runtime (§V).
+//
+// One worker thread per processor walks its static-order job list; an
+// injector thread posts sporadic invocations at their scripted wall-clock
+// times; channel accesses are serialized through the shared ExecutionState
+// (modeling the paper's runtime-served read/write synchronization
+// requests). Model time is mapped to wall time through a configurable
+// scale so a 10-second hyperperiod runs in tens of milliseconds.
+//
+// Wall-clock jitter means measured times are approximate; tests therefore
+// assert *functional* properties exactly (deterministic histories,
+// identical to the zero-delay reference) and timing properties with slack.
+#pragma once
+
+#include <map>
+
+#include "runtime/vm_runtime.hpp"
+
+namespace fppn {
+
+struct ThreadRunOptions {
+  std::int64_t frames = 1;
+  /// Wall microseconds per model millisecond (default: 1 model ms = 50 us,
+  /// i.e. 20x faster than real time).
+  double micros_per_model_ms = 50.0;
+  /// Actual execution time per job instance (busy-wait span); default WCET.
+  ActualTimeFn actual_time;
+};
+
+/// Runs the schedule on real threads. Returns the same RunResult shape as
+/// the VM (trace times are measured wall times converted back to model
+/// milliseconds; deadline misses are measured, so they can include OS
+/// scheduling noise).
+[[nodiscard]] RunResult run_static_order_threads(
+    const Network& net, const DerivedTaskGraph& derived, const StaticSchedule& schedule,
+    const ThreadRunOptions& opts = {}, const InputScripts& inputs = {},
+    const std::map<ProcessId, SporadicScript>& sporadics = {});
+
+}  // namespace fppn

@@ -1,0 +1,256 @@
+#include "runtime/vm_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace fppn {
+namespace {
+
+/// Static (frame-independent) execution plan of one job.
+struct JobPlan {
+  JobId id;
+  std::size_t proc = 0;
+  std::optional<JobId> prev_on_proc;  ///< previous job in the static order
+  std::optional<JobId> prev_of_process;  ///< previous job of same process in frame
+};
+
+/// Dynamic per-frame resolution of one job.
+struct JobRun {
+  bool is_false = false;
+  Time invocation;  ///< real invocation (sporadic) or frame_base + A_i
+  Time start;       ///< execution start ('false': the skip instant)
+  Time end;         ///< completion ('false': == start)
+};
+
+}  // namespace
+
+RunResult run_static_order_vm(const Network& net, const DerivedTaskGraph& derived,
+                              const StaticSchedule& schedule, const VmRunOptions& opts,
+                              const InputScripts& inputs,
+                              const std::map<ProcessId, SporadicScript>& sporadics) {
+  const TaskGraph& tg = derived.graph;
+  const std::size_t n = tg.job_count();
+  if (opts.frames < 1) {
+    throw std::invalid_argument("vm runtime: frames must be >= 1");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!schedule.is_placed(JobId(i))) {
+      throw std::invalid_argument("vm runtime: schedule does not place job '" +
+                                  tg.job(JobId(i)).name + "'");
+    }
+  }
+  const Duration h = derived.hyperperiod;
+
+  // Sorted invocation scripts per sporadic process.
+  std::map<ProcessId, std::vector<Time>> invocations;
+  for (const auto& [p, script] : sporadics) {
+    invocations.emplace(p, script.times());  // SporadicScript stores sorted
+  }
+
+  // Static plan: previous job on the same processor / of the same process.
+  std::vector<JobPlan> plan(n);
+  const auto order = schedule.per_processor_order(tg);
+  for (std::size_t m = 0; m < order.size(); ++m) {
+    for (std::size_t pos = 0; pos < order[m].size(); ++pos) {
+      JobPlan& jp = plan[order[m][pos].value()];
+      jp.id = order[m][pos];
+      jp.proc = m;
+      if (pos > 0) {
+        jp.prev_on_proc = order[m][pos - 1];
+      }
+    }
+  }
+  {
+    std::map<ProcessId, JobId> last_of_process;
+    // Jobs are stored in <J order, which respects per-process k order.
+    for (std::size_t i = 0; i < n; ++i) {
+      const ProcessId p = tg.job(JobId(i)).process;
+      const auto it = last_of_process.find(p);
+      if (it != last_of_process.end()) {
+        plan[i].prev_of_process = it->second;
+      }
+      last_of_process[p] = JobId(i);
+    }
+  }
+
+  // Topological order over precedence + same-processor chains, computed
+  // once (identical in every frame).
+  Digraph combined(n);
+  for (const auto& [u, v] : tg.precedence().edges()) {
+    combined.add_edge(u, v);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan[i].prev_on_proc.has_value()) {
+      combined.add_edge(NodeId(plan[i].prev_on_proc->value()), NodeId(i));
+    }
+  }
+  const auto topo = topological_sort(combined);
+  if (!topo.has_value()) {
+    throw std::invalid_argument(
+        "vm runtime: schedule order conflicts with precedence (cycle)");
+  }
+
+  RunResult result;
+  ExecutionState state(net, inputs);
+
+  // Cross-frame carry-over: completion of the last job per processor and
+  // per process (the static-order walk is sequential per processor; jobs
+  // of one process must stay mutually exclusive and ordered even when a
+  // frame overruns).
+  std::vector<Time> proc_carry(order.size());
+  std::vector<Time> process_carry(net.process_count());
+
+  struct Executed {
+    Time start;
+    std::int64_t frame;
+    JobId id;
+    Time invocation;
+  };
+  std::vector<Executed> executed;  // bodies run later, in causal order
+  executed.reserve(n * static_cast<std::size_t>(opts.frames));
+
+  std::vector<JobRun> runs(n);
+  for (std::int64_t frame = 0; frame < opts.frames; ++frame) {
+    const Time frame_base = Time() + h * Rational(frame);
+    const Duration oh = opts.overhead.frame_overhead(frame);
+    const Time frame_release = frame_base + oh;
+    result.trace.add(TraceEvent{TraceEventKind::kFrameStart, frame, ProcessorId(),
+                                "frame " + std::to_string(frame), frame_base,
+                                std::nullopt});
+    if (!oh.is_zero()) {
+      result.trace.add(TraceEvent{TraceEventKind::kOverhead, frame, ProcessorId(),
+                                  "arrivals", frame_base, frame_release});
+    }
+
+    for (const NodeId node : *topo) {
+      const std::size_t i = node.value();
+      const JobId id(i);
+      const Job& job = tg.job(id);
+      JobRun& run = runs[i];
+      run = JobRun{};
+
+      // ---- Round step 1: synchronize invocation.
+      if (job.is_server) {
+        const ServerInfo& info = derived.servers.at(job.process);
+        const int t = static_cast<int>((job.k - 1) % info.burst) + 1;
+        const Time boundary = subset_boundary(info, frame, job.subset, h);
+        const ServerWindow window = server_window(info, boundary);
+        const auto inv_it = invocations.find(job.process);
+        const std::optional<Time> tth =
+            inv_it == invocations.end()
+                ? std::nullopt
+                : tth_invocation_in(inv_it->second, window, t);
+        if (!tth.has_value()) {
+          // Marked 'false' at its arrival time A_i (== boundary); the
+          // round completes as soon as the processor reaches it and the
+          // boundary has passed.
+          run.is_false = true;
+          Time ready = boundary;
+          if (plan[i].prev_on_proc.has_value()) {
+            ready = std::max(ready, runs[plan[i].prev_on_proc->value()].end);
+          }
+          if (frame > 0 && !plan[i].prev_on_proc.has_value()) {
+            ready = std::max(ready, proc_carry[plan[i].proc]);
+          }
+          run.invocation = boundary;
+          run.start = ready;
+          run.end = ready;
+          result.trace.add(TraceEvent{TraceEventKind::kFalseSkip, frame,
+                                      ProcessorId(plan[i].proc), job.name, ready,
+                                      std::nullopt});
+          ++result.false_skips;
+          continue;
+        }
+        run.invocation = *tth;  // may precede the subset boundary
+      } else {
+        run.invocation = frame_base + (job.arrival - Time());
+      }
+
+      // ---- Round steps 1+2: the start waits for the invocation, the
+      // previous round on this processor, all predecessors, the frame
+      // overhead release, and (cross-frame) earlier jobs of this process.
+      Time start = std::max(run.invocation, frame_release);
+      if (plan[i].prev_on_proc.has_value()) {
+        start = std::max(start, runs[plan[i].prev_on_proc->value()].end);
+      } else if (frame > 0) {
+        start = std::max(start, proc_carry[plan[i].proc]);
+      }
+      for (const JobId pred : tg.predecessors(id)) {
+        start = std::max(start, runs[pred.value()].end);
+      }
+      if (!plan[i].prev_of_process.has_value()) {
+        start = std::max(start, process_carry[job.process.value()]);
+      }
+
+      // ---- Round step 3: execute.
+      const Duration exec =
+          (opts.actual_time ? opts.actual_time(id, frame) : job.wcet) +
+          opts.overhead.per_job_sync;
+      if (exec.is_negative()) {
+        throw std::invalid_argument("vm runtime: negative actual execution time");
+      }
+      run.start = start;
+      run.end = start + exec;
+      executed.push_back(Executed{start, frame, id, run.invocation});
+      result.trace.add(TraceEvent{TraceEventKind::kJobRun, frame,
+                                  ProcessorId(plan[i].proc), job.name, run.start,
+                                  run.end});
+      const Time abs_deadline = frame_base + (job.deadline - Time());
+      if (run.end > abs_deadline) {
+        result.misses.push_back(DeadlineMiss{frame, id, run.end, abs_deadline});
+        result.trace.add(TraceEvent{TraceEventKind::kDeadlineMiss, frame,
+                                    ProcessorId(plan[i].proc), job.name, run.end,
+                                    std::nullopt});
+      }
+      ++result.jobs_executed;
+    }
+
+    // Carry completions into the next frame.
+    for (std::size_t m = 0; m < order.size(); ++m) {
+      if (!order[m].empty()) {
+        proc_carry[m] =
+            std::max(proc_carry[m], runs[order[m].back().value()].end);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!runs[i].is_false) {
+        process_carry[tg.job(JobId(i)).process.value()] =
+            std::max(process_carry[tg.job(JobId(i)).process.value()], runs[i].end);
+      }
+    }
+  }
+
+  // Execute the bodies in causal order: by start time, then frame, then
+  // <J order (JobId). Precedence edges guarantee FP-related jobs are
+  // strictly ordered; FP-unrelated jobs share no channels, so any
+  // deterministic tie-break yields the same histories.
+  std::sort(executed.begin(), executed.end(), [](const Executed& a, const Executed& b) {
+    if (a.start != b.start) {
+      return a.start < b.start;
+    }
+    if (a.frame != b.frame) {
+      return a.frame < b.frame;
+    }
+    return a.id < b.id;
+  });
+  for (const Executed& e : executed) {
+    state.advance_time(e.start);
+    state.run_job(tg.job(e.id).process, e.invocation);
+  }
+
+  result.histories = state.histories();
+  result.span_end = result.trace.span_end();
+  return result;
+}
+
+ZeroDelayResult zero_delay_reference(const Network& net, const Duration& hyperperiod,
+                                     std::int64_t frames, const InputScripts& inputs,
+                                     const std::map<ProcessId, SporadicScript>& sporadics) {
+  const Time horizon = Time() + hyperperiod * Rational(frames);
+  const InvocationPlan plan = InvocationPlan::build(net, horizon, sporadics);
+  return run_zero_delay(net, plan, inputs);
+}
+
+}  // namespace fppn

@@ -1,0 +1,86 @@
+// The static-order online scheduling policy (§IV) on a simulated-time
+// virtual multiprocessor.
+//
+// The policy repeats the schedule frame with period H. Each processor
+// independently walks its jobs in static start-time order; every round is:
+//   1. Synchronize invocation — wait for the event invocation of the
+//      current job (periodic: at frame_base + A_i; sporadic server job:
+//      at the t-th real invocation in its window, possibly earlier than
+//      A_i, or mark the job 'false' at A_i when it did not occur),
+//   2. Synchronize precedence — wait for all task-graph predecessors,
+//   3. Execute the job, unless marked 'false'.
+// Start times s_i from the static schedule are used only for the ORDER;
+// actual starts synchronize on invocations and predecessors, which makes
+// the policy robust to execution times differing from the WCETs (the
+// motivation given in §IV for not using s_i directly).
+//
+// The virtual platform replaces the paper's Kalray MPPA: per-job actual
+// execution times are injectable (default: the WCETs), and the frame
+// overhead model of §V-A (41/20 ms arrival management) gates job starts.
+// Everything is exact rational time and fully deterministic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "fppn/exec_state.hpp"
+#include "fppn/semantics.hpp"
+#include "runtime/sporadic_window.hpp"
+#include "sched/static_schedule.hpp"
+#include "sim/overhead.hpp"
+#include "sim/timed_trace.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace fppn {
+
+/// Actual execution time of a job instance; frame is 0-based. Returning a
+/// duration larger than the WCET models WCET under-estimation (the
+/// measurement-based scenario of §IV); must be non-negative.
+using ActualTimeFn = std::function<Duration(JobId, std::int64_t frame)>;
+
+struct DeadlineMiss {
+  std::int64_t frame = 0;
+  JobId job;
+  Time completion;
+  Time deadline;
+};
+
+struct VmRunOptions {
+  std::int64_t frames = 1;
+  OverheadModel overhead;        ///< default: none
+  ActualTimeFn actual_time;      ///< default (null): WCET
+};
+
+struct RunResult {
+  TimedTrace trace;
+  ExecutionHistories histories;
+  std::vector<DeadlineMiss> misses;
+  std::size_t jobs_executed = 0;
+  std::size_t false_skips = 0;
+  Time span_end;
+
+  [[nodiscard]] bool met_all_deadlines() const { return misses.empty(); }
+};
+
+/// Executes `frames` repetitions of the schedule frame.
+///
+/// `sporadics` gives the real invocation time stamps of each sporadic
+/// process over the whole run (global time, not per frame). `inputs` are
+/// the external-input sample arrays. Throws std::invalid_argument when the
+/// schedule does not place every job or the processor count is < 1.
+[[nodiscard]] RunResult run_static_order_vm(
+    const Network& net, const DerivedTaskGraph& derived, const StaticSchedule& schedule,
+    const VmRunOptions& opts = {}, const InputScripts& inputs = {},
+    const std::map<ProcessId, SporadicScript>& sporadics = {});
+
+/// The zero-delay reference for the same run: periodic invocations over
+/// [0, frames*H) plus the sporadic scripts, executed with the zero-delay
+/// semantics. Prop. 4.1 + Prop. 2.1 imply the VM histories must be
+/// functionally equal to this (the property tests verify it).
+[[nodiscard]] ZeroDelayResult zero_delay_reference(
+    const Network& net, const Duration& hyperperiod, std::int64_t frames,
+    const InputScripts& inputs = {},
+    const std::map<ProcessId, SporadicScript>& sporadics = {});
+
+}  // namespace fppn

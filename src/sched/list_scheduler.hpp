@@ -1,0 +1,32 @@
+// Non-preemptive list scheduling on M identical processors (§III-B).
+//
+// "For a given SP, list scheduling consists of a simple simulation of the
+// fixed-priority policy using the updated definition of ready jobs": a job
+// is ready at time t when it has arrived (A_i <= t) and all its
+// predecessors have completed. At every decision instant the highest-SP
+// ready job is started on a free processor. The result is a fully static
+// schedule (mu_i, s_i) to be checked against Def. 3.2.
+#pragma once
+
+#include <vector>
+
+#include "sched/priorities.hpp"
+#include "sched/static_schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+
+/// Schedules `tg` on `processors` identical processors with the explicit
+/// SP total order `priority` (highest first; must contain every job
+/// exactly once). Always produces a complete schedule; feasibility (the
+/// deadline constraint) must be checked afterwards.
+[[nodiscard]] StaticSchedule list_schedule(const TaskGraph& tg,
+                                           const std::vector<JobId>& priority,
+                                           std::int64_t processors);
+
+/// Convenience: computes the SP order from a heuristic first.
+[[nodiscard]] StaticSchedule list_schedule(const TaskGraph& tg,
+                                           PriorityHeuristic heuristic,
+                                           std::int64_t processors);
+
+}  // namespace fppn

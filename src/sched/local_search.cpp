@@ -1,0 +1,117 @@
+#include "sched/local_search.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace fppn {
+namespace {
+
+struct Score {
+  std::size_t violations = 0;
+  Time makespan;
+
+  [[nodiscard]] bool better_than(const Score& other) const {
+    if (violations != other.violations) {
+      return violations < other.violations;
+    }
+    return makespan < other.makespan;
+  }
+};
+
+Score evaluate(const TaskGraph& tg, const StaticSchedule& schedule) {
+  Score s;
+  s.makespan = schedule.makespan(tg);
+  for (const Violation& v : schedule.check_feasibility(tg).violations) {
+    if (v.kind == ViolationKind::kDeadline) {
+      ++s.violations;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+LocalSearchResult optimize_priority(const TaskGraph& tg,
+                                    const LocalSearchOptions& opts) {
+  const std::size_t n = tg.job_count();
+  LocalSearchResult best;
+
+  // Seed with the best plain heuristic.
+  for (const PriorityHeuristic h : all_heuristics()) {
+    std::vector<JobId> order = schedule_priority(tg, h);
+    StaticSchedule schedule = list_schedule(tg, order, opts.processors);
+    const Score score = evaluate(tg, schedule);
+    if (best.priority.empty() ||
+        score.better_than(Score{best.violations, best.makespan})) {
+      best.violations = score.violations;
+      best.makespan = score.makespan;
+      best.schedule = std::move(schedule);
+      best.priority = std::move(order);
+      best.start_heuristic = h;
+    }
+  }
+  if (n < 2) {
+    best.feasible = best.violations == 0;
+    return best;
+  }
+
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+
+  for (int restart = 0; restart <= opts.restarts; ++restart) {
+    std::vector<JobId> current = best.priority;
+    if (restart > 0) {
+      // Perturb the incumbent rather than starting from random noise.
+      for (std::size_t k = 0; k < n / 4 + 1; ++k) {
+        std::swap(current[pick(rng)], current[pick(rng)]);
+      }
+    }
+    Score current_score =
+        evaluate(tg, list_schedule(tg, current, opts.processors));
+
+    int stale = 0;
+    for (int it = 0; it < opts.max_iterations && stale < 200; ++it) {
+      ++best.iterations_used;
+      std::vector<JobId> candidate = current;
+      // Move: either swap two positions or pull a job earlier (both are
+      // useful — pulls fix late chains, swaps fix local inversions).
+      const std::size_t i = pick(rng);
+      std::size_t j = pick(rng);
+      if (i == j) {
+        j = (j + 1) % n;
+      }
+      if ((rng() & 1U) == 0U) {
+        std::swap(candidate[i], candidate[j]);
+      } else {
+        const JobId moved = candidate[std::max(i, j)];
+        candidate.erase(candidate.begin() +
+                        static_cast<std::ptrdiff_t>(std::max(i, j)));
+        candidate.insert(candidate.begin() +
+                             static_cast<std::ptrdiff_t>(std::min(i, j)),
+                         moved);
+      }
+      StaticSchedule schedule = list_schedule(tg, candidate, opts.processors);
+      const Score score = evaluate(tg, schedule);
+      if (score.better_than(current_score)) {
+        current = candidate;
+        current_score = score;
+        stale = 0;
+        if (score.better_than(Score{best.violations, best.makespan})) {
+          best.violations = score.violations;
+          best.makespan = score.makespan;
+          best.schedule = std::move(schedule);
+          best.priority = current;
+        }
+      } else {
+        ++stale;
+      }
+      if (best.violations == 0 && restart == opts.restarts) {
+        break;  // feasible and no more restarts pending: good enough
+      }
+    }
+  }
+  best.feasible = best.violations == 0;
+  return best;
+}
+
+}  // namespace fppn

@@ -1,0 +1,39 @@
+// Schedule-priority optimization by local search (§III-B: "Different
+// heuristics exist for optimizing priority order SP [8]").
+//
+// List scheduling maps an SP total order to a schedule; this module
+// searches the order space: starting from the best heuristic order, it
+// hill-climbs with job-reordering moves under the lexicographic objective
+//   (deadline-violation count, makespan)
+// and optional seeded random restarts. Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/list_scheduler.hpp"
+
+namespace fppn {
+
+struct LocalSearchOptions {
+  std::int64_t processors = 2;
+  int max_iterations = 2000;   ///< move evaluations per start point
+  int restarts = 2;            ///< random restarts after the heuristic start
+  std::uint64_t seed = 1;      ///< RNG seed (restart shuffles, move picks)
+};
+
+struct LocalSearchResult {
+  StaticSchedule schedule;
+  std::vector<JobId> priority;     ///< the SP order that produced it
+  std::size_t violations = 0;      ///< deadline violations of the best
+  Time makespan;
+  bool feasible = false;
+  int iterations_used = 0;
+  PriorityHeuristic start_heuristic = PriorityHeuristic::kAlapEdf;
+};
+
+/// Optimizes SP for `tg`. Never returns a schedule worse than the best
+/// plain heuristic (the search starts there and only accepts improvements).
+[[nodiscard]] LocalSearchResult optimize_priority(const TaskGraph& tg,
+                                                  const LocalSearchOptions& opts = {});
+
+}  // namespace fppn

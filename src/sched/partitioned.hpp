@@ -1,0 +1,44 @@
+// Partitioned scheduling: every process is pinned to one processor and
+// all its jobs execute there — the deployment style of the paper's
+// runtime ("multiple process automata can be mapped to the same thread
+// according to static mapping mu_i", §V). Global list scheduling may
+// migrate jobs of a process between processors; partitioning trades that
+// freedom for per-thread locality.
+//
+// The partitioner is utilization-based worst-fit-decreasing over the
+// per-process demand sum(C_i)/H, followed by partition-constrained list
+// scheduling (the ready rule of §III-B, with the processor fixed per job).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/priorities.hpp"
+#include "sched/static_schedule.hpp"
+
+namespace fppn {
+
+struct PartitionedResult {
+  /// processor of each process (indexed by ProcessId value); invalid for
+  /// processes without jobs.
+  std::vector<ProcessorId> assignment;
+  StaticSchedule schedule;
+  bool feasible = false;
+};
+
+/// Explicit assignment: schedules `tg` with each job pinned to
+/// `assignment[job.process]`. Throws when a job's process has no
+/// assignment or it is out of range.
+[[nodiscard]] StaticSchedule partitioned_list_schedule(
+    const TaskGraph& tg, const std::vector<ProcessorId>& assignment,
+    const std::vector<JobId>& priority, std::int64_t processors);
+
+/// Utilization-based worst-fit-decreasing partitioning + constrained list
+/// scheduling.
+/// `process_count` sizes the assignment table (processes are identified
+/// by the jobs' ProcessId values, which must be < process_count).
+[[nodiscard]] PartitionedResult partition_and_schedule(
+    const TaskGraph& tg, std::size_t process_count, std::int64_t processors,
+    PriorityHeuristic heuristic = PriorityHeuristic::kAlapEdf);
+
+}  // namespace fppn

@@ -1,0 +1,103 @@
+#include "sched/priorities.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "taskgraph/analysis.hpp"
+
+namespace fppn {
+
+std::string to_string(PriorityHeuristic h) {
+  switch (h) {
+    case PriorityHeuristic::kAlapEdf:
+      return "alap-edf";
+    case PriorityHeuristic::kBLevel:
+      return "b-level";
+    case PriorityHeuristic::kDeadlineMonotonic:
+      return "deadline-monotonic";
+    case PriorityHeuristic::kArrivalOrder:
+      return "arrival-order";
+  }
+  return "?";
+}
+
+const std::vector<PriorityHeuristic>& all_heuristics() {
+  static const std::vector<PriorityHeuristic> kAll = {
+      PriorityHeuristic::kAlapEdf, PriorityHeuristic::kBLevel,
+      PriorityHeuristic::kDeadlineMonotonic, PriorityHeuristic::kArrivalOrder};
+  return kAll;
+}
+
+std::vector<Duration> b_levels(const TaskGraph& tg) {
+  const auto order = topological_sort(tg.precedence());
+  if (!order.has_value()) {
+    throw std::invalid_argument("b_levels: task graph is cyclic");
+  }
+  std::vector<Duration> level(tg.job_count());
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const JobId i{it->value()};
+    Duration best;
+    for (const JobId j : tg.successors(i)) {
+      best = std::max(best, level[j.value()]);
+    }
+    level[i.value()] = best + tg.job(i).wcet;
+  }
+  return level;
+}
+
+std::vector<JobId> schedule_priority(const TaskGraph& tg, PriorityHeuristic heuristic) {
+  const std::size_t n = tg.job_count();
+  std::vector<JobId> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = JobId(i);
+  }
+  const auto tie = [&tg](JobId a, JobId b) {
+    const Job& ja = tg.job(a);
+    const Job& jb = tg.job(b);
+    if (ja.arrival != jb.arrival) {
+      return ja.arrival < jb.arrival;
+    }
+    return a < b;
+  };
+  switch (heuristic) {
+    case PriorityHeuristic::kAlapEdf: {
+      const auto alap = alap_times(tg);
+      std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+        if (alap[a.value()] != alap[b.value()]) {
+          return alap[a.value()] < alap[b.value()];
+        }
+        return tie(a, b);
+      });
+      break;
+    }
+    case PriorityHeuristic::kBLevel: {
+      const auto levels = b_levels(tg);
+      std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+        if (levels[a.value()] != levels[b.value()]) {
+          return levels[a.value()] > levels[b.value()];  // longer path first
+        }
+        return tie(a, b);
+      });
+      break;
+    }
+    case PriorityHeuristic::kDeadlineMonotonic: {
+      std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+        const Duration da = tg.job(a).deadline - tg.job(a).arrival;
+        const Duration db = tg.job(b).deadline - tg.job(b).arrival;
+        if (da != db) {
+          return da < db;
+        }
+        return tie(a, b);
+      });
+      break;
+    }
+    case PriorityHeuristic::kArrivalOrder: {
+      std::sort(order.begin(), order.end(), tie);
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace fppn

@@ -1,0 +1,40 @@
+// Schedule-priority (SP) heuristics for list scheduling (§III-B).
+//
+// SP is a *total order on jobs* — not to be confused with the functional
+// priority FP that defines semantics. The paper points to EDF adjusted to
+// use ALAP completion times, b-level ordering [Kwok & Ahmad] and the
+// modified deadline-monotonic assignment [Forget et al.]; all are
+// implemented here plus a plain arrival-order baseline for the ablation
+// benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+
+enum class PriorityHeuristic : std::uint8_t {
+  kAlapEdf,            ///< earliest ALAP completion D' first ("ALAP heuristic")
+  kBLevel,             ///< longest remaining path (incl. own C) first
+  kDeadlineMonotonic,  ///< smallest relative deadline D - A first
+  kArrivalOrder,       ///< earliest arrival first (FIFO baseline)
+};
+
+[[nodiscard]] std::string to_string(PriorityHeuristic h);
+
+/// All heuristics, for sweep benchmarks.
+[[nodiscard]] const std::vector<PriorityHeuristic>& all_heuristics();
+
+/// Jobs sorted from highest to lowest schedule priority. Ties are broken
+/// by (arrival, job id) so the order is always deterministic and total.
+[[nodiscard]] std::vector<JobId> schedule_priority(const TaskGraph& tg,
+                                                   PriorityHeuristic heuristic);
+
+/// b-level of every job: longest WCET sum of any path starting at the job
+/// (including its own WCET). Precondition: DAG.
+[[nodiscard]] std::vector<Duration> b_levels(const TaskGraph& tg);
+
+}  // namespace fppn

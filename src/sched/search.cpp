@@ -1,0 +1,57 @@
+#include "sched/search.hpp"
+
+namespace fppn {
+
+namespace {
+
+std::size_t deadline_violation_count(const FeasibilityReport& report) {
+  std::size_t count = 0;
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kDeadline) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+ScheduleAttempt best_schedule(const TaskGraph& tg, std::int64_t processors) {
+  std::optional<ScheduleAttempt> best;
+  std::size_t best_violations = 0;
+  for (const PriorityHeuristic h : all_heuristics()) {
+    StaticSchedule s = list_schedule(tg, h, processors);
+    const FeasibilityReport report = s.check_feasibility(tg);
+    ScheduleAttempt attempt;
+    attempt.heuristic = h;
+    attempt.feasible = report.feasible();
+    attempt.makespan = s.makespan(tg);
+    attempt.schedule = std::move(s);
+    if (attempt.feasible) {
+      return attempt;
+    }
+    const std::size_t violations = deadline_violation_count(report);
+    if (!best.has_value() || violations < best_violations) {
+      best_violations = violations;
+      best = std::move(attempt);
+    }
+  }
+  return *best;
+}
+
+MinProcessorsResult min_processors(const TaskGraph& tg, std::int64_t limit) {
+  MinProcessorsResult result;
+  const LoadResult load = task_graph_load(tg);
+  result.lower_bound = std::max<std::int64_t>(1, load.min_processors());
+  for (std::int64_t m = result.lower_bound; m <= limit; ++m) {
+    ScheduleAttempt attempt = best_schedule(tg, m);
+    if (attempt.feasible) {
+      result.processors = m;
+      result.attempt = std::move(attempt);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace fppn

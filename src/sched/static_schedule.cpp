@@ -1,0 +1,202 @@
+#include "sched/static_schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fppn {
+
+std::string to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kUnscheduled:
+      return "unscheduled";
+    case ViolationKind::kArrival:
+      return "arrival";
+    case ViolationKind::kDeadline:
+      return "deadline";
+    case ViolationKind::kPrecedence:
+      return "precedence";
+    case ViolationKind::kMutex:
+      return "mutex";
+  }
+  return "?";
+}
+
+std::string FeasibilityReport::to_string(const TaskGraph& tg) const {
+  if (feasible()) {
+    return "feasible";
+  }
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const Violation& v : violations) {
+    os << "\n  [" << fppn::to_string(v.kind) << "] " << tg.job(v.job).name;
+    if (v.other.has_value()) {
+      os << " vs " << tg.job(*v.other).name;
+    }
+    if (!v.detail.empty()) {
+      os << ": " << v.detail;
+    }
+  }
+  return os.str();
+}
+
+StaticSchedule::StaticSchedule(std::size_t job_count, std::int64_t processors)
+    : placements_(job_count), processors_(processors) {
+  if (processors < 1) {
+    throw std::invalid_argument("schedule needs at least one processor");
+  }
+}
+
+void StaticSchedule::place(JobId job, ProcessorId proc, Time start) {
+  if (!job.is_valid() || job.value() >= placements_.size()) {
+    throw std::invalid_argument("schedule: job id out of range");
+  }
+  if (!proc.is_valid() || static_cast<std::int64_t>(proc.value()) >= processors_) {
+    throw std::invalid_argument("schedule: processor id out of range");
+  }
+  placements_[job.value()] = Placement{proc, start};
+}
+
+bool StaticSchedule::is_placed(JobId job) const {
+  return job.is_valid() && job.value() < placements_.size() &&
+         placements_[job.value()].has_value();
+}
+
+const Placement& StaticSchedule::placement(JobId job) const {
+  if (!is_placed(job)) {
+    throw std::logic_error("schedule: job not placed");
+  }
+  return *placements_[job.value()];
+}
+
+std::vector<std::vector<JobId>> StaticSchedule::per_processor_order(
+    const TaskGraph& tg) const {
+  (void)tg;
+  std::vector<std::vector<JobId>> order(static_cast<std::size_t>(processors_));
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].has_value()) {
+      order[placements_[i]->processor.value()].push_back(JobId(i));
+    }
+  }
+  for (auto& jobs : order) {
+    std::sort(jobs.begin(), jobs.end(), [this](JobId a, JobId b) {
+      const Time sa = placements_[a.value()]->start;
+      const Time sb = placements_[b.value()]->start;
+      if (sa != sb) {
+        return sa < sb;
+      }
+      return a < b;
+    });
+  }
+  return order;
+}
+
+Time StaticSchedule::makespan(const TaskGraph& tg) const {
+  Time last;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].has_value()) {
+      last = std::max(last, end(JobId(i), tg));
+    }
+  }
+  return last;
+}
+
+std::vector<Duration> StaticSchedule::busy_time(const TaskGraph& tg) const {
+  std::vector<Duration> busy(static_cast<std::size_t>(processors_));
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].has_value()) {
+      busy[placements_[i]->processor.value()] += tg.job(JobId(i)).wcet;
+    }
+  }
+  return busy;
+}
+
+FeasibilityReport StaticSchedule::check_feasibility(const TaskGraph& tg) const {
+  FeasibilityReport report;
+  const std::size_t n = tg.job_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobId id(i);
+    if (!is_placed(id)) {
+      report.violations.push_back(
+          Violation{ViolationKind::kUnscheduled, id, std::nullopt, {}});
+      continue;
+    }
+    const Job& j = tg.job(id);
+    const Time s = start(id);
+    const Time e = end(id, tg);
+    if (s < j.arrival) {
+      report.violations.push_back(Violation{ViolationKind::kArrival, id, std::nullopt,
+                                            "starts " + s.to_string() + " < A=" +
+                                                j.arrival.to_string()});
+    }
+    if (e > j.deadline) {
+      report.violations.push_back(Violation{ViolationKind::kDeadline, id, std::nullopt,
+                                            "ends " + e.to_string() + " > D=" +
+                                                j.deadline.to_string()});
+    }
+  }
+  // Precedence: e_i <= s_j for every edge.
+  for (const auto& [u, v] : tg.precedence().edges()) {
+    const JobId a(u.value());
+    const JobId b(v.value());
+    if (!is_placed(a) || !is_placed(b)) {
+      continue;  // already reported as unscheduled
+    }
+    if (end(a, tg) > start(b)) {
+      report.violations.push_back(
+          Violation{ViolationKind::kPrecedence, a, b,
+                    "pred ends " + end(a, tg).to_string() + " > succ starts " +
+                        start(b).to_string()});
+    }
+  }
+  // Mutual exclusion per processor.
+  for (const auto& jobs : per_processor_order(tg)) {
+    for (std::size_t i = 1; i < jobs.size(); ++i) {
+      const JobId prev = jobs[i - 1];
+      const JobId cur = jobs[i];
+      if (end(prev, tg) > start(cur)) {
+        report.violations.push_back(
+            Violation{ViolationKind::kMutex, prev, cur,
+                      "overlap on processor " +
+                          std::to_string(placement(prev).processor.value())});
+      }
+    }
+  }
+  return report;
+}
+
+std::string StaticSchedule::to_gantt(const TaskGraph& tg, std::size_t cols) const {
+  const Time span = makespan(tg);
+  if (span == Time() || cols < 10) {
+    return "(empty schedule)\n";
+  }
+  std::ostringstream os;
+  const double total = span.to_double_ms();
+  const auto col_of = [&](const Time& t) {
+    return static_cast<std::size_t>(t.to_double_ms() / total * static_cast<double>(cols));
+  };
+  const auto order = per_processor_order(tg);
+  for (std::size_t m = 0; m < order.size(); ++m) {
+    std::string row(cols + 1, '.');
+    for (const JobId id : order[m]) {
+      const std::size_t c0 = col_of(start(id));
+      const std::size_t c1 = std::max(c0 + 1, col_of(end(id, tg)));
+      const std::string& name = tg.job(id).name;
+      for (std::size_t c = c0; c < c1 && c < row.size(); ++c) {
+        const std::size_t off = c - c0;
+        row[c] = off < name.size() ? name[off] : '#';
+      }
+      if (c1 <= row.size() && c1 > c0) {
+        row[c1 - 1] = '|';
+      }
+    }
+    os << "M" << (m + 1) << " |" << row << "\n";
+  }
+  os << "    0";
+  const std::string end_label = span.to_string() + " ms";
+  os << std::string(cols > end_label.size() + 1 ? cols - end_label.size() + 1 : 1, ' ')
+     << end_label << "\n";
+  return os.str();
+}
+
+}  // namespace fppn

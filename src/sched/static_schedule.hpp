@@ -1,0 +1,92 @@
+// Static schedules (Def. 3.2) and their feasibility check.
+//
+// A static schedule maps every job J_i to a processor mu_i and a start
+// time s_i (relative to the frame origin). It is feasible iff:
+//   arrival:     s_i >= A_i
+//   deadline:    e_i <= D_i           (e_i = s_i + C_i)
+//   precedence:  (J_i, J_j) in E  =>  e_i <= s_j
+//   mutex:       mu_i == mu_j  =>  e_i <= s_j or e_j <= s_i
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rt/ids.hpp"
+#include "rt/time.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+
+/// Placement of one job.
+struct Placement {
+  ProcessorId processor;
+  Time start;
+};
+
+/// Why a schedule is infeasible.
+enum class ViolationKind : std::uint8_t {
+  kUnscheduled,   ///< job has no placement
+  kArrival,       ///< starts before its arrival time
+  kDeadline,      ///< completes after its deadline
+  kPrecedence,    ///< predecessor finishes after successor starts
+  kMutex,         ///< overlap on the same processor
+};
+
+[[nodiscard]] std::string to_string(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind;
+  JobId job;                      ///< offending job
+  std::optional<JobId> other;     ///< partner for precedence/mutex
+  std::string detail;
+};
+
+struct FeasibilityReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool feasible() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_string(const TaskGraph& tg) const;
+};
+
+class StaticSchedule {
+ public:
+  StaticSchedule() = default;
+  StaticSchedule(std::size_t job_count, std::int64_t processors);
+
+  [[nodiscard]] std::int64_t processor_count() const noexcept { return processors_; }
+  [[nodiscard]] std::size_t job_count() const noexcept { return placements_.size(); }
+
+  void place(JobId job, ProcessorId proc, Time start);
+
+  [[nodiscard]] bool is_placed(JobId job) const;
+  [[nodiscard]] const Placement& placement(JobId job) const;
+  [[nodiscard]] Time start(JobId job) const { return placement(job).start; }
+  [[nodiscard]] Time end(JobId job, const TaskGraph& tg) const {
+    return placement(job).start + tg.job(job).wcet;
+  }
+
+  /// Jobs per processor, sorted by start time — the static order the
+  /// online policy (§IV) executes.
+  [[nodiscard]] std::vector<std::vector<JobId>> per_processor_order(
+      const TaskGraph& tg) const;
+
+  /// Latest completion time over all jobs.
+  [[nodiscard]] Time makespan(const TaskGraph& tg) const;
+
+  /// Busy time per processor (sum of placed WCETs).
+  [[nodiscard]] std::vector<Duration> busy_time(const TaskGraph& tg) const;
+
+  /// Full Def. 3.2 feasibility check.
+  [[nodiscard]] FeasibilityReport check_feasibility(const TaskGraph& tg) const;
+
+  /// ASCII Gantt chart (Fig. 4 style), `cols` characters wide.
+  [[nodiscard]] std::string to_gantt(const TaskGraph& tg, std::size_t cols = 100) const;
+
+ private:
+  std::vector<std::optional<Placement>> placements_;
+  std::int64_t processors_ = 0;
+};
+
+}  // namespace fppn

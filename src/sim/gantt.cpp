@@ -1,0 +1,171 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace fppn {
+namespace {
+
+struct Window {
+  double t0;
+  double t1;
+  std::size_t cols;
+
+  [[nodiscard]] std::size_t col(double t) const {
+    if (t <= t0) {
+      return 0;
+    }
+    if (t >= t1) {
+      return cols;
+    }
+    return static_cast<std::size_t>((t - t0) / (t1 - t0) * static_cast<double>(cols));
+  }
+};
+
+Window make_window(const TimedTrace& trace, const GanttOptions& opts) {
+  const double t0 = opts.from.to_double_ms();
+  const double t1 =
+      opts.to.has_value() ? opts.to->to_double_ms() : trace.span_end().to_double_ms();
+  return Window{t0, std::max(t1, t0 + 1.0), opts.columns};
+}
+
+void paint(std::string& row, std::size_t c0, std::size_t c1, const std::string& name) {
+  if (c1 <= c0) {
+    c1 = c0 + 1;
+  }
+  for (std::size_t c = c0; c < c1 && c < row.size(); ++c) {
+    const std::size_t off = c - c0;
+    row[c] = off < name.size() ? name[off] : '#';
+  }
+  if (c1 - 1 < row.size()) {
+    row[c1 - 1] = '|';
+  }
+}
+
+}  // namespace
+
+std::string render_gantt(const TimedTrace& trace, std::int64_t processors,
+                         const GanttOptions& opts) {
+  const Window w = make_window(trace, opts);
+  std::vector<std::string> rows(static_cast<std::size_t>(processors),
+                                std::string(w.cols + 1, '.'));
+  std::string rt_row(w.cols + 1, '.');
+  std::string miss_row(w.cols + 1, ' ');
+  bool any_overhead = false;
+  bool any_miss = false;
+
+  for (const TraceEvent& e : trace.events()) {
+    const double start = e.time.to_double_ms();
+    const double end = e.end.value_or(e.time).to_double_ms();
+    switch (e.kind) {
+      case TraceEventKind::kJobRun:
+        if (e.processor.is_valid() &&
+            e.processor.value() < rows.size()) {
+          paint(rows[e.processor.value()], w.col(start), w.col(end), e.label);
+        }
+        break;
+      case TraceEventKind::kOverhead:
+        paint(rt_row, w.col(start), w.col(end), "RT:" + e.label);
+        any_overhead = true;
+        break;
+      case TraceEventKind::kFrameStart:
+        for (auto& row : rows) {
+          const std::size_t c = w.col(start);
+          if (c < row.size() && row[c] == '.') {
+            row[c] = ':';
+          }
+        }
+        break;
+      case TraceEventKind::kDeadlineMiss: {
+        const std::size_t c = w.col(start);
+        if (c < miss_row.size()) {
+          miss_row[c] = '!';
+        }
+        any_miss = true;
+        break;
+      }
+      case TraceEventKind::kFalseSkip:
+        break;  // not rendered in ASCII
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t m = 0; m < rows.size(); ++m) {
+    os << "M" << (m + 1) << "  |" << rows[m] << "\n";
+  }
+  if (opts.show_overhead_row && any_overhead) {
+    os << "RT  |" << rt_row << "\n";
+  }
+  if (opts.mark_misses && any_miss) {
+    os << "miss " << miss_row << "\n";
+  }
+  os << "     " << w.t0;
+  std::ostringstream endl_;
+  endl_ << w.t1 << " ms";
+  const std::string tail = endl_.str();
+  std::ostringstream head;
+  head << w.t0;
+  const std::size_t used = head.str().size();
+  os << std::string(w.cols > used + tail.size() ? w.cols - used - tail.size() + 1 : 1,
+                    ' ')
+     << tail << "\n";
+  return os.str();
+}
+
+std::string render_gantt_svg(const TimedTrace& trace, std::int64_t processors,
+                             const GanttOptions& opts) {
+  const Window w = make_window(trace, opts);
+  const int row_h = 28;
+  const int label_w = 52;
+  const int chart_w = 900;
+  const int rows = static_cast<int>(processors) + (opts.show_overhead_row ? 1 : 0);
+  const int height = rows * row_h + 40;
+  const auto x_of = [&](double t) {
+    return label_w + (t - w.t0) / (w.t1 - w.t0) * chart_w;
+  };
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << (label_w + chart_w + 20)
+     << "' height='" << height << "' font-family='monospace' font-size='11'>\n";
+  for (int m = 0; m < rows; ++m) {
+    const int y = 10 + m * row_h;
+    const std::string name =
+        m < processors ? "M" + std::to_string(m + 1) : "RT";
+    os << "<text x='4' y='" << (y + row_h / 2 + 4) << "'>" << name << "</text>\n";
+    os << "<line x1='" << label_w << "' y1='" << (y + row_h - 4) << "' x2='"
+       << (label_w + chart_w) << "' y2='" << (y + row_h - 4)
+       << "' stroke='#ccc'/>\n";
+  }
+  for (const TraceEvent& e : trace.events()) {
+    const double t0 = e.time.to_double_ms();
+    const double t1 = e.end.value_or(e.time).to_double_ms();
+    int row = -1;
+    const char* fill = "#7aa7d8";
+    if (e.kind == TraceEventKind::kJobRun && e.processor.is_valid()) {
+      row = static_cast<int>(e.processor.value());
+    } else if (e.kind == TraceEventKind::kOverhead && opts.show_overhead_row) {
+      row = static_cast<int>(processors);
+      fill = "#d8a77a";
+    } else if (e.kind == TraceEventKind::kDeadlineMiss) {
+      os << "<text x='" << x_of(t0) << "' y='" << (height - 8)
+         << "' fill='red'>!</text>\n";
+      continue;
+    } else {
+      continue;
+    }
+    const int y = 10 + row * row_h;
+    os << "<rect x='" << x_of(t0) << "' y='" << y << "' width='"
+       << std::max(1.0, x_of(t1) - x_of(t0)) << "' height='" << (row_h - 8)
+       << "' fill='" << fill << "' stroke='#345'/>\n";
+    os << "<text x='" << (x_of(t0) + 2) << "' y='" << (y + row_h / 2 + 2) << "'>"
+       << e.label << "</text>\n";
+  }
+  os << "<text x='" << label_w << "' y='" << (height - 8) << "'>" << w.t0
+     << "</text>\n";
+  os << "<text x='" << (label_w + chart_w - 40) << "' y='" << (height - 8) << "'>"
+     << w.t1 << " ms</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace fppn

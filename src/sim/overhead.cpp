@@ -1,0 +1,2 @@
+// overhead.hpp is header-only; this TU anchors the library target.
+#include "sim/overhead.hpp"

@@ -1,0 +1,62 @@
+#include "sim/timed_trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fppn {
+
+std::string to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kFrameStart:
+      return "frame-start";
+    case TraceEventKind::kOverhead:
+      return "overhead";
+    case TraceEventKind::kJobRun:
+      return "job-run";
+    case TraceEventKind::kFalseSkip:
+      return "false-skip";
+    case TraceEventKind::kDeadlineMiss:
+      return "deadline-miss";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TimedTrace::of_kind(TraceEventKind k) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == k) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::size_t TimedTrace::deadline_miss_count() const {
+  return of_kind(TraceEventKind::kDeadlineMiss).size();
+}
+
+std::size_t TimedTrace::executed_job_count() const {
+  return of_kind(TraceEventKind::kJobRun).size();
+}
+
+std::size_t TimedTrace::false_skip_count() const {
+  return of_kind(TraceEventKind::kFalseSkip).size();
+}
+
+Time TimedTrace::span_end() const {
+  Time last;
+  for (const TraceEvent& e : events_) {
+    last = std::max(last, e.end.value_or(e.time));
+  }
+  return last;
+}
+
+std::string TimedTrace::summary() const {
+  std::ostringstream os;
+  os << executed_job_count() << " jobs executed, " << false_skip_count()
+     << " false skips, " << deadline_miss_count() << " deadline miss(es), span "
+     << span_end().to_string() << " ms";
+  return os.str();
+}
+
+}  // namespace fppn

@@ -1,0 +1,127 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace fppn {
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, multi-character.
+std::string code_for(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+std::int64_t ticks_of(const Time& t) {
+  // 1 tick = 1 us of model time (1/1000 model ms).
+  return (t.value() * Rational(1000)).floor();
+}
+
+struct Change {
+  std::int64_t tick;
+  std::string code;
+  char value;
+};
+
+}  // namespace
+
+std::string render_vcd(const TimedTrace& trace, std::int64_t processors) {
+  std::ostringstream os;
+  os << "$date fppn $end\n$version fppn-trace $end\n$timescale 1us $end\n";
+  os << "$scope module fppn $end\n";
+
+  std::vector<std::string> proc_code(static_cast<std::size_t>(processors));
+  for (std::size_t m = 0; m < proc_code.size(); ++m) {
+    proc_code[m] = code_for(m);
+    os << "$var wire 1 " << proc_code[m] << " M" << (m + 1) << "_busy $end\n";
+  }
+  std::size_t next = proc_code.size();
+  const std::string miss_code = code_for(next++);
+  os << "$var wire 1 " << miss_code << " deadline_miss $end\n";
+  const std::string overhead_code = code_for(next++);
+  os << "$var wire 1 " << overhead_code << " runtime_overhead $end\n";
+
+  // One wire per distinct job label, in order of first appearance.
+  std::map<std::string, std::string> job_code;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceEventKind::kJobRun && job_code.count(e.label) == 0) {
+      std::string sanitized = e.label;
+      for (char& c : sanitized) {
+        if (c == '[') {
+          c = '_';
+        } else if (c == ']') {
+          c = ' ';
+        }
+      }
+      sanitized.erase(std::remove(sanitized.begin(), sanitized.end(), ' '),
+                      sanitized.end());
+      job_code.emplace(e.label, code_for(next++));
+      os << "$var wire 1 " << job_code[e.label] << " " << sanitized << " $end\n";
+    }
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<Change> changes;
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEventKind::kJobRun: {
+        const std::int64_t t0 = ticks_of(e.time);
+        const std::int64_t t1 = std::max(t0 + 1, ticks_of(*e.end));
+        changes.push_back({t0, job_code.at(e.label), '1'});
+        changes.push_back({t1, job_code.at(e.label), '0'});
+        if (e.processor.is_valid() && e.processor.value() < proc_code.size()) {
+          changes.push_back({t0, proc_code[e.processor.value()], '1'});
+          changes.push_back({t1, proc_code[e.processor.value()], '0'});
+        }
+        break;
+      }
+      case TraceEventKind::kOverhead: {
+        const std::int64_t t0 = ticks_of(e.time);
+        changes.push_back({t0, overhead_code, '1'});
+        changes.push_back({std::max(t0 + 1, ticks_of(e.end.value_or(e.time))),
+                           overhead_code, '0'});
+        break;
+      }
+      case TraceEventKind::kDeadlineMiss: {
+        const std::int64_t t0 = ticks_of(e.time);
+        changes.push_back({t0, miss_code, '1'});
+        changes.push_back({t0 + 1, miss_code, '0'});
+        break;
+      }
+      case TraceEventKind::kFrameStart:
+      case TraceEventKind::kFalseSkip:
+        break;
+    }
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const Change& a, const Change& b) { return a.tick < b.tick; });
+
+  os << "$dumpvars\n";
+  for (std::size_t m = 0; m < proc_code.size(); ++m) {
+    os << "0" << proc_code[m] << "\n";
+  }
+  os << "0" << miss_code << "\n0" << overhead_code << "\n";
+  for (const auto& [label, code] : job_code) {
+    (void)label;
+    os << "0" << code << "\n";
+  }
+  os << "$end\n";
+
+  std::int64_t current = -1;
+  for (const Change& c : changes) {
+    if (c.tick != current) {
+      os << "#" << c.tick << "\n";
+      current = c.tick;
+    }
+    os << c.value << c.code << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fppn

@@ -1,0 +1,20 @@
+// VCD (IEEE 1364 value-change dump) export of timed traces, so policy
+// executions can be inspected in standard waveform viewers (GTKWave & co.)
+// next to hardware signals — the natural trace format in an EDA flow.
+//
+// Signals: one 1-bit "busy" wire per processor, a 1-bit wire per distinct
+// job label (high while an instance executes), plus `miss` and `overhead`
+// event wires. Timescale: 1 us = 1/1000 model millisecond, preserving the
+// rational times up to that quantum.
+#pragma once
+
+#include <string>
+
+#include "sim/timed_trace.hpp"
+
+namespace fppn {
+
+/// Renders the trace as a VCD document.
+[[nodiscard]] std::string render_vcd(const TimedTrace& trace, std::int64_t processors);
+
+}  // namespace fppn

@@ -1,0 +1,152 @@
+#include "ta/ta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fppn::ta {
+
+std::size_t TimedAutomaton::add_location(TaLocation loc) {
+  locations_.push_back(std::move(loc));
+  return locations_.size() - 1;
+}
+
+void TimedAutomaton::add_clock(const std::string& clock) {
+  if (std::find(clocks_.begin(), clocks_.end(), clock) == clocks_.end()) {
+    clocks_.push_back(clock);
+  }
+}
+
+void TimedAutomaton::add_transition(TaTransition t) {
+  if (t.from >= locations_.size() || t.to >= locations_.size()) {
+    throw std::invalid_argument("ta: transition endpoint out of range");
+  }
+  for (const ClockBound& b : t.lower_bounds) {
+    add_clock(b.clock);
+  }
+  for (const std::string& c : t.resets) {
+    add_clock(c);
+  }
+  transitions_.push_back(std::move(t));
+}
+
+std::size_t TaNetwork::add(TimedAutomaton automaton) {
+  if (automaton.locations().empty()) {
+    throw std::invalid_argument("ta: automaton without locations");
+  }
+  for (const TaLocation& loc : automaton.locations()) {
+    for (const ClockBound& b : loc.invariants) {
+      automaton.add_clock(b.clock);
+    }
+  }
+  automata_.push_back(std::move(automaton));
+  return automata_.size() - 1;
+}
+
+TaRunResult TaNetwork::run(Time horizon) {
+  const std::size_t n = automata_.size();
+  std::vector<std::size_t> loc(n, 0);
+  // last reset time per (automaton, clock); clock value = now - reset.
+  std::vector<std::map<std::string, Time>> reset(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (const std::string& c : automata_[a].clocks()) {
+      reset[a][c] = Time();
+    }
+  }
+  TaRunResult result;
+  Time now;
+
+  const auto clock_value_ok = [&](std::size_t a, const TaTransition& t) {
+    for (const ClockBound& b : t.lower_bounds) {
+      if (now - reset[a].at(b.clock) < Duration(b.bound)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto data_ok = [&](const TaTransition& t) {
+    return !t.guard || t.guard(vars_);
+  };
+
+  for (;;) {
+    // Fire the first enabled transition, if any.
+    bool fired = false;
+    for (std::size_t a = 0; a < n && !fired; ++a) {
+      for (const TaTransition& t : automata_[a].transitions()) {
+        if (t.from != loc[a] || !data_ok(t) || !clock_value_ok(a, t)) {
+          continue;
+        }
+        if (t.update) {
+          t.update(vars_);
+        }
+        for (const std::string& c : t.resets) {
+          reset[a][c] = now;
+        }
+        loc[a] = t.to;
+        if (!t.label.empty()) {
+          result.events.push_back(TaEvent{now, automata_[a].name(), t.label});
+        }
+        fired = true;
+        break;
+      }
+    }
+    if (fired) {
+      continue;
+    }
+
+    // Let time elapse: earliest instant some transition's clock bounds are
+    // met (data guards are time-independent, so only transitions whose
+    // data guard holds *now* can become enabled by waiting).
+    std::optional<Time> next;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (const TaTransition& t : automata_[a].transitions()) {
+        if (t.from != loc[a] || !data_ok(t)) {
+          continue;
+        }
+        Time enable = now;
+        for (const ClockBound& b : t.lower_bounds) {
+          enable = std::max(enable, reset[a].at(b.clock) + Duration(b.bound));
+        }
+        if (enable > now && (!next.has_value() || enable < *next)) {
+          next = enable;
+        }
+      }
+    }
+    // Invariant deadline: time may not pass it.
+    std::optional<Time> deadline;
+    for (std::size_t a = 0; a < n; ++a) {
+      const TaLocation& l = automata_[a].locations()[loc[a]];
+      if (l.urgent) {
+        deadline = now;
+      }
+      for (const ClockBound& b : l.invariants) {
+        const Time d = reset[a].at(b.clock) + Duration(b.bound);
+        if (!deadline.has_value() || d < *deadline) {
+          deadline = d;
+        }
+      }
+    }
+    if (!next.has_value()) {
+      if (deadline.has_value()) {
+        // A finite invariant (or urgency) bounds time here, but no
+        // transition can ever become enabled: the system cannot let time
+        // pass the deadline nor move — a time-lock.
+        throw std::logic_error("ta: time-lock at t=" + deadline->to_string() +
+                               " (invariant expires with nothing enabled)");
+      }
+      result.quiescent = true;
+      result.end_time = now;
+      return result;
+    }
+    if (deadline.has_value() && *deadline < *next) {
+      throw std::logic_error("ta: time-lock at t=" + deadline->to_string() +
+                             " (invariant expires with nothing enabled)");
+    }
+    if (*next > horizon) {
+      result.end_time = horizon;
+      return result;
+    }
+    now = *next;
+  }
+}
+
+}  // namespace fppn::ta

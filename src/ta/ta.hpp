@@ -1,0 +1,122 @@
+// A small timed-automata framework with shared integer variables.
+//
+// The paper's toolchain compiles the FPPN network and its schedule into a
+// network of timed automata executed by a runtime engine (§V). This module
+// plays the same role here: translate.hpp compiles a static schedule into
+// a TA network, and the engine below executes it as an independent oracle
+// for the online policy's timing (tests cross-check it against the VM
+// runtime).
+//
+// Model: each automaton has named clocks (all advancing at rate 1),
+// locations with optional clock invariants (clock <= bound) and urgency,
+// and transitions with clock lower bounds (clock >= bound), data guards
+// over the shared variables, variable updates and clock resets.
+//
+// Execution semantics (closed system, deterministic): while some
+// transition is enabled at the current time, fire the lexicographically
+// smallest (automaton, transition) one; otherwise let time elapse to the
+// earliest instant at which any transition becomes enabled, never past a
+// location invariant (a violated invariant with nothing enabled is a
+// time-lock and throws). This "earliest event first" scheduler is exactly
+// the semantics the schedule translation needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rt/rational.hpp"
+#include "rt/time.hpp"
+
+namespace fppn::ta {
+
+using VarEnv = std::map<std::string, std::int64_t>;
+using DataGuard = std::function<bool(const VarEnv&)>;
+using Update = std::function<void(VarEnv&)>;
+
+/// clock >= bound (transition guard) or clock <= bound (invariant).
+struct ClockBound {
+  std::string clock;
+  Rational bound;
+};
+
+struct TaTransition {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::vector<ClockBound> lower_bounds;  ///< all must satisfy clock >= bound
+  DataGuard guard;                       ///< null == true
+  std::vector<std::string> resets;       ///< clocks reset to 0 on firing
+  Update update;                         ///< null == no-op
+  std::string label;                     ///< recorded in the run trace
+};
+
+struct TaLocation {
+  std::string name;
+  std::vector<ClockBound> invariants;  ///< all must satisfy clock <= bound
+  bool urgent = false;                 ///< no time may elapse here
+};
+
+class TimedAutomaton {
+ public:
+  explicit TimedAutomaton(std::string name) : name_(std::move(name)) {}
+
+  std::size_t add_location(TaLocation loc);
+  /// Declares a clock (initially 0 at time 0).
+  void add_clock(const std::string& clock);
+  void add_transition(TaTransition t);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<TaLocation>& locations() const noexcept {
+    return locations_;
+  }
+  [[nodiscard]] const std::vector<TaTransition>& transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] const std::vector<std::string>& clocks() const noexcept {
+    return clocks_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<TaLocation> locations_;
+  std::vector<TaTransition> transitions_;
+  std::vector<std::string> clocks_;
+};
+
+/// One fired transition in a network run.
+struct TaEvent {
+  Time time;
+  std::string automaton;
+  std::string label;
+};
+
+struct TaRunResult {
+  std::vector<TaEvent> events;
+  Time end_time;
+  bool quiescent = false;  ///< stopped because nothing can ever fire again
+};
+
+class TaNetwork {
+ public:
+  /// Adds an automaton (initial location = index 0). Returns its index.
+  std::size_t add(TimedAutomaton automaton);
+
+  void set_var(const std::string& name, std::int64_t value) { vars_[name] = value; }
+
+  [[nodiscard]] const VarEnv& vars() const noexcept { return vars_; }
+  [[nodiscard]] std::size_t size() const noexcept { return automata_.size(); }
+
+  /// Executes until `horizon` (exclusive for time elapse, inclusive for
+  /// firings at exactly `horizon`) or quiescence. Throws std::logic_error
+  /// on time-locks (an invariant expires with nothing enabled).
+  [[nodiscard]] TaRunResult run(Time horizon);
+
+ private:
+  std::vector<TimedAutomaton> automata_;
+  VarEnv vars_;
+};
+
+}  // namespace fppn::ta

@@ -1,0 +1,78 @@
+// FPPN -> task graph derivation (§III-A).
+//
+// For the schedulable subclass (every sporadic process p has a unique
+// periodic user u(p) with T_u(p) <= T_p) the derivation is:
+//  1. Build the imaginary PN' where each sporadic p becomes an m-periodic
+//     "server" process p' with burst m_p' = m_p, period T_p' = T_u(p) and
+//     priority edge p' -> u(p). (Footnote 3 fallback: when d_p <= T_u(p)
+//     the server period is T_u/q for the smallest q making the corrected
+//     deadline positive.) All other FP edges of p transfer to p'.
+//  2. Simulate the job invocation order of PN' over one hyperperiod
+//     [0, H) — the zero-delay order — yielding the job sequence J and the
+//     total order <J.
+//  3. Add edge (Ja, Jb) iff Ja <J Jb and (pa |><| pb or pa == pb), where
+//     |><| is direct FP'-relatedness. (Implemented via a generating subset
+//     with the same transitive closure; see the .cpp.)
+//  4. Job parameters: periodic p: A = T_p*floor((k-1)/m_p), D = A + d_p;
+//     server p': A = T_p'*floor((k-1)/m_p'), D = A + d_p - T_p'.
+//  5. Truncate D to H (non-pipelined frames) and transitively reduce.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fppn/network.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+
+/// Per-process WCET assignment (C_i for every job of the process).
+using WcetMap = std::map<ProcessId, Duration>;
+
+struct DerivationOptions {
+  bool transitive_reduce = true;
+  /// When false, deadlines are left untruncated (used by tests to check
+  /// the correction d_p' = d_p - T_u(p) in isolation).
+  bool truncate_deadlines = true;
+  /// Unfolding factor U >= 1 (pipelined-scheduling extension; the paper's
+  /// footnote 5 restricts itself to U = 1). The frame becomes U
+  /// hyperperiods long: jobs of U consecutive hyperperiods are scheduled
+  /// together and deadlines are truncated to U*H instead of H, so a
+  /// process with d_p > T_p can legally overlap the next hyperperiod —
+  /// the non-pipelined truncation would artificially tighten it.
+  int unfolding = 1;
+};
+
+/// How a sporadic process was turned into a periodic server.
+struct ServerInfo {
+  ProcessId sporadic;          ///< p
+  ProcessId user;              ///< u(p)
+  int burst = 1;               ///< m_p' = m_p
+  Duration server_period;      ///< T_p' (T_u(p) or the footnote-3 fraction)
+  Duration corrected_deadline; ///< d_p - T_p' (> 0 by construction)
+  /// True when p -> u(p) in the *original* FP: the runtime then maps real
+  /// invocations from the right-closed window (a, b]; otherwise [a, b)
+  /// (Fig. 2 boundary rule).
+  bool priority_over_user = false;
+};
+
+struct DerivedTaskGraph {
+  TaskGraph graph;
+  std::map<ProcessId, ServerInfo> servers;  ///< keyed by the sporadic process
+  Duration hyperperiod;
+  std::size_t edges_before_reduction = 0;
+  std::size_t edges_removed = 0;
+};
+
+/// Derives the task graph. Throws std::invalid_argument when the network
+/// is outside the schedulable subclass, a WCET is missing/non-positive, or
+/// (footnote 3) no admissible server period exists.
+[[nodiscard]] DerivedTaskGraph derive_task_graph(const Network& net,
+                                                 const WcetMap& wcet,
+                                                 const DerivationOptions& opts = {});
+
+/// Uniform-WCET convenience: every process gets the same C.
+[[nodiscard]] DerivedTaskGraph derive_task_graph(const Network& net, Duration wcet,
+                                                 const DerivationOptions& opts = {});
+
+}  // namespace fppn

@@ -1,0 +1,129 @@
+#include "taskgraph/task_graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace fppn {
+
+JobId TaskGraph::add_job(Job job) {
+  if (job.wcet.is_negative()) {
+    throw std::invalid_argument("job '" + job.name + "': negative WCET");
+  }
+  if (job.deadline < job.arrival) {
+    throw std::invalid_argument("job '" + job.name + "': deadline before arrival");
+  }
+  jobs_.push_back(std::move(job));
+  prec_.add_node();
+  return JobId(jobs_.size() - 1);
+}
+
+bool TaskGraph::add_edge(JobId from, JobId to) {
+  return prec_.add_edge(NodeId(from.value()), NodeId(to.value()));
+}
+
+bool TaskGraph::remove_edge(JobId from, JobId to) {
+  return prec_.remove_edge(NodeId(from.value()), NodeId(to.value()));
+}
+
+bool TaskGraph::has_edge(JobId from, JobId to) const {
+  return prec_.has_edge(NodeId(from.value()), NodeId(to.value()));
+}
+
+const Job& TaskGraph::job(JobId id) const {
+  if (!id.is_valid() || id.value() >= jobs_.size()) {
+    throw std::invalid_argument("task graph: job id out of range");
+  }
+  return jobs_[id.value()];
+}
+
+Job& TaskGraph::job(JobId id) {
+  if (!id.is_valid() || id.value() >= jobs_.size()) {
+    throw std::invalid_argument("task graph: job id out of range");
+  }
+  return jobs_[id.value()];
+}
+
+std::vector<JobId> TaskGraph::predecessors(JobId id) const {
+  std::vector<JobId> out;
+  for (const NodeId n : prec_.predecessors(NodeId(id.value()))) {
+    out.emplace_back(n.value());
+  }
+  return out;
+}
+
+std::vector<JobId> TaskGraph::successors(JobId id) const {
+  std::vector<JobId> out;
+  for (const NodeId n : prec_.successors(NodeId(id.value()))) {
+    out.emplace_back(n.value());
+  }
+  return out;
+}
+
+bool TaskGraph::is_acyclic() const { return fppn::is_acyclic(prec_); }
+
+std::size_t TaskGraph::transitive_reduce() { return transitive_reduction(prec_); }
+
+std::optional<JobId> TaskGraph::find(const std::string& name) const {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].name == name) {
+      return JobId(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<JobId> TaskGraph::jobs_of(ProcessId p) const {
+  std::vector<JobId> out;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].process == p) {
+      out.emplace_back(i);
+    }
+  }
+  return out;
+}
+
+Duration TaskGraph::total_work() const {
+  Duration total;
+  for (const Job& j : jobs_) {
+    total += j.wcet;
+  }
+  return total;
+}
+
+std::string TaskGraph::to_dot() const {
+  const auto label = [this](NodeId n) {
+    const Job& j = jobs_[n.value()];
+    return j.name + "\\n(" + j.arrival.to_string() + "," + j.deadline.to_string() +
+           "," + j.wcet.to_string() + ")";
+  };
+  return fppn::to_dot(prec_, label, "taskgraph");
+}
+
+std::string TaskGraph::to_table() const {
+  std::ostringstream os;
+  os << "job                A      D      C    successors\n";
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& j = jobs_[i];
+    os << j.name;
+    for (std::size_t pad = j.name.size(); pad < 18; ++pad) {
+      os << ' ';
+    }
+    std::string a = j.arrival.to_string();
+    std::string d = j.deadline.to_string();
+    std::string c = j.wcet.to_string();
+    os << a << std::string(a.size() < 7 ? 7 - a.size() : 1, ' ') << d
+       << std::string(d.size() < 7 ? 7 - d.size() : 1, ' ') << c
+       << std::string(c.size() < 5 ? 5 - c.size() : 1, ' ');
+    bool first = true;
+    for (const JobId s : successors(JobId(i))) {
+      os << (first ? "" : ", ") << jobs_[s.value()].name;
+      first = false;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fppn

@@ -1,0 +1,191 @@
+// Def. 2.2 process automata: explicit locations/guards/actions and the
+// job-execution-run interpreter.
+#include "fppn/automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fppn/semantics.hpp"
+
+namespace fppn {
+namespace {
+
+std::shared_ptr<Automaton> squaring_automaton() {
+  // l0 --x?I--> l1 --x := x*x--> l2 --x!c--> l0   (one job run = 3 steps)
+  auto a = std::make_shared<Automaton>("l0", VarMap{{"x", Value{0.0}}});
+  a->step("l0", ReadChannelAction{"x", "I"}, "l1");
+  a->step("l1",
+          AssignAction{"x",
+                       [](const VarMap& vars) {
+                         const double v = std::get<double>(vars.at("x"));
+                         return Value{v * v};
+                       }},
+          "l2");
+  a->step("l2", WriteChannelAction{"x", "c"}, "l0");
+  return a;
+}
+
+struct Fixture {
+  Network net;
+  ProcessId p, q;
+  ChannelId in, out;
+};
+
+Fixture make_fixture(std::shared_ptr<Automaton> a) {
+  Fixture f;
+  NetworkBuilder b;
+  f.p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                   automaton_behavior(std::move(a)));
+  f.q = b.periodic("Q", Duration::ms(100), Duration::ms(100),
+                   behavior([](JobContext& ctx) { ctx.write("O", ctx.read("c")); }));
+  b.fifo("c", f.p, f.q);
+  b.priority(f.p, f.q);
+  f.in = b.external_input("I", f.p);
+  f.out = b.external_output("O", f.q);
+  f.net = std::move(b).build();
+  return f;
+}
+
+TEST(Automaton, JobRunReturnsToInitialLocation) {
+  const Fixture f = make_fixture(squaring_automaton());
+  InputScripts in;
+  in.emplace(f.in, std::vector<Value>{Value{3.0}, Value{4.0}});
+  const auto res =
+      run_zero_delay(f.net, InvocationPlan::build(f.net, Time::ms(200)), in);
+  const auto& samples = res.histories.output_samples.at(f.out);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].value, Value{9.0});
+  EXPECT_EQ(samples[1].value, Value{16.0});
+}
+
+TEST(Automaton, GuardedBranchingIsDeterministic) {
+  // l0 --[x has data]--> write path; l0 --[no data]--> skip path.
+  auto a = std::make_shared<Automaton>("l0", VarMap{{"x", no_data()}});
+  Transition read;
+  read.from = "l0";
+  read.actions = {ReadChannelAction{"x", "I"}};
+  read.to = "l1";
+  a->transition(std::move(read));
+  Transition hit;
+  hit.from = "l1";
+  hit.guard = [](const VarMap& v) { return has_data(v.at("x")); };
+  hit.actions = {WriteChannelAction{"x", "c"}};
+  hit.to = "l0";
+  a->transition(std::move(hit));
+  Transition miss;
+  miss.from = "l1";
+  miss.guard = [](const VarMap& v) { return !has_data(v.at("x")); };
+  miss.actions = {AssignAction{"x", [](const VarMap&) { return Value{-1.0}; }},
+                  WriteChannelAction{"x", "c"}};
+  miss.to = "l0";
+  a->transition(std::move(miss));
+
+  const Fixture f = make_fixture(std::move(a));
+  InputScripts in;
+  in.emplace(f.in, std::vector<Value>{Value{7.0}});  // only one sample for two jobs
+  const auto res =
+      run_zero_delay(f.net, InvocationPlan::build(f.net, Time::ms(200)), in);
+  const auto& samples = res.histories.output_samples.at(f.out);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].value, Value{7.0});
+  EXPECT_EQ(samples[1].value, Value{-1.0});
+}
+
+TEST(Automaton, NondeterminismDetected) {
+  auto a = std::make_shared<Automaton>("l0", VarMap{});
+  a->step("l0", AssignAction{"x", [](const VarMap&) { return Value{1.0}; }}, "l0");
+  Transition second;
+  second.from = "l0";
+  second.actions = {AssignAction{"x", [](const VarMap&) { return Value{2.0}; }}};
+  second.to = "l0";
+  a->transition(std::move(second));
+
+  NetworkBuilder b;
+  const ProcessId p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                                 automaton_behavior(std::move(a)));
+  const Network net = std::move(b).build();
+  ExecutionState s(net);
+  EXPECT_THROW(s.run_job(p, Time::ms(0)), std::logic_error);
+}
+
+TEST(Automaton, StuckAutomatonDetected) {
+  auto a = std::make_shared<Automaton>("l0", VarMap{});
+  a->step("l0", AssignAction{"x", [](const VarMap&) { return Value{1.0}; }}, "dead");
+  // No transition out of "dead".
+  NetworkBuilder b;
+  const ProcessId p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                                 automaton_behavior(std::move(a)));
+  const Network net = std::move(b).build();
+  ExecutionState s(net);
+  EXPECT_THROW(s.run_job(p, Time::ms(0)), std::logic_error);
+}
+
+TEST(Automaton, DivergenceBounded) {
+  // l0 -> l1 -> l0' loop that never returns to initial... here: a two-
+  // location livelock that never reaches l0 again.
+  auto a = std::make_shared<Automaton>("l0", VarMap{});
+  a->step("l0", AssignAction{"x", [](const VarMap&) { return Value{0.0}; }}, "l1");
+  a->step("l1", AssignAction{"x", [](const VarMap&) { return Value{0.0}; }}, "l2");
+  a->step("l2", AssignAction{"x", [](const VarMap&) { return Value{0.0}; }}, "l1");
+  NetworkBuilder b;
+  const ProcessId p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                                 automaton_behavior(std::move(a), /*max_steps=*/100));
+  const Network net = std::move(b).build();
+  ExecutionState s(net);
+  EXPECT_THROW(s.run_job(p, Time::ms(0)), std::logic_error);
+}
+
+TEST(Automaton, VariablesPersistAcrossJobRuns) {
+  // An accumulator automaton: x grows by the input each run.
+  auto a = std::make_shared<Automaton>("l0",
+                                       VarMap{{"x", Value{0.0}}, {"in", no_data()}});
+  a->step("l0", ReadChannelAction{"in", "I"}, "l1");
+  a->step("l1",
+          AssignAction{"x",
+                       [](const VarMap& v) {
+                         const double acc = std::get<double>(v.at("x"));
+                         const double add =
+                             has_data(v.at("in")) ? std::get<double>(v.at("in")) : 0.0;
+                         return Value{acc + add};
+                       }},
+          "l2");
+  a->step("l2", WriteChannelAction{"x", "c"}, "l0");
+
+  const Fixture f = make_fixture(std::move(a));
+  InputScripts in;
+  in.emplace(f.in, std::vector<Value>{Value{1.0}, Value{2.0}, Value{3.0}});
+  const auto res =
+      run_zero_delay(f.net, InvocationPlan::build(f.net, Time::ms(300)), in);
+  const auto& samples = res.histories.output_samples.at(f.out);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[2].value, Value{6.0});  // 1+2+3
+}
+
+TEST(Automaton, WriteFromUndefinedVariableFails) {
+  auto a = std::make_shared<Automaton>("l0", VarMap{});
+  a->step("l0", WriteChannelAction{"ghost", "c"}, "l0");
+  NetworkBuilder b;
+  const ProcessId p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                                 automaton_behavior(std::move(a)));
+  const ProcessId q =
+      b.periodic("Q", Duration::ms(100), Duration::ms(100), no_op_behavior());
+  b.fifo("c", p, q);
+  b.priority(p, q);
+  const Network net = std::move(b).build();
+  ExecutionState s(net);
+  EXPECT_THROW(s.run_job(p, Time::ms(0)), std::logic_error);
+}
+
+TEST(Automaton, LocationBookkeeping) {
+  Automaton a("init", VarMap{});
+  a.location("other");
+  a.location("other");  // idempotent
+  EXPECT_EQ(a.locations().size(), 2u);
+  EXPECT_EQ(a.initial_location(), "init");
+  a.step("init", AssignAction{"x", [](const VarMap&) { return Value{1.0}; }}, "third");
+  EXPECT_EQ(a.locations().size(), 3u);
+  EXPECT_EQ(a.from("init").size(), 1u);
+  EXPECT_TRUE(a.from("third").empty());
+}
+
+}  // namespace
+}  // namespace fppn

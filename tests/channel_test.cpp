@@ -1,0 +1,81 @@
+#include "fppn/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn {
+namespace {
+
+TEST(FifoChannel, QueueSemantics) {
+  ChannelRuntime c(ChannelKind::kFifo);
+  c.write(Value{std::int64_t{1}});
+  c.write(Value{std::int64_t{2}});
+  EXPECT_EQ(c.buffered(), 2u);
+  EXPECT_EQ(c.read(), Value{std::int64_t{1}});
+  EXPECT_EQ(c.read(), Value{std::int64_t{2}});
+  EXPECT_EQ(c.buffered(), 0u);
+}
+
+TEST(FifoChannel, EmptyReadIsNonBlockingNoData) {
+  // §II-A: reading from an empty FIFO returns the non-availability value.
+  ChannelRuntime c(ChannelKind::kFifo);
+  EXPECT_FALSE(has_data(c.read()));
+}
+
+TEST(FifoChannel, ReadConsumes) {
+  ChannelRuntime c(ChannelKind::kFifo);
+  c.write(Value{1.0});
+  EXPECT_TRUE(has_data(c.read()));
+  EXPECT_FALSE(has_data(c.read()));
+}
+
+TEST(BlackboardChannel, RemembersLastValue) {
+  ChannelRuntime c(ChannelKind::kBlackboard);
+  c.write(Value{1.0});
+  c.write(Value{2.0});
+  EXPECT_EQ(c.read(), Value{2.0});
+  // Readable multiple times.
+  EXPECT_EQ(c.read(), Value{2.0});
+  EXPECT_EQ(c.buffered(), 1u);
+}
+
+TEST(BlackboardChannel, UninitializedReadIsNoData) {
+  ChannelRuntime c(ChannelKind::kBlackboard);
+  EXPECT_FALSE(has_data(c.read()));
+}
+
+TEST(ChannelRuntime, PeekDoesNotConsume) {
+  ChannelRuntime f(ChannelKind::kFifo);
+  f.write(Value{std::int64_t{9}});
+  EXPECT_EQ(f.peek(), Value{std::int64_t{9}});
+  EXPECT_EQ(f.buffered(), 1u);
+  ChannelRuntime b(ChannelKind::kBlackboard);
+  EXPECT_FALSE(has_data(b.peek()));
+}
+
+TEST(ChannelRuntime, HistoryRecordsEveryWrite) {
+  ChannelRuntime c(ChannelKind::kBlackboard);
+  c.write(Value{1.0});
+  c.write(Value{2.0});
+  (void)c.read();
+  ASSERT_EQ(c.history().size(), 2u);  // reads never appear in the history
+  EXPECT_EQ(c.history()[0], Value{1.0});
+  EXPECT_EQ(c.history()[1], Value{2.0});
+}
+
+TEST(ChannelRuntime, ResetClearsEverything) {
+  ChannelRuntime c(ChannelKind::kFifo);
+  c.write(Value{1.0});
+  c.reset();
+  EXPECT_EQ(c.buffered(), 0u);
+  EXPECT_TRUE(c.history().empty());
+  EXPECT_FALSE(has_data(c.read()));
+}
+
+TEST(ChannelKind, ToString) {
+  EXPECT_EQ(to_string(ChannelKind::kFifo), "fifo");
+  EXPECT_EQ(to_string(ChannelKind::kBlackboard), "blackboard");
+  EXPECT_EQ(to_string(ChannelScope::kExternalInput), "external-input");
+}
+
+}  // namespace
+}  // namespace fppn

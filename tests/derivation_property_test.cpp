@@ -1,0 +1,164 @@
+// Structural properties of task-graph derivation (§III-A) beyond the
+// Fig. 3 instance: job-count formula, FP' acyclicity, edge soundness
+// (every FP-related or same-process pair ordered), deadline corrections
+// and the footnote-3 fractional-server fallback.
+#include <gtest/gtest.h>
+
+#include "apps/fig1.hpp"
+#include "graph/algorithms.hpp"
+#include "apps/fms.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace fppn {
+namespace {
+
+TEST(Derivation, JobCountFormulaHolds) {
+  // Every process is represented by m_p * H / T_p' vertices.
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, Duration::ms(25));
+  for (std::size_t i = 0; i < app.net.process_count(); ++i) {
+    const ProcessId p{i};
+    const EventSpec& spec = app.net.process(p).event;
+    const Duration period = spec.kind == EventKind::kSporadic
+                                ? derived.servers.at(p).server_period
+                                : spec.period;
+    const Rational expected =
+        Rational(spec.burst) * (derived.hyperperiod / period);
+    EXPECT_EQ(Rational(static_cast<std::int64_t>(derived.graph.jobs_of(p).size())),
+              expected)
+        << app.net.process(p).name;
+  }
+}
+
+TEST(Derivation, EverySameProcessPairIsOrdered) {
+  const auto app = apps::build_fms();
+  const auto derived = derive_task_graph(app.net, app.default_wcets());
+  const Reachability reach(derived.graph.precedence());
+  for (std::size_t i = 0; i < app.net.process_count(); ++i) {
+    const auto jobs = derived.graph.jobs_of(ProcessId{i});
+    for (std::size_t a = 0; a + 1 < jobs.size(); ++a) {
+      EXPECT_TRUE(reach.reaches(NodeId(jobs[a].value()), NodeId(jobs[a + 1].value())))
+          << derived.graph.job(jobs[a]).name << " must precede "
+          << derived.graph.job(jobs[a + 1]).name;
+    }
+  }
+}
+
+TEST(Derivation, EveryFpRelatedPairIsOrdered) {
+  // The defining property of E: Ja <J Jb and pa |><| pb implies a path.
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, Duration::ms(25));
+  const Reachability reach(derived.graph.precedence());
+  const auto& tg = derived.graph;
+  for (std::size_t a = 0; a < tg.job_count(); ++a) {
+    for (std::size_t b = a + 1; b < tg.job_count(); ++b) {
+      const ProcessId pa = tg.job(JobId(a)).process;
+      const ProcessId pb = tg.job(JobId(b)).process;
+      const bool related = pa == pb || app.net.priority_related(pa, pb);
+      if (related) {
+        EXPECT_TRUE(reach.reaches(NodeId(a), NodeId(b)))
+            << tg.job(JobId(a)).name << " ... " << tg.job(JobId(b)).name;
+      }
+    }
+  }
+}
+
+TEST(Derivation, UnrelatedPairsShareNoEdge) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, Duration::ms(25));
+  const auto& tg = derived.graph;
+  for (const auto& [u, v] : tg.precedence().edges()) {
+    const ProcessId pa = tg.job(JobId(u.value())).process;
+    const ProcessId pb = tg.job(JobId(v.value())).process;
+    // Note: server FP' adds p' -> u(p), which corresponds to the original
+    // sporadic/user pair — still "related" for this check.
+    const bool related = pa == pb || app.net.priority_related(pa, pb) ||
+                         app.net.user_of(pa) == pb || app.net.user_of(pb) == pa;
+    EXPECT_TRUE(related) << tg.job(JobId(u.value())).name << " -> "
+                         << tg.job(JobId(v.value())).name;
+  }
+}
+
+TEST(Derivation, MissingWcetRejected) {
+  const auto app = apps::build_fig1();
+  WcetMap partial = app.fig3_wcets();
+  partial.erase(app.coef_b);
+  EXPECT_THROW(derive_task_graph(app.net, partial), std::invalid_argument);
+}
+
+TEST(Derivation, NonPositiveWcetRejected) {
+  const auto app = apps::build_fig1();
+  WcetMap bad = app.fig3_wcets();
+  bad[app.norm_a] = Duration::zero();
+  EXPECT_THROW(derive_task_graph(app.net, bad), std::invalid_argument);
+}
+
+TEST(Derivation, OutsideSubclassRejected) {
+  NetworkBuilder b;
+  b.sporadic("lonely", 1, Duration::ms(100), Duration::ms(100), no_op_behavior());
+  const Network net = std::move(b).build();
+  EXPECT_THROW(derive_task_graph(net, Duration::ms(5)), std::invalid_argument);
+}
+
+TEST(Derivation, Footnote3FractionalServerPeriod) {
+  // d_p <= T_u: the server period becomes T_u/q with d_p > T_u/q.
+  NetworkBuilder b;
+  const ProcessId user =
+      b.periodic("user", Duration::ms(200), Duration::ms(200), no_op_behavior());
+  // Sporadic: period 400, deadline 90 <= T_u = 200; q = floor(200/90)+1 = 3.
+  const ProcessId spor =
+      b.sporadic("spor", 1, Duration::ms(400), Duration::ms(90), no_op_behavior());
+  b.blackboard("cfg", spor, user);
+  b.priority(user, spor);
+  const Network net = std::move(b).build();
+  const auto derived = derive_task_graph(net, Duration::ms(5));
+  const ServerInfo& info = derived.servers.at(spor);
+  EXPECT_EQ(info.server_period, Duration::ratio_ms(200, 3));
+  EXPECT_EQ(info.corrected_deadline, Duration::ms(90) - Duration::ratio_ms(200, 3));
+  EXPECT_TRUE(info.corrected_deadline.is_positive());
+  EXPECT_FALSE(info.priority_over_user);  // user -> spor here
+  // Hyperperiod must absorb the fractional period: lcm(200, 200/3) = 200.
+  EXPECT_EQ(derived.hyperperiod, Duration::ms(200));
+  // Server jobs: m * H / T' = 1 * 200 / (200/3) = 3.
+  EXPECT_EQ(derived.graph.jobs_of(spor).size(), 3u);
+}
+
+TEST(Derivation, ServerDeadlineCorrectionIsConservative) {
+  // D_server = A + d_p - T' <= tau + d_p for any real invocation tau in
+  // the window (A - T', A]: meeting the server deadline implies meeting
+  // the real one.
+  const auto app = apps::build_fig1();
+  DerivationOptions opts;
+  opts.truncate_deadlines = false;
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets(), opts);
+  const ServerInfo& info = derived.servers.at(app.coef_b);
+  for (const JobId id : derived.graph.jobs_of(app.coef_b)) {
+    const Job& j = derived.graph.job(id);
+    const Time earliest_real_invocation = j.arrival - info.server_period;
+    const Time real_deadline =
+        earliest_real_invocation + app.net.process(app.coef_b).event.deadline;
+    EXPECT_LE(j.deadline, real_deadline) << j.name;
+  }
+}
+
+TEST(Derivation, TransitiveReductionOptional) {
+  const auto app = apps::build_fig1();
+  DerivationOptions opts;
+  opts.transitive_reduce = false;
+  const auto raw = derive_task_graph(app.net, app.fig3_wcets(), opts);
+  const auto reduced = derive_task_graph(app.net, app.fig3_wcets());
+  EXPECT_GT(raw.graph.edge_count(), reduced.graph.edge_count());
+  EXPECT_EQ(raw.edges_removed, 0u);
+  EXPECT_GE(reduced.edges_removed, 1u);
+}
+
+TEST(Derivation, UniformWcetOverload) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, Duration::ms(10));
+  for (const Job& j : derived.graph.jobs()) {
+    EXPECT_EQ(j.wcet, Duration::ms(10));
+  }
+}
+
+}  // namespace
+}  // namespace fppn

@@ -1,0 +1,135 @@
+// Property tests for Prop. 2.1 (functional determinism): the channel
+// histories are a function of the event time stamps and the input data —
+// independent of the simultaneity tie-break between FP-unrelated
+// processes, of sporadic timing jitter only when time stamps are equal,
+// and reproducible across repeated executions.
+#include <gtest/gtest.h>
+
+#include "apps/fig1.hpp"
+#include "apps/fms.hpp"
+#include "fppn/semantics.hpp"
+
+namespace fppn {
+namespace {
+
+using apps::build_fig1;
+using apps::build_fms;
+
+class Fig1DeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fig1DeterminismTest, TieBreakDoesNotAffectHistories) {
+  const auto app = build_fig1();
+  const std::uint64_t seed = GetParam();
+  std::map<ProcessId, SporadicScript> scripts;
+  scripts.emplace(app.coef_b, SporadicScript::random(2, Duration::ms(700),
+                                                     Time::ms(1400), seed));
+  const InvocationPlan plan =
+      InvocationPlan::build(app.net, Time::ms(1400), scripts);
+  std::vector<double> samples(8);
+  std::vector<double> coefs(32);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<double>((seed + i) % 17) - 8.0;
+  }
+  for (std::size_t i = 0; i < coefs.size(); ++i) {
+    coefs[i] = 0.5 + static_cast<double>(i % 5);
+  }
+  const InputScripts inputs = app.make_inputs(samples, coefs);
+
+  const auto fwd =
+      run_zero_delay(app.net, plan, inputs, SimultaneityTieBreak::kByProcessId);
+  const auto rev = run_zero_delay(app.net, plan, inputs,
+                                  SimultaneityTieBreak::kByReverseProcessId);
+  EXPECT_TRUE(fwd.histories.functionally_equal(rev.histories))
+      << fwd.histories.diff(rev.histories, app.net);
+  EXPECT_EQ(fwd.histories.fingerprint(), rev.histories.fingerprint());
+  EXPECT_EQ(fwd.jobs_executed, rev.jobs_executed);
+}
+
+TEST_P(Fig1DeterminismTest, RepeatedRunsReproduceExactly) {
+  const auto app = build_fig1();
+  const std::uint64_t seed = GetParam();
+  std::map<ProcessId, SporadicScript> scripts;
+  scripts.emplace(app.coef_b, SporadicScript::random(2, Duration::ms(700),
+                                                     Time::ms(2800), seed * 31 + 1));
+  const InvocationPlan plan =
+      InvocationPlan::build(app.net, Time::ms(2800), scripts);
+  const InputScripts inputs =
+      app.make_inputs({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14},
+                      std::vector<double>(40, 2.0));
+  const auto first = run_zero_delay(app.net, plan, inputs);
+  const auto second = run_zero_delay(app.net, plan, inputs);
+  EXPECT_TRUE(first.histories.functionally_equal(second.histories));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fig1DeterminismTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+class FmsDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FmsDeterminismTest, TieBreakDoesNotAffectHistories) {
+  const auto app = build_fms();
+  const std::uint64_t seed = GetParam();
+  const Time horizon = Time::ms(2000);  // two 1 s prefixes of the frame
+  const auto scripts = app.random_commands(horizon, seed);
+  const InvocationPlan plan = InvocationPlan::build(app.net, horizon, scripts);
+  const InputScripts inputs = app.make_inputs(10, seed);
+  const auto fwd =
+      run_zero_delay(app.net, plan, inputs, SimultaneityTieBreak::kByProcessId);
+  const auto rev = run_zero_delay(app.net, plan, inputs,
+                                  SimultaneityTieBreak::kByReverseProcessId);
+  EXPECT_TRUE(fwd.histories.functionally_equal(rev.histories))
+      << fwd.histories.diff(rev.histories, app.net);
+}
+
+TEST_P(FmsDeterminismTest, OutputsDependOnlyOnInputsAndTimestamps) {
+  // Same time stamps, same inputs -> same outputs; different inputs ->
+  // (generically) different outputs. Both directions of Prop. 2.1's
+  // "function of" claim, sampled.
+  const auto app = build_fms();
+  const std::uint64_t seed = GetParam();
+  const Time horizon = Time::ms(1000);
+  const auto scripts = app.random_commands(horizon, seed);
+  const InvocationPlan plan = InvocationPlan::build(app.net, horizon, scripts);
+
+  const auto r1 = run_zero_delay(app.net, plan, app.make_inputs(5, seed));
+  const auto r2 = run_zero_delay(app.net, plan, app.make_inputs(5, seed));
+  const auto r3 = run_zero_delay(app.net, plan, app.make_inputs(5, seed + 1000));
+  EXPECT_TRUE(r1.histories.functionally_equal(r2.histories));
+  EXPECT_FALSE(r1.histories.functionally_equal(r3.histories))
+      << "distinct sensor streams should alter the BCP history";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmsDeterminismTest,
+                         ::testing::Values(2, 4, 6, 10, 12, 14, 16, 18));
+
+TEST(Determinism, SporadicTimingChangesOutputsOnlyViaTimestamps) {
+  // Moving a sporadic invocation to a different instant is a *different*
+  // input per Prop. 2.1 — outputs may change; equal scripts must not.
+  const auto app = build_fig1();
+  const InputScripts inputs =
+      app.make_inputs({1, 2, 3, 4, 5, 6, 7}, {2.0, 3.0, 4.0});
+
+  std::map<ProcessId, SporadicScript> early;
+  early.emplace(app.coef_b,
+                SporadicScript({Time::ms(10)}, 2, Duration::ms(700)));
+  std::map<ProcessId, SporadicScript> late;
+  late.emplace(app.coef_b,
+               SporadicScript({Time::ms(410)}, 2, Duration::ms(700)));
+
+  const auto r_early = run_zero_delay(
+      app.net, InvocationPlan::build(app.net, Time::ms(1400), early), inputs);
+  const auto r_early2 = run_zero_delay(
+      app.net, InvocationPlan::build(app.net, Time::ms(1400), early), inputs);
+  const auto r_late = run_zero_delay(
+      app.net, InvocationPlan::build(app.net, Time::ms(1400), late), inputs);
+
+  EXPECT_TRUE(r_early.histories.functionally_equal(r_early2.histories));
+  // The coefficient lands before FilterB[1] vs before FilterB[3]: the
+  // FilterB output history must differ.
+  const ChannelId fb_out = *app.net.find_channel("fB_outB");
+  EXPECT_NE(r_early.histories.channel_writes.at(fb_out),
+            r_late.histories.channel_writes.at(fb_out));
+}
+
+}  // namespace
+}  // namespace fppn

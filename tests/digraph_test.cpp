@@ -1,0 +1,81 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  const Digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(3);
+  EXPECT_TRUE(g.add_edge(NodeId(0), NodeId(1)));
+  EXPECT_TRUE(g.add_edge(NodeId(1), NodeId(2)));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(NodeId(0), NodeId(1)));
+  EXPECT_FALSE(g.has_edge(NodeId(1), NodeId(0)));
+}
+
+TEST(Digraph, ParallelEdgeIgnored) {
+  Digraph g(2);
+  EXPECT_TRUE(g.add_edge(NodeId(0), NodeId(1)));
+  EXPECT_FALSE(g.add_edge(NodeId(0), NodeId(1)));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, SelfLoopRejected) {
+  Digraph g(1);
+  EXPECT_THROW(g.add_edge(NodeId(0), NodeId(0)), std::invalid_argument);
+}
+
+TEST(Digraph, OutOfRangeRejected) {
+  Digraph g(1);
+  EXPECT_THROW(g.add_edge(NodeId(0), NodeId(5)), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(NodeId(), NodeId(0)), std::invalid_argument);
+}
+
+TEST(Digraph, RemoveEdge) {
+  Digraph g(2);
+  g.add_edge(NodeId(0), NodeId(1));
+  EXPECT_TRUE(g.remove_edge(NodeId(0), NodeId(1)));
+  EXPECT_FALSE(g.remove_edge(NodeId(0), NodeId(1)));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.successors(NodeId(0)).empty());
+  EXPECT_TRUE(g.predecessors(NodeId(1)).empty());
+}
+
+TEST(Digraph, AdjacencyBothDirections) {
+  Digraph g(3);
+  g.add_edge(NodeId(0), NodeId(2));
+  g.add_edge(NodeId(1), NodeId(2));
+  EXPECT_EQ(g.in_degree(NodeId(2)), 2u);
+  EXPECT_EQ(g.out_degree(NodeId(0)), 1u);
+  EXPECT_EQ(g.predecessors(NodeId(2)).size(), 2u);
+}
+
+TEST(Digraph, EdgesEnumeration) {
+  Digraph g(3);
+  g.add_edge(NodeId(2), NodeId(0));
+  g.add_edge(NodeId(0), NodeId(1));
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  // Deterministic (from-node, insertion) order.
+  EXPECT_EQ(edges[0].first, NodeId(0));
+  EXPECT_EQ(edges[1].first, NodeId(2));
+}
+
+TEST(Digraph, AddNodeGrows) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_EQ(a, NodeId(0));
+  EXPECT_EQ(b, NodeId(1));
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fppn

@@ -1,0 +1,141 @@
+#include "fppn/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fppn/network.hpp"
+
+namespace fppn {
+namespace {
+
+TEST(EventSpec, ValidationRejectsBadValues) {
+  EventSpec s{EventKind::kPeriodic, 0, Duration::ms(10), Duration::ms(10)};
+  EXPECT_THROW(s.validate(), std::invalid_argument);  // burst < 1
+  s = {EventKind::kPeriodic, 1, Duration::zero(), Duration::ms(10)};
+  EXPECT_THROW(s.validate(), std::invalid_argument);  // period <= 0
+  s = {EventKind::kPeriodic, 1, Duration::ms(10), Duration::zero()};
+  EXPECT_THROW(s.validate(), std::invalid_argument);  // deadline <= 0
+  s = {EventKind::kSporadic, 2, Duration::ms(700), Duration::ms(700)};
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(SporadicConstraint, BurstOneIsMinimumSeparation) {
+  // m = 1: consecutive events at least T apart.
+  EXPECT_TRUE(satisfies_sporadic_constraint(
+      {Time::ms(0), Time::ms(100), Time::ms(200)}, 1, Duration::ms(100)));
+  EXPECT_FALSE(satisfies_sporadic_constraint(
+      {Time::ms(0), Time::ms(99)}, 1, Duration::ms(100)));
+}
+
+TEST(SporadicConstraint, BurstTwoAllowsPairs) {
+  // 2 per 700 (the CoefB generator): a pair at the same instant is fine,
+  // a third event within 700 of the first is not.
+  EXPECT_TRUE(satisfies_sporadic_constraint({Time::ms(0), Time::ms(0)}, 2,
+                                            Duration::ms(700)));
+  EXPECT_TRUE(satisfies_sporadic_constraint(
+      {Time::ms(0), Time::ms(10), Time::ms(700)}, 2, Duration::ms(700)));
+  EXPECT_FALSE(satisfies_sporadic_constraint(
+      {Time::ms(0), Time::ms(10), Time::ms(699)}, 2, Duration::ms(700)));
+}
+
+TEST(SporadicConstraint, ExactWindowBoundaryAdmitted) {
+  // Half-closed windows: events T apart never violate.
+  EXPECT_TRUE(satisfies_sporadic_constraint({Time::ms(0), Time::ms(100)}, 1,
+                                            Duration::ms(100)));
+}
+
+TEST(SporadicScript, ConstructionSortsAndValidates) {
+  const SporadicScript s({Time::ms(300), Time::ms(0)}, 1, Duration::ms(100));
+  ASSERT_EQ(s.times().size(), 2u);
+  EXPECT_EQ(s.times()[0], Time::ms(0));
+  EXPECT_EQ(s.times()[1], Time::ms(300));
+}
+
+TEST(SporadicScript, RejectsViolatingScript) {
+  EXPECT_THROW(SporadicScript({Time::ms(0), Time::ms(1)}, 1, Duration::ms(100)),
+               std::invalid_argument);
+  EXPECT_THROW(SporadicScript({Time::ms(-5)}, 1, Duration::ms(100)),
+               std::invalid_argument);
+}
+
+TEST(SporadicScript, RandomScriptsAreAdmissibleAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const SporadicScript s =
+        SporadicScript::random(2, Duration::ms(200), Time::ms(2000), seed);
+    EXPECT_TRUE(satisfies_sporadic_constraint(s.times(), 2, Duration::ms(200)))
+        << "seed " << seed;
+    for (const Time& t : s.times()) {
+      EXPECT_GE(t, Time::ms(0));
+      EXPECT_LT(t, Time::ms(2000));
+    }
+    // Same seed, same script.
+    const SporadicScript again =
+        SporadicScript::random(2, Duration::ms(200), Time::ms(2000), seed);
+    EXPECT_EQ(s.times(), again.times());
+  }
+}
+
+TEST(InvocationPlan, GroupsByTimeSortedWithBursts) {
+  InvocationPlan plan;
+  plan.add(Time::ms(200), ProcessId{1});
+  plan.add(Time::ms(0), ProcessId{0}, 2);
+  plan.add(Time::ms(0), ProcessId{1});
+  const auto groups = plan.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].time, Time::ms(0));
+  ASSERT_EQ(groups[0].processes.size(), 3u);  // burst of 2 + one more
+  EXPECT_EQ(groups[0].processes[0], ProcessId{0});
+  EXPECT_EQ(groups[0].processes[1], ProcessId{0});
+  EXPECT_EQ(groups[0].processes[2], ProcessId{1});
+  EXPECT_EQ(plan.invocation_count(), 4u);
+}
+
+TEST(InvocationPlan, RejectsBadInput) {
+  InvocationPlan plan;
+  EXPECT_THROW(plan.add(Time(Rational(-1)), ProcessId{0}), std::invalid_argument);
+  EXPECT_THROW(plan.add(Time::ms(0), ProcessId{0}, 0), std::invalid_argument);
+}
+
+TEST(InvocationPlan, BuildFromNetworkPeriodics) {
+  NetworkBuilder b;
+  const ProcessId fast =
+      b.periodic("fast", Duration::ms(100), Duration::ms(100), no_op_behavior());
+  const ProcessId burst = b.multi_periodic("burst", 3, Duration::ms(200),
+                                           Duration::ms(200), no_op_behavior());
+  const Network net = std::move(b).build();
+  const InvocationPlan plan = InvocationPlan::build(net, Time::ms(400));
+  // fast: 0,100,200,300 (4) ; burst: 3 at 0 and 3 at 200 (6).
+  EXPECT_EQ(plan.invocation_count(), 10u);
+  const auto groups = plan.groups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].processes.size(), 4u);  // fast + 3x burst at t=0
+  (void)fast;
+  (void)burst;
+}
+
+TEST(InvocationPlan, BuildUsesSporadicScripts) {
+  NetworkBuilder b;
+  const ProcessId user =
+      b.periodic("user", Duration::ms(100), Duration::ms(100), no_op_behavior());
+  const ProcessId spor = b.sporadic("spor", 1, Duration::ms(150), Duration::ms(300),
+                                    no_op_behavior());
+  b.blackboard("cfg", spor, user);
+  b.priority(user, spor);
+  const Network net = std::move(b).build();
+  std::map<ProcessId, SporadicScript> scripts;
+  scripts.emplace(spor,
+                  SporadicScript({Time::ms(30), Time::ms(390)}, 1, Duration::ms(150)));
+  const InvocationPlan plan = InvocationPlan::build(net, Time::ms(400), scripts);
+  // user: 4 invocations; sporadic: 2 (one at 390 < 400).
+  EXPECT_EQ(plan.invocation_count(), 6u);
+  // Without a script the sporadic never fires.
+  const InvocationPlan quiet = InvocationPlan::build(net, Time::ms(400));
+  EXPECT_EQ(quiet.invocation_count(), 4u);
+}
+
+TEST(EventKind, ToString) {
+  EXPECT_EQ(to_string(EventKind::kPeriodic), "periodic");
+  EXPECT_EQ(to_string(EventKind::kSporadic), "sporadic");
+}
+
+}  // namespace
+}  // namespace fppn

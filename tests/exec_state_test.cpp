@@ -1,0 +1,173 @@
+#include "fppn/exec_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn {
+namespace {
+
+struct Fixture {
+  Network net;
+  ProcessId writer, reader;
+  ChannelId chan, in, out;
+
+  static Fixture make(ChannelKind kind = ChannelKind::kFifo) {
+    Fixture f;
+    NetworkBuilder b;
+    f.writer = b.periodic("W", Duration::ms(100), Duration::ms(100),
+                          behavior([](JobContext& ctx) {
+                            const Value v = ctx.read("in");
+                            ctx.write("chan", has_data(v) ? v : Value{std::int64_t{-1}});
+                          }));
+    f.reader = b.periodic("R", Duration::ms(100), Duration::ms(100),
+                          behavior([](JobContext& ctx) {
+                            ctx.write("out", ctx.read("chan"));
+                          }));
+    f.chan = b.channel("chan", kind, f.writer, f.reader);
+    f.in = b.external_input("in", f.writer);
+    f.out = b.external_output("out", f.reader);
+    b.priority(f.writer, f.reader);
+    f.net = std::move(b).build();
+    return f;
+  }
+};
+
+TEST(ExecutionState, JobCountsIncrement) {
+  const Fixture f = Fixture::make();
+  ExecutionState s(f.net);
+  EXPECT_EQ(s.job_count(f.writer), 0);
+  EXPECT_EQ(s.run_job(f.writer, Time::ms(0)), 1);
+  EXPECT_EQ(s.run_job(f.writer, Time::ms(100)), 2);
+  EXPECT_EQ(s.job_count(f.writer), 2);
+  EXPECT_EQ(s.job_count(f.reader), 0);
+}
+
+TEST(ExecutionState, ExternalInputSampledByJobIndex) {
+  const Fixture f = Fixture::make();
+  InputScripts in;
+  in.emplace(f.in, std::vector<Value>{Value{std::int64_t{10}}, Value{std::int64_t{20}}});
+  ExecutionState s(f.net, in);
+  s.run_job(f.writer, Time::ms(0));    // k=1 reads sample 10
+  s.run_job(f.writer, Time::ms(100));  // k=2 reads sample 20
+  s.run_job(f.writer, Time::ms(200));  // k=3: script exhausted -> no data
+  const auto h = s.histories();
+  const auto& writes = h.channel_writes.at(f.chan);
+  ASSERT_EQ(writes.size(), 3u);
+  EXPECT_EQ(writes[0], Value{std::int64_t{10}});
+  EXPECT_EQ(writes[1], Value{std::int64_t{20}});
+  EXPECT_EQ(writes[2], Value{std::int64_t{-1}});  // no_data fallback
+}
+
+TEST(ExecutionState, OutputSamplesCarryIndexAndTime) {
+  const Fixture f = Fixture::make();
+  ExecutionState s(f.net);
+  s.run_job(f.writer, Time::ms(0));
+  s.run_job(f.reader, Time::ms(5));
+  const auto h = s.histories();
+  const auto& samples = h.output_samples.at(f.out);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].k, 1);
+  EXPECT_EQ(samples[0].time, Time::ms(5));
+}
+
+TEST(ExecutionState, AccessControlEnforced) {
+  const Fixture f = Fixture::make();
+  // A behavior that tries to read a channel it does not own.
+  NetworkBuilder b;
+  const ProcessId w = b.periodic("W", Duration::ms(100), Duration::ms(100),
+                                 behavior([](JobContext& ctx) {
+                                   (void)ctx.read("c");  // W is the *writer*
+                                 }));
+  const ProcessId r =
+      b.periodic("R", Duration::ms(100), Duration::ms(100), no_op_behavior());
+  b.fifo("c", w, r);
+  b.priority(w, r);
+  const Network net = std::move(b).build();
+  ExecutionState s(net);
+  EXPECT_THROW(s.run_job(w, Time::ms(0)), std::logic_error);
+}
+
+TEST(ExecutionState, WriteToInputAndReadFromOutputRejected) {
+  NetworkBuilder b;
+  const ProcessId p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                                 behavior([](JobContext& ctx) {
+                                   ctx.write("in", Value{1.0});
+                                 }));
+  b.external_input("in", p);
+  const Network net = std::move(b).build();
+  ExecutionState s(net);
+  EXPECT_THROW(s.run_job(p, Time::ms(0)), std::logic_error);
+}
+
+TEST(ExecutionState, UnknownChannelNameRejected) {
+  NetworkBuilder b;
+  const ProcessId p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                                 behavior([](JobContext& ctx) {
+                                   (void)ctx.read("ghost");
+                                 }));
+  const Network net = std::move(b).build();
+  ExecutionState s(net);
+  EXPECT_THROW(s.run_job(p, Time::ms(0)), std::invalid_argument);
+}
+
+TEST(ExecutionState, InputScriptOnNonInputChannelRejected) {
+  const Fixture f = Fixture::make();
+  InputScripts bad;
+  bad.emplace(f.chan, std::vector<Value>{Value{1.0}});
+  EXPECT_THROW(ExecutionState(f.net, bad), std::invalid_argument);
+}
+
+TEST(ExecutionState, TimeMonotonicityEnforced) {
+  const Fixture f = Fixture::make();
+  ExecutionState s(f.net);
+  s.advance_time(Time::ms(100));
+  EXPECT_THROW(s.advance_time(Time::ms(50)), std::logic_error);
+  EXPECT_NO_THROW(s.advance_time(Time::ms(100)));  // equal is fine
+}
+
+TEST(ExecutionState, TraceRecordsActions) {
+  const Fixture f = Fixture::make();
+  InputScripts in;
+  in.emplace(f.in, std::vector<Value>{Value{std::int64_t{7}}});
+  ExecutionState s(f.net, in);
+  s.advance_time(Time::ms(0));
+  s.run_job(f.writer, Time::ms(0));
+  const auto& actions = s.trace().actions();
+  // w(0), JobStart, Read, Write, JobEnd.
+  ASSERT_EQ(actions.size(), 5u);
+  EXPECT_TRUE(std::holds_alternative<WaitAction>(actions[0]));
+  EXPECT_TRUE(std::holds_alternative<JobStartAction>(actions[1]));
+  EXPECT_TRUE(std::holds_alternative<ReadAction>(actions[2]));
+  EXPECT_TRUE(std::holds_alternative<WriteAction>(actions[3]));
+  EXPECT_TRUE(std::holds_alternative<JobEndAction>(actions[4]));
+  const std::string rendered = trace_to_string(s.trace(), f.net, false);
+  EXPECT_NE(rendered.find("W[1]:read(in)=7"), std::string::npos);
+}
+
+TEST(ExecutionState, BehaviorStateIsFreshPerExecution) {
+  // Two ExecutionStates over the same network must not share behavior
+  // instances (X_p0 initialization per run).
+  NetworkBuilder b;
+  class Counter final : public ProcessBehavior {
+   public:
+    void on_job(JobContext& ctx) override {
+      ctx.write("out", Value{++count_});
+    }
+
+   private:
+    std::int64_t count_ = 0;
+  };
+  const ProcessId p = b.periodic("P", Duration::ms(100), Duration::ms(100),
+                                 [] { return std::make_unique<Counter>(); });
+  const ChannelId out = b.external_output("out", p);
+  const Network net = std::move(b).build();
+  ExecutionState s1(net);
+  s1.run_job(p, Time::ms(0));
+  s1.run_job(p, Time::ms(100));
+  ExecutionState s2(net);
+  s2.run_job(p, Time::ms(0));
+  EXPECT_EQ(s1.histories().output_samples.at(out).back().value, Value{std::int64_t{2}});
+  EXPECT_EQ(s2.histories().output_samples.at(out).back().value, Value{std::int64_t{1}});
+}
+
+}  // namespace
+}  // namespace fppn

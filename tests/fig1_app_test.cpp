@@ -1,0 +1,122 @@
+// The Fig. 1 example network: structure and signal-processing behavior.
+#include "apps/fig1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fppn/semantics.hpp"
+
+namespace fppn {
+namespace {
+
+using apps::build_fig1;
+
+TEST(Fig1, StructureMatchesFigure) {
+  const auto app = build_fig1();
+  EXPECT_EQ(app.net.process_count(), 7u);
+  EXPECT_EQ(app.net.process(app.input_a).event.period, Duration::ms(200));
+  EXPECT_EQ(app.net.process(app.filter_a).event.period, Duration::ms(100));
+  EXPECT_EQ(app.net.process(app.output_b).event.period, Duration::ms(100));
+  const EventSpec& coef = app.net.process(app.coef_b).event;
+  EXPECT_EQ(coef.kind, EventKind::kSporadic);
+  EXPECT_EQ(coef.burst, 2);
+  EXPECT_EQ(coef.period, Duration::ms(700));
+}
+
+TEST(Fig1, PrioritiesAsDrawn) {
+  const auto app = build_fig1();
+  EXPECT_TRUE(app.net.has_priority(app.input_a, app.filter_a));
+  EXPECT_TRUE(app.net.has_priority(app.input_a, app.filter_b));
+  EXPECT_TRUE(app.net.has_priority(app.input_a, app.norm_a));
+  EXPECT_TRUE(app.net.has_priority(app.filter_a, app.norm_a));
+  EXPECT_TRUE(app.net.has_priority(app.norm_a, app.output_a));
+  EXPECT_TRUE(app.net.has_priority(app.filter_b, app.output_b));
+  EXPECT_TRUE(app.net.has_priority(app.coef_b, app.filter_b));
+}
+
+TEST(Fig1, SchedulableSubclassWithFilterBUser) {
+  const auto app = build_fig1();
+  EXPECT_TRUE(app.net.in_schedulable_subclass());
+  EXPECT_EQ(app.net.user_of(app.coef_b), app.filter_b);
+}
+
+TEST(Fig1, FeedbackLoopMakesNetworkCyclicButFpAcyclic) {
+  const auto app = build_fig1();
+  // Channel graph has the NormA -> FilterA feedback; FP stays a DAG
+  // (guaranteed by build()); check the feedback channel exists.
+  EXPECT_TRUE(app.net.find_channel("fbA").has_value());
+  const ChannelDecl& fb = app.net.channel(*app.net.find_channel("fbA"));
+  EXPECT_EQ(fb.writer, app.norm_a);
+  EXPECT_EQ(fb.reader, app.filter_a);
+}
+
+TEST(Fig1, SignalPipelineProducesOutputs) {
+  const auto app = build_fig1();
+  const InputScripts inputs = app.make_inputs({10.0, -4.0, 2.0}, {0.5});
+  std::map<ProcessId, SporadicScript> scripts;
+  scripts.emplace(app.coef_b, SporadicScript({Time::ms(50)}, 2, Duration::ms(700)));
+  const auto res = run_zero_delay(
+      app.net, InvocationPlan::build(app.net, Time::ms(600), scripts), inputs);
+  const auto& out1 = res.histories.output_samples.at(app.out1);
+  const auto& out2 = res.histories.output_samples.at(app.out2);
+  EXPECT_EQ(out1.size(), 3u);  // OutputA at 0, 200, 400
+  EXPECT_EQ(out2.size(), 6u);  // OutputB at 0..500 step 100
+  // First OutputA sample: InputA(10) -> FilterA acc=10 gain 1 -> NormA
+  // 10/11.
+  EXPECT_EQ(out1[0].value, Value{10.0 / 11.0});
+}
+
+TEST(Fig1, CoefficientChangesFilterBOutput) {
+  const auto app = build_fig1();
+  const InputScripts inputs = app.make_inputs({1.0, 1.0, 1.0, 1.0}, {3.0});
+  // Coefficient commanded at t=250: FilterB k=1 (t=0) uses default 1,
+  // FilterB k=2 (t=200) still default, FilterB k=3 (t=400) uses 3.
+  std::map<ProcessId, SporadicScript> scripts;
+  scripts.emplace(app.coef_b, SporadicScript({Time::ms(250)}, 2, Duration::ms(700)));
+  const auto res = run_zero_delay(
+      app.net, InvocationPlan::build(app.net, Time::ms(800), scripts), inputs);
+  const ChannelId fb_out = *app.net.find_channel("fB_outB");
+  const auto& writes = res.histories.channel_writes.at(fb_out);
+  ASSERT_EQ(writes.size(), 4u);
+  EXPECT_EQ(writes[0], Value{1.0});
+  EXPECT_EQ(writes[1], Value{1.0});
+  EXPECT_EQ(writes[2], Value{3.0});
+  EXPECT_EQ(writes[3], Value{3.0});
+}
+
+TEST(Fig1, OutputBMixesBothPaths) {
+  const auto app = build_fig1();
+  const InputScripts inputs = app.make_inputs({8.0}, {});
+  const auto res =
+      run_zero_delay(app.net, InvocationPlan::build(app.net, Time::ms(100)), inputs);
+  // At t=0: FilterB wrote 8, FilterA wrote acc=8 (gain 1) to mixA.
+  // OutputB = 8 + 0.25*8 = 10.
+  const auto& out2 = res.histories.output_samples.at(app.out2);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].value, Value{10.0});
+}
+
+TEST(Fig1, FilterADecaysBetweenSamples) {
+  const auto app = build_fig1();
+  const InputScripts inputs = app.make_inputs({4.0}, {});
+  const auto res =
+      run_zero_delay(app.net, InvocationPlan::build(app.net, Time::ms(200)), inputs);
+  const ChannelId mix = *app.net.find_channel("mixA");
+  const auto& writes = res.histories.channel_writes.at(mix);
+  ASSERT_EQ(writes.size(), 2u);  // FilterA at 0 and 100
+  EXPECT_EQ(writes[0], Value{4.0});
+  // Second job: no new input, acc = 2.0; gain from NormA = 1/(1+4) = 0.2.
+  EXPECT_EQ(writes[1], Value{2.0 * 0.2});
+}
+
+TEST(Fig1, Fig3WcetsAreUniform25) {
+  const auto app = build_fig1();
+  const WcetMap wcets = app.fig3_wcets();
+  EXPECT_EQ(wcets.size(), 7u);
+  for (const auto& [p, c] : wcets) {
+    (void)p;
+    EXPECT_EQ(c, Duration::ms(25));
+  }
+}
+
+}  // namespace
+}  // namespace fppn

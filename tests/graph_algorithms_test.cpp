@@ -1,0 +1,155 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn {
+namespace {
+
+Digraph diamond() {
+  Digraph g(4);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(0), NodeId(2));
+  g.add_edge(NodeId(1), NodeId(3));
+  g.add_edge(NodeId(2), NodeId(3));
+  return g;
+}
+
+TEST(TopologicalSort, DiamondDeterministic) {
+  const auto order = topological_sort(diamond());
+  ASSERT_TRUE(order.has_value());
+  const std::vector<NodeId> expected = {NodeId(0), NodeId(1), NodeId(2), NodeId(3)};
+  EXPECT_EQ(*order, expected);  // smaller id first among ready nodes
+}
+
+TEST(TopologicalSort, DetectsCycle) {
+  Digraph g(2);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(1), NodeId(0));
+  EXPECT_FALSE(topological_sort(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(TopologicalSort, EmptyGraph) {
+  const Digraph g;
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(TopologicalSortSubset, RespectsInducedEdges) {
+  Digraph g(4);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(1), NodeId(2));
+  // Subset {2, 1}: edge 1 -> 2 is induced, so 1 must come first.
+  const auto order = topological_sort_subset(
+      g, {NodeId(2), NodeId(1)}, [](NodeId a, NodeId b) { return a < b; });
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ((*order)[0], NodeId(1));
+  EXPECT_EQ((*order)[1], NodeId(2));
+}
+
+TEST(TopologicalSortSubset, TieBreakIsCallerControlled) {
+  Digraph g(3);  // no edges: pure tie-break
+  const std::vector<NodeId> subset = {NodeId(0), NodeId(1), NodeId(2)};
+  const auto fwd =
+      topological_sort_subset(g, subset, [](NodeId a, NodeId b) { return a < b; });
+  const auto rev =
+      topological_sort_subset(g, subset, [](NodeId a, NodeId b) { return a > b; });
+  ASSERT_TRUE(fwd.has_value());
+  ASSERT_TRUE(rev.has_value());
+  EXPECT_EQ((*fwd)[0], NodeId(0));
+  EXPECT_EQ((*rev)[0], NodeId(2));
+}
+
+TEST(Reachability, Diamond) {
+  const Reachability r(diamond());
+  EXPECT_TRUE(r.reaches(NodeId(0), NodeId(3)));
+  EXPECT_TRUE(r.reaches(NodeId(0), NodeId(1)));
+  EXPECT_FALSE(r.reaches(NodeId(3), NodeId(0)));
+  EXPECT_FALSE(r.reaches(NodeId(1), NodeId(2)));
+  EXPECT_FALSE(r.reaches(NodeId(0), NodeId(0)));  // length >= 1 paths only
+}
+
+TEST(Reachability, CycleThrows) {
+  Digraph g(2);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(1), NodeId(0));
+  EXPECT_THROW(Reachability{g}, std::invalid_argument);
+}
+
+TEST(TransitiveReduction, RemovesShortcut) {
+  Digraph g(3);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(1), NodeId(2));
+  g.add_edge(NodeId(0), NodeId(2));  // redundant
+  EXPECT_EQ(transitive_reduction(g), 1u);
+  EXPECT_FALSE(g.has_edge(NodeId(0), NodeId(2)));
+  EXPECT_TRUE(g.has_edge(NodeId(0), NodeId(1)));
+  EXPECT_TRUE(g.has_edge(NodeId(1), NodeId(2)));
+}
+
+TEST(TransitiveReduction, DiamondKeepsAllEdges) {
+  Digraph g = diamond();
+  EXPECT_EQ(transitive_reduction(g), 0u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(TransitiveReduction, LongChainWithManyShortcuts) {
+  const std::size_t n = 30;
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(NodeId(i), NodeId(j));  // complete DAG
+    }
+  }
+  transitive_reduction(g);
+  EXPECT_EQ(g.edge_count(), n - 1);  // only the chain survives
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(g.has_edge(NodeId(i), NodeId(i + 1)));
+  }
+}
+
+TEST(TransitiveReduction, PreservesReachability) {
+  Digraph g(6);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(0), NodeId(2));
+  g.add_edge(NodeId(1), NodeId(3));
+  g.add_edge(NodeId(2), NodeId(3));
+  g.add_edge(NodeId(0), NodeId(3));  // redundant
+  g.add_edge(NodeId(3), NodeId(4));
+  g.add_edge(NodeId(1), NodeId(4));  // redundant
+  g.add_edge(NodeId(4), NodeId(5));
+  const Reachability before(g);
+  transitive_reduction(g);
+  const Reachability after(g);
+  for (std::size_t u = 0; u < 6; ++u) {
+    for (std::size_t v = 0; v < 6; ++v) {
+      EXPECT_EQ(before.reaches(NodeId(u), NodeId(v)),
+                after.reaches(NodeId(u), NodeId(v)))
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(LongestPathDepths, Chain) {
+  Digraph g(4);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(1), NodeId(2));
+  g.add_edge(NodeId(0), NodeId(3));
+  const auto depth = longest_path_depths(g);
+  EXPECT_EQ(depth[0], 0u);
+  EXPECT_EQ(depth[2], 2u);
+  EXPECT_EQ(depth[3], 1u);
+}
+
+TEST(ToDot, ContainsNodesAndEdges) {
+  const Digraph g = diamond();
+  const std::string dot =
+      to_dot(g, [](NodeId n) { return "n" + std::to_string(n.value()); }, "test");
+  EXPECT_NE(dot.find("digraph test"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"n3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fppn

@@ -1,0 +1,146 @@
+#include "rt/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace fppn {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesNegativeDenominator) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_TRUE(r.is_negative());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), RationalError);
+}
+
+TEST(Rational, ImplicitFromInteger) {
+  const Rational r = 7;
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r, Rational(7, 1));
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(3, 4) - Rational(1, 4), Rational(1, 2));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), RationalError);
+}
+
+TEST(Rational, ComparisonIsExact) {
+  EXPECT_LT(Rational(1, 3), Rational(34, 100));
+  EXPECT_GT(Rational(2, 3), Rational(66, 100));
+  EXPECT_EQ(Rational(-1, 2) <=> Rational(1, 2), std::strong_ordering::less);
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, FloorDiv) {
+  EXPECT_EQ(Rational::floor_div(Rational(7), Rational(2)), 3);
+  EXPECT_EQ(Rational::floor_div(Rational(700), Rational(200)), 3);
+  EXPECT_EQ(Rational::floor_div(Rational(1, 2), Rational(1, 3)), 1);
+  EXPECT_THROW((void)Rational::floor_div(Rational(1), Rational(0)), RationalError);
+  EXPECT_THROW((void)Rational::floor_div(Rational(1), Rational(-1)), RationalError);
+}
+
+TEST(Rational, LcmOfIntegers) {
+  // The hyperperiod operator on whole-millisecond periods.
+  EXPECT_EQ(Rational::lcm(Rational(200), Rational(700)), Rational(1400));
+  EXPECT_EQ(Rational::lcm(Rational(200), Rational(5000)), Rational(5000));
+}
+
+TEST(Rational, LcmOfFractions) {
+  // Footnote 4: lcm over rationals. lcm(1/2, 1/3) = 1; lcm(3/4, 1/2) = 3/2.
+  EXPECT_EQ(Rational::lcm(Rational(1, 2), Rational(1, 3)), Rational(1));
+  EXPECT_EQ(Rational::lcm(Rational(3, 4), Rational(1, 2)), Rational(3, 2));
+}
+
+TEST(Rational, LcmRequiresPositive) {
+  EXPECT_THROW((void)Rational::lcm(Rational(0), Rational(1)), RationalError);
+  EXPECT_THROW((void)Rational::lcm(Rational(-1), Rational(1)), RationalError);
+}
+
+TEST(Rational, GcdOfFractions) {
+  EXPECT_EQ(Rational::gcd(Rational(1, 2), Rational(1, 3)), Rational(1, 6));
+  EXPECT_EQ(Rational::gcd(Rational(0), Rational(5)), Rational(5));
+}
+
+TEST(Rational, FmsHyperperiods) {
+  // The exact hyperperiods of §V-B: original 40 s, reduced 10 s.
+  const Rational original = Rational::lcm(
+      Rational::lcm(Rational(200), Rational(5000)),
+      Rational::lcm(Rational(1600), Rational(1000)));
+  EXPECT_EQ(original, Rational(40000));
+  const Rational reduced = Rational::lcm(
+      Rational::lcm(Rational(200), Rational(5000)),
+      Rational::lcm(Rational(400), Rational(1000)));
+  EXPECT_EQ(reduced, Rational(10000));
+}
+
+TEST(Rational, ToStringAndDouble) {
+  EXPECT_EQ(Rational(7, 3).to_string(), "7/3");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+TEST(Rational, AbsMinMax) {
+  EXPECT_EQ(Rational::abs(Rational(-3, 2)), Rational(3, 2));
+  EXPECT_EQ(Rational::min(Rational(1, 3), Rational(1, 4)), Rational(1, 4));
+  EXPECT_EQ(Rational::max(Rational(1, 3), Rational(1, 4)), Rational(1, 3));
+}
+
+TEST(Rational, HashEqualValuesCollide) {
+  const std::hash<Rational> h;
+  EXPECT_EQ(h(Rational(2, 4)), h(Rational(1, 2)));
+  std::unordered_set<Rational> set{Rational(1, 2), Rational(2, 4), Rational(3)};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(std::int64_t{1} << 62);
+  EXPECT_THROW(big * big, RationalError);
+  EXPECT_THROW(big + big, RationalError);
+}
+
+TEST(Rational, UnaryMinus) {
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+  EXPECT_EQ(-Rational(0), Rational(0));
+}
+
+}  // namespace
+}  // namespace fppn

@@ -1,0 +1,94 @@
+#include "sched/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/fft.hpp"
+
+namespace fppn {
+namespace {
+
+Job make_job(const std::string& name, std::int64_t a, std::int64_t d, std::int64_t c) {
+  Job j;
+  j.process = ProcessId{0};
+  j.arrival = Time::ms(a);
+  j.deadline = Time::ms(d);
+  j.wcet = Duration::ms(c);
+  j.name = name;
+  return j;
+}
+
+TEST(Search, SingleJobNeedsOneProcessor) {
+  TaskGraph tg;
+  tg.add_job(make_job("A", 0, 100, 10));
+  const auto result = min_processors(tg);
+  EXPECT_EQ(result.processors, 1);
+  EXPECT_EQ(result.lower_bound, 1);
+}
+
+TEST(Search, ParallelSlabNeedsMany) {
+  // Eight independent (0,100,100) jobs: exactly 8 processors.
+  TaskGraph tg;
+  for (int i = 0; i < 8; ++i) {
+    tg.add_job(make_job("J" + std::to_string(i), 0, 100, 100));
+  }
+  const auto result = min_processors(tg);
+  EXPECT_EQ(result.lower_bound, 8);
+  EXPECT_EQ(result.processors, 8);
+}
+
+TEST(Search, InfeasibleGraphReportsZero) {
+  // A job that cannot fit its own window on any processor count.
+  TaskGraph tg;
+  tg.add_job(make_job("A", 0, 50, 100));
+  const auto result = min_processors(tg, 4);
+  EXPECT_EQ(result.processors, 0);
+}
+
+TEST(Search, LimitRespected) {
+  TaskGraph tg;
+  for (int i = 0; i < 4; ++i) {
+    tg.add_job(make_job("J" + std::to_string(i), 0, 100, 100));
+  }
+  const auto result = min_processors(tg, 2);  // needs 4 > limit
+  EXPECT_EQ(result.processors, 0);
+  EXPECT_EQ(result.lower_bound, 4);
+}
+
+TEST(Search, BestScheduleReturnsLeastViolatingWhenInfeasible) {
+  TaskGraph tg;
+  tg.add_job(make_job("A", 0, 10, 50));  // hopeless
+  const ScheduleAttempt attempt = best_schedule(tg, 1);
+  EXPECT_FALSE(attempt.feasible);
+  EXPECT_EQ(attempt.makespan, Time::ms(50));
+}
+
+TEST(Search, FftNeedsTwoProcessorsWithOverheadJob) {
+  // §V-A in miniature: the FFT graph alone fits one processor; with the
+  // 41 ms frame-overhead job prepended it needs two.
+  const auto app = apps::build_fft(8);
+  const WcetMap wcets = app.uniform_wcets(Duration::ratio_ms(40, 3));
+  auto derived = derive_task_graph(app.net, wcets);
+
+  const auto plain = min_processors(derived.graph);
+  EXPECT_EQ(plain.processors, 1);
+
+  // Model the measured arrival-management overhead as an extra job with a
+  // precedence edge directed to the generator (exactly the paper's model).
+  Job overhead;
+  overhead.process = ProcessId{app.net.process_count()};
+  overhead.arrival = Time::ms(0);
+  overhead.deadline = Time::ms(200);
+  overhead.wcet = Duration::ms(41);
+  overhead.name = "RT-overhead";
+  const JobId oid = derived.graph.add_job(overhead);
+  const auto gen = derived.graph.find("generator[1]");
+  ASSERT_TRUE(gen.has_value());
+  derived.graph.add_edge(oid, *gen);
+
+  const auto loaded = min_processors(derived.graph);
+  EXPECT_EQ(loaded.processors, 2);
+  EXPECT_GT(task_graph_load(derived.graph).load, Rational(1));
+}
+
+}  // namespace
+}  // namespace fppn

@@ -1,0 +1,214 @@
+// The timed-automata engine: clocks, guards, invariants, urgency, shared
+// variables, quiescence and time-lock detection.
+#include "ta/ta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn::ta {
+namespace {
+
+TEST(TaEngine, PeriodicEmitter) {
+  // One automaton: loc0 [x <= 10] --x>=10, reset x, label tick--> loc0.
+  TimedAutomaton a("ticker");
+  a.add_location(TaLocation{"loc0", {ClockBound{"x", Rational(10)}}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 0;
+  t.lower_bounds = {ClockBound{"x", Rational(10)}};
+  t.resets = {"x"};
+  t.label = "tick";
+  a.add_transition(t);
+
+  TaNetwork net;
+  net.add(std::move(a));
+  const TaRunResult run = net.run(Time::ms(35));
+  ASSERT_EQ(run.events.size(), 3u);  // at 10, 20, 30
+  EXPECT_EQ(run.events[0].time, Time::ms(10));
+  EXPECT_EQ(run.events[2].time, Time::ms(30));
+  EXPECT_FALSE(run.quiescent);
+}
+
+TEST(TaEngine, DataGuardsGateTransitions) {
+  TimedAutomaton a("guarded");
+  a.add_location(TaLocation{"wait", {}, false});
+  a.add_location(TaLocation{"done", {}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 1;
+  t.guard = [](const VarEnv& env) { return env.at("go") == 1; };
+  t.label = "fired";
+  a.add_transition(t);
+
+  TaNetwork blocked;
+  blocked.set_var("go", 0);
+  blocked.add(a);
+  const TaRunResult r1 = blocked.run(Time::ms(100));
+  EXPECT_TRUE(r1.events.empty());
+  EXPECT_TRUE(r1.quiescent);
+
+  TaNetwork open;
+  open.set_var("go", 1);
+  open.add(a);
+  const TaRunResult r2 = open.run(Time::ms(100));
+  ASSERT_EQ(r2.events.size(), 1u);
+  EXPECT_EQ(r2.events[0].time, Time::ms(0));
+}
+
+TEST(TaEngine, VariableUpdatesChainAutomata) {
+  // Producer sets a flag at t=5; consumer fires as soon as it sees it.
+  TimedAutomaton producer("producer");
+  producer.add_location(TaLocation{"p0", {ClockBound{"x", Rational(5)}}, false});
+  producer.add_location(TaLocation{"p1", {}, false});
+  TaTransition set;
+  set.from = 0;
+  set.to = 1;
+  set.lower_bounds = {ClockBound{"x", Rational(5)}};
+  set.update = [](VarEnv& env) { env["flag"] = 1; };
+  set.label = "set";
+  producer.add_transition(set);
+
+  TimedAutomaton consumer("consumer");
+  consumer.add_location(TaLocation{"c0", {}, false});
+  consumer.add_location(TaLocation{"c1", {}, false});
+  TaTransition use;
+  use.from = 0;
+  use.to = 1;
+  use.guard = [](const VarEnv& env) { return env.at("flag") == 1; };
+  use.label = "use";
+  consumer.add_transition(use);
+
+  TaNetwork net;
+  net.set_var("flag", 0);
+  net.add(std::move(producer));
+  net.add(std::move(consumer));
+  const TaRunResult run = net.run(Time::ms(100));
+  ASSERT_EQ(run.events.size(), 2u);
+  EXPECT_EQ(run.events[0].label, "set");
+  EXPECT_EQ(run.events[1].label, "use");
+  EXPECT_EQ(run.events[1].time, Time::ms(5));  // same instant, causal order
+  EXPECT_EQ(net.vars().at("flag"), 1);
+}
+
+TEST(TaEngine, InvariantForcesTimelyFiring) {
+  // Invariant x <= 7 with an enabled-at-7 transition: fires exactly at 7.
+  TimedAutomaton a("exact");
+  a.add_location(TaLocation{"run", {ClockBound{"x", Rational(7)}}, false});
+  a.add_location(TaLocation{"end", {}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 1;
+  t.lower_bounds = {ClockBound{"x", Rational(7)}};
+  t.label = "end";
+  a.add_transition(t);
+  TaNetwork net;
+  net.add(std::move(a));
+  const TaRunResult run = net.run(Time::ms(100));
+  ASSERT_EQ(run.events.size(), 1u);
+  EXPECT_EQ(run.events[0].time, Time::ms(7));
+  EXPECT_TRUE(run.quiescent);
+}
+
+TEST(TaEngine, TimeLockDetected) {
+  // Invariant expires with the only transition data-blocked: time-lock.
+  TimedAutomaton a("stuck");
+  a.add_location(TaLocation{"trap", {ClockBound{"x", Rational(3)}}, false});
+  a.add_location(TaLocation{"out", {}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 1;
+  t.guard = [](const VarEnv& env) { return env.at("never") == 1; };
+  a.add_transition(t);
+  TaNetwork net;
+  net.set_var("never", 0);
+  net.add(std::move(a));
+  EXPECT_THROW((void)net.run(Time::ms(100)), std::logic_error);
+}
+
+TEST(TaEngine, UrgentLocationBlocksTimeElapse) {
+  TimedAutomaton a("urgent");
+  a.add_location(TaLocation{"u", {}, true});
+  a.add_location(TaLocation{"rest", {}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 1;
+  t.label = "leave";
+  a.add_transition(t);
+  TaNetwork net;
+  net.add(std::move(a));
+  const TaRunResult run = net.run(Time::ms(10));
+  ASSERT_EQ(run.events.size(), 1u);
+  EXPECT_EQ(run.events[0].time, Time::ms(0));
+}
+
+TEST(TaEngine, UrgentWithNothingEnabledIsTimeLock) {
+  TimedAutomaton a("urgent-dead");
+  a.add_location(TaLocation{"u", {}, true});
+  a.add_location(TaLocation{"rest", {}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 1;
+  t.lower_bounds = {ClockBound{"x", Rational(5)}};  // needs time, but urgent
+  a.add_transition(t);
+  TaNetwork net;
+  net.add(std::move(a));
+  EXPECT_THROW((void)net.run(Time::ms(10)), std::logic_error);
+}
+
+TEST(TaEngine, HorizonStopsBeforeNextEvent) {
+  TimedAutomaton a("late");
+  a.add_location(TaLocation{"l", {}, false});
+  a.add_location(TaLocation{"m", {}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 1;
+  t.lower_bounds = {ClockBound{"x", Rational(500)}};
+  t.label = "late";
+  a.add_transition(t);
+  TaNetwork net;
+  net.add(std::move(a));
+  const TaRunResult run = net.run(Time::ms(100));
+  EXPECT_TRUE(run.events.empty());
+  EXPECT_EQ(run.end_time, Time::ms(100));
+}
+
+TEST(TaEngine, ClockResetScoping) {
+  // Two clocks in one automaton: g is never reset, x is; a transition
+  // guarded on both fires when the later bound is met.
+  TimedAutomaton a("two-clocks");
+  a.add_location(TaLocation{"s0", {}, false});
+  a.add_location(TaLocation{"s1", {}, false});
+  a.add_location(TaLocation{"s2", {}, false});
+  TaTransition first;
+  first.from = 0;
+  first.to = 1;
+  first.lower_bounds = {ClockBound{"g", Rational(10)}};
+  first.resets = {"x"};
+  first.label = "first";
+  a.add_transition(first);
+  TaTransition second;
+  second.from = 1;
+  second.to = 2;
+  second.lower_bounds = {ClockBound{"x", Rational(5)}, ClockBound{"g", Rational(12)}};
+  second.label = "second";
+  a.add_transition(second);
+  TaNetwork net;
+  net.add(std::move(a));
+  const TaRunResult run = net.run(Time::ms(100));
+  ASSERT_EQ(run.events.size(), 2u);
+  EXPECT_EQ(run.events[0].time, Time::ms(10));
+  EXPECT_EQ(run.events[1].time, Time::ms(15));  // x>=5 dominates g>=12
+}
+
+TEST(TaEngine, RejectsMalformedAutomata) {
+  TimedAutomaton a("bad");
+  a.add_location(TaLocation{"only", {}, false});
+  TaTransition t;
+  t.from = 0;
+  t.to = 7;  // out of range
+  EXPECT_THROW(a.add_transition(t), std::invalid_argument);
+  TaNetwork net;
+  EXPECT_THROW(net.add(TimedAutomaton{"empty"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fppn::ta

@@ -1,0 +1,108 @@
+#include "taskgraph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn {
+namespace {
+
+Job make_job(const std::string& name, std::int64_t a, std::int64_t d, std::int64_t c,
+             std::size_t process = 0, std::int64_t k = 1) {
+  Job j;
+  j.process = ProcessId{process};
+  j.k = k;
+  j.arrival = Time::ms(a);
+  j.deadline = Time::ms(d);
+  j.wcet = Duration::ms(c);
+  j.name = name;
+  return j;
+}
+
+TEST(TaskGraph, AddJobsAndEdges) {
+  TaskGraph tg(Duration::ms(200));
+  const JobId a = tg.add_job(make_job("A[1]", 0, 100, 10));
+  const JobId b = tg.add_job(make_job("B[1]", 0, 200, 20, 1));
+  EXPECT_TRUE(tg.add_edge(a, b));
+  EXPECT_FALSE(tg.add_edge(a, b));  // parallel edge ignored
+  EXPECT_EQ(tg.job_count(), 2u);
+  EXPECT_EQ(tg.edge_count(), 1u);
+  EXPECT_EQ(tg.successors(a), std::vector<JobId>{b});
+  EXPECT_EQ(tg.predecessors(b), std::vector<JobId>{a});
+  EXPECT_EQ(tg.hyperperiod(), Duration::ms(200));
+}
+
+TEST(TaskGraph, RejectsInvalidJobs) {
+  TaskGraph tg;
+  EXPECT_THROW(tg.add_job(make_job("bad", 100, 50, 10)), std::invalid_argument);
+  Job negative = make_job("neg", 0, 100, 10);
+  negative.wcet = -Duration::ms(1);
+  EXPECT_THROW(tg.add_job(negative), std::invalid_argument);
+}
+
+TEST(TaskGraph, FindByName) {
+  TaskGraph tg;
+  tg.add_job(make_job("X[1]", 0, 10, 1));
+  EXPECT_TRUE(tg.find("X[1]").has_value());
+  EXPECT_FALSE(tg.find("Y[1]").has_value());
+}
+
+TEST(TaskGraph, JobsOfProcessInKOrder) {
+  TaskGraph tg;
+  tg.add_job(make_job("P[1]", 0, 100, 5, 3, 1));
+  tg.add_job(make_job("Q[1]", 0, 100, 5, 2, 1));
+  tg.add_job(make_job("P[2]", 50, 150, 5, 3, 2));
+  const auto jobs = tg.jobs_of(ProcessId{3});
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(tg.job(jobs[0]).k, 1);
+  EXPECT_EQ(tg.job(jobs[1]).k, 2);
+}
+
+TEST(TaskGraph, TotalWork) {
+  TaskGraph tg;
+  tg.add_job(make_job("A", 0, 100, 10));
+  tg.add_job(make_job("B", 0, 100, 15));
+  EXPECT_EQ(tg.total_work(), Duration::ms(25));
+}
+
+TEST(TaskGraph, AcyclicityCheck) {
+  TaskGraph tg;
+  const JobId a = tg.add_job(make_job("A", 0, 100, 1));
+  const JobId b = tg.add_job(make_job("B", 0, 100, 1));
+  tg.add_edge(a, b);
+  EXPECT_TRUE(tg.is_acyclic());
+  tg.add_edge(b, a);
+  EXPECT_FALSE(tg.is_acyclic());
+}
+
+TEST(TaskGraph, TransitiveReduce) {
+  TaskGraph tg;
+  const JobId a = tg.add_job(make_job("A", 0, 100, 1));
+  const JobId b = tg.add_job(make_job("B", 0, 100, 1));
+  const JobId c = tg.add_job(make_job("C", 0, 100, 1));
+  tg.add_edge(a, b);
+  tg.add_edge(b, c);
+  tg.add_edge(a, c);
+  EXPECT_EQ(tg.transitive_reduce(), 1u);
+  EXPECT_FALSE(tg.has_edge(a, c));
+}
+
+TEST(TaskGraph, DotAndTableRendering) {
+  TaskGraph tg;
+  const JobId a = tg.add_job(make_job("InputA[1]", 0, 200, 25));
+  const JobId b = tg.add_job(make_job("FilterA[1]", 0, 100, 25, 1));
+  tg.add_edge(a, b);
+  const std::string dot = tg.to_dot();
+  EXPECT_NE(dot.find("InputA[1]"), std::string::npos);
+  EXPECT_NE(dot.find("(0,200,25)"), std::string::npos);
+  const std::string table = tg.to_table();
+  EXPECT_NE(table.find("FilterA[1]"), std::string::npos);
+}
+
+TEST(TaskGraph, OutOfRangeAccessThrows) {
+  TaskGraph tg;
+  tg.add_job(make_job("A", 0, 100, 1));
+  EXPECT_THROW((void)tg.job(JobId(5)), std::invalid_argument);
+  EXPECT_THROW((void)tg.job(JobId()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fppn

@@ -1,0 +1,45 @@
+#include "fppn/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn {
+namespace {
+
+TEST(Value, NoDataIndicator) {
+  EXPECT_FALSE(has_data(no_data()));
+  EXPECT_TRUE(has_data(Value{std::int64_t{0}}));
+  EXPECT_TRUE(has_data(Value{0.0}));
+  EXPECT_TRUE(has_data(Value{std::string{}}));
+  EXPECT_TRUE(has_data(Value{std::vector<double>{}}));
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(value_to_string(no_data()), "none");
+  EXPECT_EQ(value_to_string(Value{std::int64_t{42}}), "42");
+  EXPECT_EQ(value_to_string(Value{std::string{"abc"}}), "\"abc\"");
+  EXPECT_EQ(value_to_string(Value{std::vector<double>{1.0, 2.5}}), "[1, 2.5]");
+}
+
+TEST(Value, EqualityIsContentBased) {
+  const Value a{std::vector<double>{1.0, 2.0}};
+  const Value b{std::vector<double>{1.0, 2.0}};
+  const Value c{std::vector<double>{1.0}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(c, a);
+  EXPECT_NE(Value{std::int64_t{1}}, Value{1.0});  // different alternatives differ
+}
+
+TEST(Value, HashRespectsEquality) {
+  EXPECT_EQ(value_hash(Value{std::int64_t{7}}), value_hash(Value{std::int64_t{7}}));
+  EXPECT_EQ(value_hash(Value{std::vector<double>{1.0, 2.0}}),
+            value_hash(Value{std::vector<double>{1.0, 2.0}}));
+}
+
+TEST(Value, HashDistinguishesAlternatives) {
+  // int64 1 and double 1.0 are different channel alphabet letters.
+  EXPECT_NE(value_hash(Value{std::int64_t{1}}), value_hash(Value{1.0}));
+  EXPECT_NE(value_hash(no_data()), value_hash(Value{std::int64_t{0}}));
+}
+
+}  // namespace
+}  // namespace fppn

@@ -1,0 +1,277 @@
+// fppn_tool — the command line front end of the toolchain: parse a
+// textual FPPN description, validate it, derive the task graph, compute
+// schedules and simulate the online policy. This is the analogue of the
+// paper's publicly released code-generation tool [10] for this library.
+//
+// Usage:
+//   fppn_tool check     <file>
+//   fppn_tool taskgraph <file> [--dot] [--wcet C] [--unfold U]
+//   fppn_tool schedule  <file> -m N [--heuristic alap-edf|b-level|
+//                        deadline-monotonic|arrival-order] [--optimize]
+//                        [--wcet C] [--unfold U] [--dot|--gantt]
+//   fppn_tool simulate  <file> -m N [--frames F] [--overhead F1,Fn]
+//                        [--wcet C] [--seed S]
+//   fppn_tool roundtrip <file>         # parse and re-emit the description
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "io/text_format.hpp"
+#include "runtime/vm_runtime.hpp"
+#include "sched/local_search.hpp"
+#include "sched/search.hpp"
+#include "sim/gantt.hpp"
+#include "taskgraph/analysis.hpp"
+#include "taskgraph/derivation.hpp"
+
+using namespace fppn;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::int64_t processors = 2;
+  std::int64_t frames = 1;
+  int unfold = 1;
+  std::uint64_t seed = 1;
+  std::optional<Duration> uniform_wcet;
+  std::optional<PriorityHeuristic> heuristic;
+  bool optimize = false;
+  bool dot = false;
+  bool gantt = false;
+  OverheadModel overhead;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: fppn_tool <check|taskgraph|schedule|simulate|roundtrip> "
+               "<file> [options]\n  see the header of tools/fppn_tool.cpp\n");
+  std::exit(2);
+}
+
+std::optional<PriorityHeuristic> heuristic_by_name(const std::string& name) {
+  for (const PriorityHeuristic h : all_heuristics()) {
+    if (to_string(h) == name) {
+      return h;
+    }
+  }
+  return std::nullopt;
+}
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+  }
+  Args a;
+  a.command = argv[1];
+  a.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "-m") {
+      a.processors = std::stoll(next());
+    } else if (arg == "--frames") {
+      a.frames = std::stoll(next());
+    } else if (arg == "--unfold") {
+      a.unfold = std::stoi(next());
+    } else if (arg == "--seed") {
+      a.seed = std::stoull(next());
+    } else if (arg == "--wcet") {
+      a.uniform_wcet = io::parse_duration(next());
+    } else if (arg == "--heuristic") {
+      a.heuristic = heuristic_by_name(next());
+      if (!a.heuristic.has_value()) {
+        usage();
+      }
+    } else if (arg == "--optimize") {
+      a.optimize = true;
+    } else if (arg == "--dot") {
+      a.dot = true;
+    } else if (arg == "--gantt") {
+      a.gantt = true;
+    } else if (arg == "--overhead") {
+      const std::string spec = next();
+      const auto comma = spec.find(',');
+      if (comma == std::string::npos) {
+        usage();
+      }
+      a.overhead.first_frame = io::parse_duration(spec.substr(0, comma));
+      a.overhead.other_frames = io::parse_duration(spec.substr(comma + 1));
+    } else {
+      usage();
+    }
+  }
+  return a;
+}
+
+io::ParsedNetwork load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fppn_tool: cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  return io::parse_network(in);
+}
+
+WcetMap resolve_wcets(const io::ParsedNetwork& parsed, const Args& args) {
+  if (args.uniform_wcet.has_value()) {
+    WcetMap map;
+    for (std::size_t i = 0; i < parsed.net.process_count(); ++i) {
+      map.emplace(ProcessId{i}, *args.uniform_wcet);
+    }
+    return map;
+  }
+  if (!parsed.wcets_complete) {
+    std::fprintf(stderr,
+                 "fppn_tool: network lacks wcet= on some processes; pass --wcet C\n");
+    std::exit(1);
+  }
+  return parsed.wcets;
+}
+
+DerivedTaskGraph derive(const io::ParsedNetwork& parsed, const Args& args) {
+  DerivationOptions opts;
+  opts.unfolding = args.unfold;
+  return derive_task_graph(parsed.net, resolve_wcets(parsed, args), opts);
+}
+
+int cmd_check(const Args& args) {
+  const auto parsed = load(args.file);
+  std::printf("ok: %zu processes, %zu channels\n", parsed.net.process_count(),
+              parsed.net.channel_count());
+  std::string why;
+  if (parsed.net.in_schedulable_subclass(&why)) {
+    std::printf("schedulable subclass: yes; hyperperiod %s ms\n",
+                parsed.net.hyperperiod().to_string().c_str());
+  } else {
+    std::printf("schedulable subclass: NO (%s)\n", why.c_str());
+  }
+  return 0;
+}
+
+int cmd_taskgraph(const Args& args) {
+  const auto parsed = load(args.file);
+  const auto derived = derive(parsed, args);
+  if (args.dot) {
+    std::printf("%s", derived.graph.to_dot().c_str());
+    return 0;
+  }
+  std::printf("hyperperiod %s ms, %zu jobs, %zu edges (%zu removed by reduction)\n",
+              derived.hyperperiod.to_string().c_str(), derived.graph.job_count(),
+              derived.graph.edge_count(), derived.edges_removed);
+  const LoadResult load_result = task_graph_load(derived.graph);
+  std::printf("load %s (~%.4f) => >= %lld processor(s)\n",
+              load_result.load.to_string().c_str(), load_result.load_value(),
+              static_cast<long long>(load_result.min_processors()));
+  std::printf("%s", derived.graph.to_table().c_str());
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const auto parsed = load(args.file);
+  const auto derived = derive(parsed, args);
+  StaticSchedule schedule;
+  std::string how;
+  if (args.optimize) {
+    LocalSearchOptions opts;
+    opts.processors = args.processors;
+    opts.seed = args.seed;
+    LocalSearchResult result = optimize_priority(derived.graph, opts);
+    schedule = std::move(result.schedule);
+    how = "local search from " + to_string(result.start_heuristic) + ", " +
+          std::to_string(result.iterations_used) + " iterations";
+  } else if (args.heuristic.has_value()) {
+    schedule = list_schedule(derived.graph, *args.heuristic, args.processors);
+    how = to_string(*args.heuristic);
+  } else {
+    ScheduleAttempt attempt = best_schedule(derived.graph, args.processors);
+    schedule = std::move(attempt.schedule);
+    how = "best heuristic: " + to_string(attempt.heuristic);
+  }
+  const FeasibilityReport report = schedule.check_feasibility(derived.graph);
+  std::printf("%s on %lld processor(s): %s, makespan %s ms\n", how.c_str(),
+              static_cast<long long>(args.processors),
+              report.feasible() ? "FEASIBLE" : "infeasible",
+              schedule.makespan(derived.graph).to_string().c_str());
+  if (!report.feasible()) {
+    std::printf("%s\n", report.to_string(derived.graph).c_str());
+  }
+  if (args.gantt) {
+    std::printf("%s", schedule.to_gantt(derived.graph, 100).c_str());
+  }
+  return report.feasible() ? 0 : 3;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto parsed = load(args.file);
+  const auto derived = derive(parsed, args);
+  const ScheduleAttempt attempt = best_schedule(derived.graph, args.processors);
+  if (!attempt.feasible) {
+    std::printf("warning: no feasible schedule found; simulating anyway\n");
+  }
+  // Random admissible sporadic scripts over the whole run.
+  std::map<ProcessId, SporadicScript> scripts;
+  const Time horizon =
+      Time() + derived.hyperperiod * Rational(std::max<std::int64_t>(args.frames - 1, 0));
+  std::uint64_t salt = args.seed;
+  for (const auto& [p, info] : derived.servers) {
+    (void)info;
+    const EventSpec& spec = parsed.net.process(p).event;
+    scripts.emplace(
+        p, SporadicScript::random(spec.burst, spec.period, horizon, ++salt));
+  }
+  VmRunOptions opts;
+  opts.frames = args.frames;
+  opts.overhead = args.overhead;
+  const RunResult run =
+      run_static_order_vm(parsed.net, derived, attempt.schedule, opts, {}, scripts);
+  std::printf("%s\n", run.trace.summary().c_str());
+  GanttOptions gopts;
+  std::printf("%s", render_gantt(run.trace, args.processors, gopts).c_str());
+  return run.met_all_deadlines() ? 0 : 3;
+}
+
+int cmd_roundtrip(const Args& args) {
+  const auto parsed = load(args.file);
+  std::printf("%s", io::write_network(parsed.net, parsed.wcets).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "check") {
+      return cmd_check(args);
+    }
+    if (args.command == "taskgraph") {
+      return cmd_taskgraph(args);
+    }
+    if (args.command == "schedule") {
+      return cmd_schedule(args);
+    }
+    if (args.command == "simulate") {
+      return cmd_simulate(args);
+    }
+    if (args.command == "roundtrip") {
+      return cmd_roundtrip(args);
+    }
+    usage();
+  } catch (const io::ParseError& e) {
+    std::fprintf(stderr, "fppn_tool: parse error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fppn_tool: %s\n", e.what());
+    return 1;
+  }
+}
