@@ -7,8 +7,8 @@
 
 #include "apps/fig1.hpp"
 #include "apps/fms.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/search.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/parallel_search.hpp"
 #include "taskgraph/derivation.hpp"
 
 namespace {
@@ -33,8 +33,11 @@ void print_report() {
   std::printf("%-28s %-18s %-8s\n", "execution", "fingerprint", "equal?");
   for (const std::int64_t m : {2, 3, 4}) {
     for (const int jitter : {0, 1, 2}) {
-      const auto attempt = best_schedule(derived.graph, m);
-      VmRunOptions opts;
+      sched::ParallelSearchOptions sopts;
+      sopts.processors = m;
+      sopts.seeds_per_strategy = 1;
+      const auto attempt = sched::parallel_search(derived.graph, sopts).best;
+      runtime::RunOptions opts;
       opts.frames = frames;
       if (jitter > 0) {
         opts.actual_time = [jitter](JobId id, std::int64_t frame) {
@@ -43,8 +46,8 @@ void print_report() {
                                    23));
         };
       }
-      const RunResult run = run_static_order_vm(app.net, derived, attempt.schedule,
-                                                opts, inputs, scripts);
+      const RunResult run = runtime::make_runtime("vm")->run(
+          app.net, derived, attempt.schedule, opts, inputs, scripts);
       const bool equal = run.histories.functionally_equal(ref.histories);
       char label[64];
       std::snprintf(label, sizeof label, "VM M=%lld jitter=%d",

@@ -1,31 +1,33 @@
 // E2 (Fig. 4): a feasible 2-processor static schedule for the Fig. 3 task
-// graph, printed as a Gantt chart, plus list-scheduler micro-benchmarks.
+// graph, printed as a Gantt chart, plus scheduling-engine micro-benchmarks.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "apps/fig1.hpp"
-#include "sched/search.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/registry.hpp"
 #include "taskgraph/derivation.hpp"
 
 namespace {
 
+using namespace fppn;
+
 void print_report() {
-  using namespace fppn;
   const auto app = apps::build_fig1();
   const auto derived = derive_task_graph(app.net, app.fig3_wcets());
 
   std::printf("=== Fig. 4: static schedule for the Fig. 3 task graph ===\n");
   for (const std::int64_t m : {1, 2, 3}) {
-    const ScheduleAttempt attempt = best_schedule(derived.graph, m);
-    std::printf("\nM = %lld: %s (heuristic %s, makespan %s ms)\n",
+    const auto result = sched::quick_parallel_search(derived.graph, m);
+    std::printf("\nM = %lld: %s (strategy %s, makespan %s ms)\n",
                 static_cast<long long>(m),
-                attempt.feasible ? "FEASIBLE" : "infeasible",
-                to_string(attempt.heuristic).c_str(),
-                attempt.makespan.to_string().c_str());
+                result.best.feasible ? "FEASIBLE" : "infeasible",
+                result.best.strategy.c_str(),
+                result.best.makespan.to_string().c_str());
     if (m == 2) {
-      std::printf("%s", attempt.schedule.to_gantt(derived.graph, 100).c_str());
-      const auto busy = attempt.schedule.busy_time(derived.graph);
+      std::printf("%s", result.best.schedule.to_gantt(derived.graph, 100).c_str());
+      const auto busy = result.best.schedule.busy_time(derived.graph);
       for (std::size_t i = 0; i < busy.size(); ++i) {
         std::printf("M%zu busy %s / 200 ms\n", i + 1, busy[i].to_string().c_str());
       }
@@ -36,37 +38,38 @@ void print_report() {
 }
 
 void BM_ListScheduleFig3(benchmark::State& state) {
-  using namespace fppn;
   const auto app = apps::build_fig1();
   const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  const auto strategy = sched::StrategyRegistry::global().create("alap-edf");
+  sched::StrategyOptions opts;
+  opts.processors = state.range(0);
   for (auto _ : state) {
-    auto s = list_schedule(derived.graph, PriorityHeuristic::kAlapEdf,
-                           state.range(0));
-    benchmark::DoNotOptimize(s.makespan(derived.graph));
+    benchmark::DoNotOptimize(strategy->schedule(derived.graph, opts).makespan);
   }
 }
 BENCHMARK(BM_ListScheduleFig3)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_FeasibilityCheck(benchmark::State& state) {
-  using namespace fppn;
   const auto app = apps::build_fig1();
   const auto derived = derive_task_graph(app.net, app.fig3_wcets());
-  const auto s = list_schedule(derived.graph, PriorityHeuristic::kAlapEdf, 2);
+  sched::StrategyOptions opts;
+  opts.processors = 2;
+  const auto s =
+      sched::StrategyRegistry::global().create("alap-edf")->schedule(derived.graph, opts);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(s.check_feasibility(derived.graph).feasible());
+    benchmark::DoNotOptimize(s.schedule.check_feasibility(derived.graph).feasible());
   }
 }
 BENCHMARK(BM_FeasibilityCheck);
 
-void BM_MinProcessors(benchmark::State& state) {
-  using namespace fppn;
+void BM_ParallelSearchFig3(benchmark::State& state) {
   const auto app = apps::build_fig1();
   const auto derived = derive_task_graph(app.net, app.fig3_wcets());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(min_processors(derived.graph).processors);
+    benchmark::DoNotOptimize(sched::quick_parallel_search(derived.graph, 2).best.makespan);
   }
 }
-BENCHMARK(BM_MinProcessors);
+BENCHMARK(BM_ParallelSearchFig3)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "apps/fft.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/search.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/parallel_search.hpp"
 #include "sim/gantt.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/derivation.hpp"
@@ -67,12 +67,12 @@ void print_report() {
   std::printf("%-6s %-10s %-12s %-14s %s\n", "procs", "feasible?", "misses/4fr",
               "overhead", "summary");
   for (const std::int64_t m : {1, 2, 3}) {
-    const ScheduleAttempt attempt = best_schedule(derived.graph, m);
-    VmRunOptions opts;
+    const sched::StrategyResult attempt = sched::quick_parallel_search(derived.graph, m).best;
+    runtime::RunOptions opts;
     opts.frames = kFrames;
     opts.overhead = OverheadModel::mppa_measured();
-    const RunResult run = run_static_order_vm(app.net, derived, attempt.schedule,
-                                              opts, fft_inputs(app), {});
+    const RunResult run = runtime::make_runtime("vm")->run(
+        app.net, derived, attempt.schedule, opts, fft_inputs(app), {});
     std::printf("%-6lld %-10s %-12zu 41/20 ms      %s\n",
                 static_cast<long long>(m), attempt.feasible ? "yes" : "no",
                 run.misses.size(), run.trace.summary().c_str());
@@ -91,13 +91,14 @@ void print_report() {
 void BM_VmRunFft(benchmark::State& state) {
   const auto app = apps::build_fft(8);
   const auto derived = derive_fft(app);
-  const auto attempt = best_schedule(derived.graph, state.range(0));
+  const auto attempt = sched::quick_parallel_search(derived.graph, state.range(0)).best;
   const InputScripts inputs = fft_inputs(app);
-  VmRunOptions opts;
+  const auto vm = runtime::make_runtime("vm");
+  runtime::RunOptions opts;
   opts.frames = kFrames;
   opts.overhead = OverheadModel::mppa_measured();
   for (auto _ : state) {
-    auto run = run_static_order_vm(app.net, derived, attempt.schedule, opts, inputs, {});
+    auto run = vm->run(app.net, derived, attempt.schedule, opts, inputs, {});
     benchmark::DoNotOptimize(run.misses.size());
   }
 }

@@ -6,8 +6,9 @@
 #include <cstdio>
 
 #include "apps/fms.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/search.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/registry.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/derivation.hpp"
 
@@ -39,11 +40,11 @@ void print_report() {
   const auto scripts = app.random_commands(Time::ms(9000), /*seed=*/17);
   const InputScripts inputs = app.make_inputs(55, /*seed=*/17);
   for (const std::int64_t m : {1, 2, 3, 4}) {
-    const ScheduleAttempt attempt = best_schedule(derived.graph, m);
-    VmRunOptions opts;
+    const sched::StrategyResult attempt = sched::quick_parallel_search(derived.graph, m, 200, 0).best;
+    runtime::RunOptions opts;
     opts.frames = 1;
-    const RunResult run = run_static_order_vm(app.net, derived, attempt.schedule,
-                                              opts, inputs, scripts);
+    const RunResult run = runtime::make_runtime("vm")->run(
+        app.net, derived, attempt.schedule, opts, inputs, scripts);
     std::printf("%-6lld %-10s %-10s %-12zu %s\n", static_cast<long long>(m),
                 attempt.feasible ? "yes" : "no",
                 attempt.makespan.to_string().c_str(), run.misses.size(),
@@ -66,10 +67,11 @@ BENCHMARK(BM_FmsDerivation)->Unit(benchmark::kMillisecond);
 void BM_FmsListSchedule(benchmark::State& state) {
   const auto app = apps::build_fms();
   const auto derived = derive_task_graph(app.net, app.default_wcets());
+  const auto strategy = sched::StrategyRegistry::global().create("alap-edf");
   for (auto _ : state) {
-    auto s = list_schedule(derived.graph, PriorityHeuristic::kAlapEdf,
-                           state.range(0));
-    benchmark::DoNotOptimize(s.makespan(derived.graph));
+    sched::StrategyOptions opts;
+    opts.processors = state.range(0);
+    benchmark::DoNotOptimize(strategy->schedule(derived.graph, opts).makespan);
   }
 }
 BENCHMARK(BM_FmsListSchedule)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
@@ -77,14 +79,14 @@ BENCHMARK(BM_FmsListSchedule)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisec
 void BM_FmsVmOneFrame(benchmark::State& state) {
   const auto app = apps::build_fms();
   const auto derived = derive_task_graph(app.net, app.default_wcets());
-  const auto attempt = best_schedule(derived.graph, state.range(0));
+  const auto attempt = sched::quick_parallel_search(derived.graph, state.range(0), 200, 0).best;
   const auto scripts = app.random_commands(Time::ms(9000), 17);
   const InputScripts inputs = app.make_inputs(55, 17);
-  VmRunOptions opts;
+  const auto vm = runtime::make_runtime("vm");
+  runtime::RunOptions opts;
   opts.frames = 1;
   for (auto _ : state) {
-    auto run =
-        run_static_order_vm(app.net, derived, attempt.schedule, opts, inputs, scripts);
+    auto run = vm->run(app.net, derived, attempt.schedule, opts, inputs, scripts);
     benchmark::DoNotOptimize(run.jobs_executed);
   }
 }

@@ -1,7 +1,8 @@
-// E6 (§III-B ablation): schedule-priority heuristics compared — ALAP-EDF,
-// b-level, modified deadline-monotonic and plain arrival order — on the
-// paper's graphs and on random layered task graphs: feasibility rate and
-// makespan.
+// E6 (§III-B ablation): every strategy in the scheduling registry —
+// the four SP heuristics plus the local-search optimizer — compared on
+// the paper's graphs and on random layered task graphs (feasibility rate
+// and makespan), with the parallel multi-strategy search as the engine's
+// default path.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -10,8 +11,8 @@
 #include "apps/fft.hpp"
 #include "apps/fig1.hpp"
 #include "apps/fms.hpp"
-#include "sched/list_scheduler.hpp"
-#include "sched/local_search.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/registry.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/derivation.hpp"
 
@@ -53,8 +54,19 @@ TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
   return tg;
 }
 
+sched::StrategyOptions quick_options(std::int64_t processors, std::uint64_t seed) {
+  sched::StrategyOptions opts;
+  opts.processors = processors;
+  opts.seed = seed;
+  opts.max_iterations = 400;
+  opts.restarts = 1;
+  return opts;
+}
+
 void print_report() {
-  std::printf("=== SP-heuristic ablation (list scheduling, M processors) ===\n\n");
+  auto& registry = sched::StrategyRegistry::global();
+  std::printf("=== SP-strategy ablation (registry: %zu strategies, M processors) ===\n\n",
+              registry.names().size());
 
   // Paper graphs.
   struct NamedGraph {
@@ -78,36 +90,36 @@ void print_report() {
         {"fms (M=1)", derive_task_graph(fms.net, fms.default_wcets()).graph, 1});
   }
   std::printf("%-12s", "graph");
-  for (const PriorityHeuristic h : all_heuristics()) {
-    std::printf(" %-22s", to_string(h).c_str());
+  for (const std::string& name : registry.names()) {
+    std::printf(" %-22s", name.c_str());
   }
   std::printf("\n");
   for (auto& g : graphs) {
     std::printf("%-12s", g.name.c_str());
-    for (const PriorityHeuristic h : all_heuristics()) {
-      const auto s = list_schedule(g.tg, h, g.processors);
-      const bool ok = s.check_feasibility(g.tg).feasible();
-      std::printf(" %-22s", (std::string(ok ? "feasible " : "INFEASIBLE ") +
-                             s.makespan(g.tg).to_string() + "ms")
+    for (const std::string& name : registry.names()) {
+      const auto result =
+          registry.create(name)->schedule(g.tg, quick_options(g.processors, 1));
+      std::printf(" %-22s", (std::string(result.feasible ? "feasible " : "INFEASIBLE ") +
+                             result.makespan.to_string() + "ms")
                                 .c_str());
     }
     std::printf("\n");
   }
 
   // Random graphs: feasibility rate over 100 seeds on tight frames, with
-  // local-search SP optimization as the fifth contender.
+  // the parallel multi-strategy search as the last contender.
   std::printf("\nrandom layered graphs (6x6 jobs, frame 180 ms, M=4), 100 seeds:\n");
-  std::printf("%-22s %-16s %-14s\n", "heuristic", "feasible-rate", "avg-makespan");
-  for (const PriorityHeuristic h : all_heuristics()) {
+  std::printf("%-22s %-16s %-14s\n", "strategy", "feasible-rate", "avg-makespan");
+  for (const std::string& name : registry.names()) {
     int feasible = 0;
     double makespan_sum = 0.0;
     for (std::uint64_t seed = 0; seed < 100; ++seed) {
       const TaskGraph tg = random_task_graph(6, 6, 180, seed);
-      const auto s = list_schedule(tg, h, 4);
-      feasible += s.check_feasibility(tg).feasible() ? 1 : 0;
-      makespan_sum += s.makespan(tg).to_double_ms();
+      const auto result = registry.create(name)->schedule(tg, quick_options(4, seed + 1));
+      feasible += result.feasible ? 1 : 0;
+      makespan_sum += result.makespan.to_double_ms();
     }
-    std::printf("%-22s %-16s %-14.1f\n", to_string(h).c_str(),
+    std::printf("%-22s %-16s %-14.1f\n", name.c_str(),
                 (std::to_string(feasible) + "/100").c_str(), makespan_sum / 100.0);
   }
   {
@@ -115,42 +127,67 @@ void print_report() {
     double makespan_sum = 0.0;
     for (std::uint64_t seed = 0; seed < 100; ++seed) {
       const TaskGraph tg = random_task_graph(6, 6, 180, seed);
-      LocalSearchOptions opts;
+      sched::ParallelSearchOptions opts;
       opts.processors = 4;
+      opts.seeds_per_strategy = 2;
+      opts.base_seed = seed + 1;
       opts.max_iterations = 400;
       opts.restarts = 1;
-      opts.seed = seed + 1;
-      const LocalSearchResult r = optimize_priority(tg, opts);
-      feasible += r.feasible ? 1 : 0;
-      makespan_sum += r.makespan.to_double_ms();
+      const auto result = sched::parallel_search(tg, opts);
+      feasible += result.best.feasible ? 1 : 0;
+      makespan_sum += result.best.makespan.to_double_ms();
     }
-    std::printf("%-22s %-16s %-14.1f\n", "local-search",
+    std::printf("%-22s %-16s %-14.1f\n", "parallel-search",
                 (std::to_string(feasible) + "/100").c_str(), makespan_sum / 100.0);
   }
   std::printf("\n");
 }
 
-void BM_HeuristicOnFms(benchmark::State& state) {
+void BM_StrategyOnFms(benchmark::State& state) {
   const auto app = apps::build_fms();
   const auto derived = derive_task_graph(app.net, app.default_wcets());
-  const auto h = all_heuristics()[static_cast<std::size_t>(state.range(0))];
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(schedule_priority(derived.graph, h).size());
+  const auto names = sched::StrategyRegistry::global().names();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= names.size()) {
+    state.SkipWithError("strategy index out of range — update the Arg list");
+    return;
   }
-  state.SetLabel(to_string(h));
+  const std::string name = names[index];
+  const auto strategy = sched::StrategyRegistry::global().create(name);
+  const sched::StrategyOptions opts = quick_options(1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->schedule(derived.graph, opts).makespan);
+  }
+  state.SetLabel(name);
 }
-BENCHMARK(BM_HeuristicOnFms)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+BENCHMARK(BM_StrategyOnFms)->DenseRange(0, 4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_RandomGraphSchedule(benchmark::State& state) {
   const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
                                          static_cast<int>(state.range(1)), 500, 7);
+  const auto strategy = sched::StrategyRegistry::global().create("b-level");
+  const sched::StrategyOptions opts = quick_options(4, 1);
   for (auto _ : state) {
-    auto s = list_schedule(tg, PriorityHeuristic::kBLevel, 4);
-    benchmark::DoNotOptimize(s.makespan(tg));
+    benchmark::DoNotOptimize(strategy->schedule(tg, opts).makespan);
   }
 }
 BENCHMARK(BM_RandomGraphSchedule)->Args({6, 6})->Args({10, 10})->Args({20, 10});
+
+void BM_ParallelSearchWorkers(benchmark::State& state) {
+  const TaskGraph tg = random_task_graph(10, 10, 500, 7);
+  sched::ParallelSearchOptions opts;
+  opts.processors = 4;
+  opts.workers = static_cast<int>(state.range(0));
+  opts.seeds_per_strategy = 4;
+  opts.max_iterations = 400;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::parallel_search(tg, opts).best.makespan);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " worker(s)");
+}
+BENCHMARK(BM_ParallelSearchWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

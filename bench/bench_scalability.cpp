@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "apps/fms.hpp"
-#include "sched/list_scheduler.hpp"
+#include "sched/registry.hpp"
 #include "taskgraph/derivation.hpp"
 
 namespace {
@@ -91,8 +91,11 @@ void BM_SyntheticListSchedule(benchmark::State& state) {
       synthetic_network(static_cast<int>(state.range(0)), 100, state.range(1));
   const auto derived = derive_task_graph(net, Duration::ms(2));
   for (auto _ : state) {
-    auto s = list_schedule(derived.graph, PriorityHeuristic::kAlapEdf, 4);
-    benchmark::DoNotOptimize(s.makespan(derived.graph));
+    sched::StrategyOptions sopts;
+    sopts.processors = 4;
+    auto s = sched::StrategyRegistry::global().create("alap-edf")
+                 ->schedule(derived.graph, sopts);
+    benchmark::DoNotOptimize(s.makespan);
   }
   state.SetLabel(std::to_string(derived.graph.job_count()) + " jobs");
 }

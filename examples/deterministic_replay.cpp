@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "apps/fig1.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/list_scheduler.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/registry.hpp"
 #include "taskgraph/derivation.hpp"
 
 using namespace fppn;
@@ -35,23 +35,25 @@ RecordedRun record_mission(const apps::Fig1App& app) {
 
 std::size_t run_once(const apps::Fig1App& app, const DerivedTaskGraph& derived,
                      const RecordedRun& rec, std::int64_t processors,
-                     PriorityHeuristic heuristic, int jitter_seed,
+                     const std::string& strategy, int jitter_seed,
                      ExecutionHistories* out) {
-  const StaticSchedule schedule = list_schedule(derived.graph, heuristic, processors);
-  const auto report = schedule.check_feasibility(derived.graph);
-  if (!report.feasible()) {
-    std::printf("  (heuristic %s infeasible on %lld procs)\n",
-                to_string(heuristic).c_str(), static_cast<long long>(processors));
+  sched::StrategyOptions sopts;
+  sopts.processors = processors;
+  const sched::StrategyResult result =
+      sched::StrategyRegistry::global().create(strategy)->schedule(derived.graph, sopts);
+  if (!result.feasible) {
+    std::printf("  (strategy %s infeasible on %lld procs)\n", strategy.c_str(),
+                static_cast<long long>(processors));
   }
-  VmRunOptions opts;
+  runtime::RunOptions opts;
   opts.frames = rec.frames;
   opts.actual_time = [jitter_seed](JobId id, std::int64_t frame) {
     const std::size_t mix = id.value() * 31 + static_cast<std::size_t>(frame) * 7 +
                             static_cast<std::size_t>(jitter_seed) * 101;
     return Duration::ms(4 + static_cast<std::int64_t>(mix % 20));
   };
-  const RunResult run = run_static_order_vm(app.net, derived, schedule, opts,
-                                            rec.inputs, rec.sporadics);
+  const RunResult run = runtime::make_runtime("vm")->run(
+      app.net, derived, result.schedule, opts, rec.inputs, rec.sporadics);
   *out = run.histories;
   return run.histories.fingerprint();
 }
@@ -69,15 +71,15 @@ int main() {
 
   struct Config {
     std::int64_t processors;
-    PriorityHeuristic heuristic;
+    std::string strategy;  // any name registered with the scheduling engine
     int jitter;
   };
   const std::vector<Config> configs = {
-      {2, PriorityHeuristic::kAlapEdf, 0},
-      {2, PriorityHeuristic::kBLevel, 1},
-      {3, PriorityHeuristic::kAlapEdf, 2},
-      {3, PriorityHeuristic::kDeadlineMonotonic, 3},
-      {4, PriorityHeuristic::kArrivalOrder, 4},
+      {2, "alap-edf", 0},
+      {2, "b-level", 1},
+      {3, "alap-edf", 2},
+      {3, "deadline-monotonic", 3},
+      {4, "arrival-order", 4},
   };
 
   ExecutionHistories reference;
@@ -86,10 +88,10 @@ int main() {
   for (std::size_t i = 0; i < configs.size(); ++i) {
     ExecutionHistories h;
     const std::size_t fp = run_once(app, derived, rec, configs[i].processors,
-                                    configs[i].heuristic, configs[i].jitter, &h);
+                                    configs[i].strategy, configs[i].jitter, &h);
     std::printf("replay %zu: M=%lld, %-19s jitter=%d -> fingerprint %016zx\n", i,
                 static_cast<long long>(configs[i].processors),
-                to_string(configs[i].heuristic).c_str(), configs[i].jitter, fp);
+                configs[i].strategy.c_str(), configs[i].jitter, fp);
     if (i == 0) {
       reference = h;
       ref_fp = fp;

@@ -8,13 +8,13 @@
 #include <cstdio>
 
 #include "apps/fft.hpp"
-#include "runtime/thread_runtime.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/search.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/parallel_search.hpp"
 #include "sim/gantt.hpp"
 #include "taskgraph/derivation.hpp"
 
 using namespace fppn;
+using apps::kPi;
 
 int main() {
   const auto app = apps::build_fft(8);
@@ -23,7 +23,9 @@ int main() {
 
   const auto derived =
       derive_task_graph(app.net, app.uniform_wcets(Duration::ratio_ms(40, 3)));
-  const ScheduleAttempt attempt = best_schedule(derived.graph, 2);
+  sched::ParallelSearchOptions search;
+  search.processors = 2;
+  const sched::StrategyResult attempt = sched::parallel_search(derived.graph, search).best;
   std::printf("2-processor schedule: %s, makespan %s ms\n\n",
               attempt.feasible ? "feasible" : "INFEASIBLE",
               attempt.makespan.to_string().c_str());
@@ -33,30 +35,31 @@ int main() {
   for (int f = 0; f < 3; ++f) {
     std::vector<double> block;
     for (int i = 0; i < app.points; ++i) {
-      block.push_back(std::sin(2.0 * std::numbers::pi * (f + 1) * i / app.points));
+      block.push_back(std::sin(2.0 * kPi * (f + 1) * i / app.points));
     }
     frames.push_back(std::move(block));
   }
   const InputScripts inputs = app.make_inputs(frames);
 
   // Virtual platform with the measured 41/20 ms frame overhead (Fig. 6).
-  VmRunOptions vm_opts;
+  runtime::RunOptions vm_opts;
   vm_opts.frames = 3;
   vm_opts.overhead = OverheadModel::mppa_measured();
-  const RunResult vm = run_static_order_vm(app.net, derived, attempt.schedule,
-                                           vm_opts, inputs, {});
+  const RunResult vm = runtime::make_runtime("vm")->run(app.net, derived,
+                                                        attempt.schedule, vm_opts,
+                                                        inputs, {});
   std::printf("virtual platform: %s\n", vm.trace.summary().c_str());
   GanttOptions gopts;
   gopts.to = Time::ms(400);
   std::printf("%s\n", render_gantt(vm.trace, 2, gopts).c_str());
 
   // Real threads, 20x faster than real time.
-  ThreadRunOptions th_opts;
+  runtime::RunOptions th_opts;
   th_opts.frames = 3;
   th_opts.micros_per_model_ms = 50.0;
   th_opts.actual_time = [](JobId, std::int64_t) { return Duration::ms(2); };
-  const RunResult th = run_static_order_threads(app.net, derived, attempt.schedule,
-                                                th_opts, inputs, {});
+  const RunResult th = runtime::make_runtime("threads")->run(
+      app.net, derived, attempt.schedule, th_opts, inputs, {});
   std::printf("thread runtime: %s\n", th.trace.summary().c_str());
   std::printf("VM and thread histories functionally equal: %s\n\n",
               vm.histories.functionally_equal(th.histories) ? "yes" : "NO");

@@ -5,8 +5,8 @@
 #include <cstdio>
 
 #include "apps/fms.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/search.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/parallel_search.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/derivation.hpp"
 
@@ -26,7 +26,7 @@ int main() {
               derived.graph.job_count(), derived.graph.edge_count(),
               load.load_value());
 
-  const ScheduleAttempt attempt = best_schedule(derived.graph, 1);
+  const sched::StrategyResult attempt = sched::quick_parallel_search(derived.graph, 1, 200, 0).best;
   std::printf("single-processor schedule: %s, makespan %s ms\n",
               attempt.feasible ? "feasible" : "INFEASIBLE",
               attempt.makespan.to_string().c_str());
@@ -40,10 +40,11 @@ int main() {
                    SporadicScript({Time::ms(4100)}, 5, Duration::ms(1000)));
   const InputScripts inputs = app.make_inputs(55, /*seed=*/2026);
 
-  VmRunOptions opts;
+  const auto vm = runtime::make_runtime("vm");
+  runtime::RunOptions opts;
   opts.frames = 1;
-  const RunResult run = run_static_order_vm(app.net, derived, attempt.schedule,
-                                            opts, inputs, commands);
+  const RunResult run =
+      vm->run(app.net, derived, attempt.schedule, opts, inputs, commands);
   std::printf("run: %s\n", run.trace.summary().c_str());
   std::printf("deadline misses: %zu (paper: none on one processor)\n\n",
               run.misses.size());
@@ -59,9 +60,9 @@ int main() {
               value_to_string(fuel.back().value).c_str());
 
   // Determinism: re-run on two processors and compare histories.
-  const ScheduleAttempt two = best_schedule(derived.graph, 2);
+  const sched::StrategyResult two = sched::quick_parallel_search(derived.graph, 2, 200, 0).best;
   const RunResult run2 =
-      run_static_order_vm(app.net, derived, two.schedule, opts, inputs, commands);
+      vm->run(app.net, derived, two.schedule, opts, inputs, commands);
   std::printf("\n2-processor run functionally equal to 1-processor run: %s\n",
               run.histories.functionally_equal(run2.histories) ? "yes" : "NO");
   return 0;

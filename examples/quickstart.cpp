@@ -8,8 +8,8 @@
 
 #include "fppn/network.hpp"
 #include "fppn/semantics.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/search.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/parallel_search.hpp"
 #include "sim/gantt.hpp"
 #include "taskgraph/derivation.hpp"
 
@@ -70,10 +70,13 @@ int main() {
   std::printf("task graph: %zu jobs, %zu edges\n%s\n", derived.graph.job_count(),
               derived.graph.edge_count(), derived.graph.to_table().c_str());
 
-  // 3. Compile-time scheduling (§III-B).
-  const ScheduleAttempt attempt = best_schedule(derived.graph, 2);
+  // 3. Compile-time scheduling (§III-B): parallel search over every
+  //    strategy in the registry.
+  sched::ParallelSearchOptions search;
+  search.processors = 2;
+  const sched::StrategyResult attempt = sched::parallel_search(derived.graph, search).best;
   std::printf("2-processor schedule (%s): %s, makespan %s ms\n",
-              to_string(attempt.heuristic).c_str(),
+              attempt.strategy.c_str(),
               attempt.feasible ? "feasible" : "INFEASIBLE",
               attempt.makespan.to_string().c_str());
   std::printf("%s\n", attempt.schedule.to_gantt(derived.graph, 90).c_str());
@@ -86,10 +89,10 @@ int main() {
   std::map<ProcessId, SporadicScript> sporadics;
   sporadics.emplace(tuner, SporadicScript({Time::ms(150)}, 1, ms(300)));
 
-  VmRunOptions opts;
+  runtime::RunOptions opts;
   opts.frames = 3;
-  const RunResult run =
-      run_static_order_vm(net, derived, attempt.schedule, opts, inputs, sporadics);
+  const RunResult run = runtime::make_runtime("vm")->run(net, derived, attempt.schedule,
+                                                         opts, inputs, sporadics);
   std::printf("run: %s\n", run.trace.summary().c_str());
   std::printf("%s\n", render_gantt(run.trace, 2).c_str());
 

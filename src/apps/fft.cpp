@@ -1,12 +1,12 @@
 #include "apps/fft.hpp"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 #include <string>
 
 namespace fppn::apps {
 namespace {
+
 
 bool is_power_of_two(int n) { return n >= 2 && (n & (n - 1)) == 0; }
 
@@ -136,7 +136,7 @@ FftApp build_fft(int points, Duration period, Duration deadline) {
       const int line_a = block * (span * 2) + j;
       const int line_b = line_a + span;
       const double angle =
-          -2.0 * std::numbers::pi * static_cast<double>(j) /
+          -2.0 * kPi * static_cast<double>(j) /
           static_cast<double>(span * 2);
       const std::complex<double> twiddle(std::cos(angle), std::sin(angle));
       const std::string name = "FFT2_" + std::to_string(s) + "_" + std::to_string(i);
@@ -210,7 +210,7 @@ std::vector<std::complex<double>> reference_dft(const std::vector<double>& block
   for (std::size_t k = 0; k < n; ++k) {
     std::complex<double> acc(0.0, 0.0);
     for (std::size_t t = 0; t < n; ++t) {
-      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+      const double angle = -2.0 * kPi * static_cast<double>(k * t) /
                            static_cast<double>(n);
       acc += block[t] * std::complex<double>(std::cos(angle), std::sin(angle));
     }

@@ -24,6 +24,10 @@
 
 namespace fppn::apps {
 
+/// Exact-enough pi for twiddle factors and reference DFTs (C++17 has no
+/// std::numbers).
+constexpr double kPi = 3.14159265358979323846264338327950288;
+
 struct FftApp {
   Network net;
   int points = 8;      ///< N (power of two)

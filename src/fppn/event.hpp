@@ -68,7 +68,12 @@ struct Invocation {
   Time time;
   ProcessId process;
 
-  friend bool operator==(const Invocation&, const Invocation&) = default;
+  friend bool operator==(const Invocation& a, const Invocation& b) {
+    return a.time == b.time && a.process == b.process;
+  }
+  friend bool operator!=(const Invocation& a, const Invocation& b) {
+    return !(a == b);
+  }
 };
 
 /// The multiset of processes invoked at one instant t_i.

@@ -24,7 +24,12 @@ struct OutputSample {
   Time time;           ///< model time of the write
   Value value;
 
-  friend bool operator==(const OutputSample&, const OutputSample&) = default;
+  friend bool operator==(const OutputSample& a, const OutputSample& b) {
+    return a.k == b.k && a.time == b.time && a.value == b.value;
+  }
+  friend bool operator!=(const OutputSample& a, const OutputSample& b) {
+    return !(a == b);
+  }
 };
 
 /// Per-channel written-value sequences for one complete execution.

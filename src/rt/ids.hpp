@@ -5,7 +5,6 @@
 // prevents cross-indexing (e.g. using a job index to look up a process).
 #pragma once
 
-#include <compare>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -25,9 +24,24 @@ class StrongIndex {
   [[nodiscard]] constexpr std::size_t value() const noexcept { return value_; }
   [[nodiscard]] constexpr bool is_valid() const noexcept { return value_ != kInvalid; }
 
-  friend constexpr bool operator==(StrongIndex, StrongIndex) noexcept = default;
-  friend constexpr std::strong_ordering operator<=>(StrongIndex,
-                                                    StrongIndex) noexcept = default;
+  friend constexpr bool operator==(StrongIndex a, StrongIndex b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongIndex a, StrongIndex b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongIndex a, StrongIndex b) noexcept {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(StrongIndex a, StrongIndex b) noexcept {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>(StrongIndex a, StrongIndex b) noexcept {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator>=(StrongIndex a, StrongIndex b) noexcept {
+    return a.value_ >= b.value_;
+  }
 
   static constexpr StrongIndex invalid() noexcept { return StrongIndex(); }
 

@@ -93,12 +93,12 @@ Rational& Rational::operator/=(const Rational& rhs) {
   return *this *= Rational(rhs.den_, rhs.num_);
 }
 
-std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
-  // lhs.num/lhs.den <=> rhs.num/rhs.den with positive denominators.
+bool operator<(const Rational& lhs, const Rational& rhs) {
+  // lhs.num/lhs.den < rhs.num/rhs.den with positive denominators.
   const std::int64_t g = std::gcd(lhs.den_, rhs.den_);
   const std::int64_t a = checked_mul(lhs.num_, rhs.den_ / g);
   const std::int64_t b = checked_mul(rhs.num_, lhs.den_ / g);
-  return a <=> b;
+  return a < b;
 }
 
 std::int64_t Rational::floor() const noexcept {

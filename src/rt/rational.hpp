@@ -9,7 +9,6 @@
 // stored in canonical form (normalized sign, coprime numerator/denominator).
 #pragma once
 
-#include <compare>
 #include <cstdint>
 #include <iosfwd>
 #include <numeric>
@@ -62,8 +61,17 @@ class Rational {
   friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
   friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
 
-  friend constexpr bool operator==(const Rational&, const Rational&) noexcept = default;
-  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs);
+  // Canonical form makes equality a field-wise comparison.
+  friend constexpr bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr bool operator!=(const Rational& a, const Rational& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& lhs, const Rational& rhs);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) { return !(b < a); }
+  friend bool operator>=(const Rational& a, const Rational& b) { return !(a < b); }
 
   /// Largest integer <= value.
   [[nodiscard]] std::int64_t floor() const noexcept;

@@ -6,7 +6,6 @@
 // "added two absolute deadlines" class of bug at compile time.
 #pragma once
 
-#include <compare>
 #include <iosfwd>
 #include <string>
 
@@ -29,10 +28,14 @@ class Time {
   [[nodiscard]] double to_double_ms() const noexcept { return value_.to_double(); }
   [[nodiscard]] std::string to_string() const { return value_.to_string(); }
 
-  friend bool operator==(const Time&, const Time&) noexcept = default;
-  friend std::strong_ordering operator<=>(const Time& a, const Time& b) {
-    return a.value_ <=> b.value_;
+  friend bool operator==(const Time& a, const Time& b) noexcept {
+    return a.value_ == b.value_;
   }
+  friend bool operator!=(const Time& a, const Time& b) noexcept { return !(a == b); }
+  friend bool operator<(const Time& a, const Time& b) { return a.value_ < b.value_; }
+  friend bool operator>(const Time& a, const Time& b) { return b < a; }
+  friend bool operator<=(const Time& a, const Time& b) { return !(b < a); }
+  friend bool operator>=(const Time& a, const Time& b) { return !(a < b); }
 
   Time& operator+=(const Duration& d);
   Time& operator-=(const Duration& d);
@@ -65,10 +68,18 @@ class Duration {
   [[nodiscard]] bool is_positive() const noexcept { return value_.is_positive(); }
   [[nodiscard]] bool is_negative() const noexcept { return value_.is_negative(); }
 
-  friend bool operator==(const Duration&, const Duration&) noexcept = default;
-  friend std::strong_ordering operator<=>(const Duration& a, const Duration& b) {
-    return a.value_ <=> b.value_;
+  friend bool operator==(const Duration& a, const Duration& b) noexcept {
+    return a.value_ == b.value_;
   }
+  friend bool operator!=(const Duration& a, const Duration& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Duration& a, const Duration& b) {
+    return a.value_ < b.value_;
+  }
+  friend bool operator>(const Duration& a, const Duration& b) { return b < a; }
+  friend bool operator<=(const Duration& a, const Duration& b) { return !(b < a); }
+  friend bool operator>=(const Duration& a, const Duration& b) { return !(a < b); }
 
   Duration operator-() const { return Duration(-value_); }
   Duration& operator+=(const Duration& d) {

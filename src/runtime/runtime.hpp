@@ -1,0 +1,78 @@
+// runtime::Runtime — the uniform execution-backend interface.
+//
+// Both deployments of the static-order policy (§IV) sit behind one
+// `run(net, derived, schedule, opts)` entry point with a shared
+// RunOptions/RunResult contract:
+//   "vm"      — the deterministic simulated-time virtual multiprocessor,
+//   "threads" — the real std::thread deployment (the paper's Linux runtime).
+// Backends are discovered by name through RuntimeRegistry, mirroring the
+// scheduling-strategy registry; registering a new backend is one add()
+// call, no engine edits:
+//
+//   RuntimeRegistry::global().add("my-backend", [] {
+//     return std::make_unique<MyRuntime>();
+//   });
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "rt/registry.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "runtime/vm_runtime.hpp"
+
+namespace fppn {
+namespace runtime {
+
+/// Backend-agnostic run options — the union of what the backends honor.
+/// Fields a backend does not model are ignored (overhead on "threads",
+/// wall-clock scale on "vm").
+struct RunOptions {
+  std::int64_t frames = 1;
+  OverheadModel overhead;             ///< frame overhead model ("vm" only)
+  ActualTimeFn actual_time;           ///< per-job actual times; default WCET
+  double micros_per_model_ms = 50.0;  ///< wall scale ("threads" only)
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Registry key; stable, lowercase.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line description for --help output.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Executes `opts.frames` repetitions of the schedule frame and returns
+  /// the common RunResult (trace, histories, deadline misses). Throws
+  /// std::invalid_argument on incomplete schedules or bad options.
+  [[nodiscard]] virtual RunResult run(
+      const Network& net, const DerivedTaskGraph& derived,
+      const StaticSchedule& schedule, const RunOptions& opts = {},
+      const InputScripts& inputs = {},
+      const std::map<ProcessId, SporadicScript>& sporadics = {}) const = 0;
+};
+
+/// Thrown by create() for a name with no registered backend. The message
+/// lists every available runtime.
+class UnknownRuntimeError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+class RuntimeRegistry : public detail::NameRegistry<Runtime, UnknownRuntimeError> {
+ public:
+  RuntimeRegistry() : NameRegistry("runtime") {}
+
+  /// The process-wide registry, pre-loaded with "vm" and "threads".
+  [[nodiscard]] static RuntimeRegistry& global();
+};
+
+/// Shorthand for RuntimeRegistry::global().create(name).
+[[nodiscard]] std::unique_ptr<Runtime> make_runtime(const std::string& name);
+
+}  // namespace runtime
+}  // namespace fppn

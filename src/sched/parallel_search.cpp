@@ -1,0 +1,153 @@
+#include "sched/parallel_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+namespace fppn {
+namespace sched {
+
+namespace {
+
+struct Candidate {
+  std::string strategy;
+  std::uint64_t seed = 0;
+};
+
+/// Strict-weak order of *evaluated* candidates; the unique minimum is the
+/// search winner. Feasibility outranks everything: a user-registered
+/// strategy can return a schedule whose violations are non-deadline
+/// (unplaced jobs, precedence/mutex overlaps) and such a result must
+/// never beat a fully feasible one on makespan. Exact rational makespan
+/// comparison keeps ties honest.
+bool better_than(const StrategyResult& a, std::uint64_t a_seed,
+                 const StrategyResult& b, std::uint64_t b_seed) {
+  if (a.feasible != b.feasible) {
+    return a.feasible;
+  }
+  if (a.deadline_violations != b.deadline_violations) {
+    return a.deadline_violations < b.deadline_violations;
+  }
+  if (a.makespan != b.makespan) {
+    return a.makespan < b.makespan;
+  }
+  if (a.strategy != b.strategy) {
+    return a.strategy < b.strategy;
+  }
+  return a_seed < b_seed;
+}
+
+}  // namespace
+
+ParallelSearchResult parallel_search(const TaskGraph& tg,
+                                     const ParallelSearchOptions& opts,
+                                     const StrategyRegistry& registry) {
+  if (opts.processors < 1) {
+    throw std::invalid_argument("parallel_search: processors must be >= 1");
+  }
+  if (opts.seeds_per_strategy < 1) {
+    throw std::invalid_argument("parallel_search: seeds_per_strategy must be >= 1");
+  }
+
+  // Build the deterministic candidate list (validates names up front).
+  const std::vector<std::string> strategy_names =
+      opts.strategies.empty() ? registry.names() : opts.strategies;
+  std::vector<Candidate> candidates;
+  for (const std::string& name : strategy_names) {
+    const auto strategy = registry.create(name);  // throws on unknown name
+    const int seeds = strategy->seedable() ? opts.seeds_per_strategy : 1;
+    for (int s = 0; s < seeds; ++s) {
+      candidates.push_back(Candidate{name, opts.base_seed + static_cast<std::uint64_t>(s)});
+    }
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("parallel_search: no candidate strategies");
+  }
+
+  int workers = opts.workers > 0
+                    ? opts.workers
+                    : static_cast<int>(std::max(1U, std::thread::hardware_concurrency()));
+  workers = std::min<int>(workers, static_cast<int>(candidates.size()));
+
+  // Each slot is written by exactly one worker; selection happens after
+  // the join, over the index-ordered vector, so the winner cannot depend
+  // on thread interleaving.
+  std::vector<std::optional<StrategyResult>> results(candidates.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto run_candidate = [&](std::size_t index) {
+    const Candidate& c = candidates[index];
+    StrategyOptions sopts;
+    sopts.processors = opts.processors;
+    sopts.seed = c.seed;
+    sopts.max_iterations = opts.max_iterations;
+    sopts.restarts = opts.restarts;
+    results[index] = registry.create(c.strategy)->schedule(tg, sopts);
+  };
+
+  const auto worker_loop = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= candidates.size()) {
+        return;
+      }
+      try {
+        run_candidate(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker_loop();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_loop);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  std::size_t best_index = 0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (better_than(*results[i], candidates[i].seed, *results[best_index],
+                    candidates[best_index].seed)) {
+      best_index = i;
+    }
+  }
+
+  ParallelSearchResult out;
+  out.best = std::move(*results[best_index]);
+  out.seed = candidates[best_index].seed;
+  out.candidates = candidates.size();
+  out.workers_used = workers;
+  return out;
+}
+
+ParallelSearchResult quick_parallel_search(const TaskGraph& tg, std::int64_t processors,
+                                           int max_iterations, int restarts) {
+  ParallelSearchOptions opts;
+  opts.processors = processors;
+  opts.seeds_per_strategy = 1;
+  opts.max_iterations = max_iterations;
+  opts.restarts = restarts;
+  return parallel_search(tg, opts);
+}
+
+}  // namespace sched
+}  // namespace fppn

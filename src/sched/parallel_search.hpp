@@ -1,0 +1,62 @@
+// Parallel schedule search over the strategy registry.
+//
+// Fans a fixed candidate list — (strategy, seed) pairs: one candidate per
+// non-seedable strategy, `seeds_per_strategy` per seedable one — out over a
+// std::thread pool, evaluates each candidate independently, and selects
+// the winner deterministically: fewest deadline violations, then smallest
+// makespan, then strategy name, then seed. The candidate list and the
+// selection are both independent of the worker count, so the chosen
+// schedule is bit-identical whether the search runs on 1 or 64 threads.
+//
+// This is the default scheduling path of fppn_tool and the benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "sched/strategy.hpp"
+
+namespace fppn {
+namespace sched {
+
+struct ParallelSearchOptions {
+  std::int64_t processors = 2;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int workers = 0;
+  /// Strategy names to try; empty = every strategy in the registry.
+  /// Unknown names throw UnknownStrategyError before any work starts.
+  std::vector<std::string> strategies;
+  /// Seeds tried per *seedable* strategy: base_seed .. base_seed+n-1.
+  int seeds_per_strategy = 3;
+  std::uint64_t base_seed = 1;
+  /// Budget forwarded to iterative strategies.
+  int max_iterations = 2000;
+  int restarts = 2;
+};
+
+struct ParallelSearchResult {
+  StrategyResult best;             ///< winning candidate, fully evaluated
+  std::uint64_t seed = 0;          ///< seed of the winning candidate
+  std::size_t candidates = 0;      ///< candidates evaluated
+  int workers_used = 1;
+};
+
+/// Runs the search. Throws std::invalid_argument when the registry/options
+/// yield no candidates or processors < 1. Any exception thrown by a
+/// strategy is rethrown on the calling thread.
+[[nodiscard]] ParallelSearchResult parallel_search(
+    const TaskGraph& tg, const ParallelSearchOptions& opts = {},
+    const StrategyRegistry& registry = StrategyRegistry::global());
+
+/// Small-budget convenience sweep — one seed per strategy, a bounded
+/// iteration budget — for callers (benches, examples) that just need a
+/// good schedule for M processors quickly.
+[[nodiscard]] ParallelSearchResult quick_parallel_search(const TaskGraph& tg,
+                                                         std::int64_t processors,
+                                                         int max_iterations = 400,
+                                                         int restarts = 1);
+
+}  // namespace sched
+}  // namespace fppn

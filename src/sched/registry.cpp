@@ -1,0 +1,16 @@
+#include "sched/registry.hpp"
+
+namespace fppn {
+namespace sched {
+
+StrategyRegistry& StrategyRegistry::global() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    register_builtin_strategies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace sched
+}  // namespace fppn

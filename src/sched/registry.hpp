@@ -1,0 +1,44 @@
+// Name-keyed factory registry of scheduling strategies.
+//
+// The process-wide registry (StrategyRegistry::global()) comes pre-loaded
+// with the built-in strategies: the four SP heuristics of §III-B and the
+// local-search SP optimizer. New strategies plug in without touching any
+// engine code:
+//
+//   StrategyRegistry::global().add("my-strategy", [] {
+//     return std::make_unique<MyStrategy>();
+//   });
+//
+// create() returns a fresh instance per call, so concurrent callers (the
+// parallel search) never share strategy state.
+#pragma once
+
+#include "rt/registry.hpp"
+#include "sched/strategy.hpp"
+
+namespace fppn {
+namespace sched {
+
+/// Thrown by create() for a name with no registered factory. The message
+/// lists every available strategy.
+class UnknownStrategyError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+class StrategyRegistry
+    : public detail::NameRegistry<SchedulerStrategy, UnknownStrategyError> {
+ public:
+  StrategyRegistry() : NameRegistry("strategy") {}
+
+  /// The process-wide registry, pre-loaded with the built-in strategies.
+  [[nodiscard]] static StrategyRegistry& global();
+};
+
+/// Registers the built-in strategies (heuristics + local search) into any
+/// registry; global() calls this once. Exposed for tests that want a
+/// private registry with the same contents.
+void register_builtin_strategies(StrategyRegistry& registry);
+
+}  // namespace sched
+}  // namespace fppn

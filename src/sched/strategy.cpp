@@ -1,0 +1,102 @@
+#include "sched/strategy.hpp"
+
+#include "sched/list_scheduler.hpp"
+#include "sched/local_search.hpp"
+#include "sched/priorities.hpp"
+#include "sched/registry.hpp"
+
+namespace fppn {
+namespace sched {
+
+void finalize_result(const TaskGraph& tg, StrategyResult& result) {
+  result.makespan = result.schedule.makespan(tg);
+  const FeasibilityReport report = result.schedule.check_feasibility(tg);
+  result.feasible = report.feasible();
+  result.deadline_violations = 0;
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kDeadline) {
+      ++result.deadline_violations;
+    }
+  }
+}
+
+namespace {
+
+/// One §III-B priority heuristic behind the strategy interface: compute
+/// the SP total order, list-schedule it.
+class HeuristicStrategy final : public SchedulerStrategy {
+ public:
+  HeuristicStrategy(PriorityHeuristic heuristic, std::string description)
+      : heuristic_(heuristic), description_(std::move(description)) {}
+
+  [[nodiscard]] std::string name() const override { return to_string(heuristic_); }
+  [[nodiscard]] std::string description() const override { return description_; }
+
+  [[nodiscard]] StrategyResult schedule(const TaskGraph& tg,
+                                        const StrategyOptions& opts) const override {
+    StrategyResult result;
+    result.strategy = name();
+    result.detail = "list schedule, SP heuristic " + name();
+    result.schedule = list_schedule(tg, heuristic_, opts.processors);
+    finalize_result(tg, result);
+    return result;
+  }
+
+ private:
+  PriorityHeuristic heuristic_;
+  std::string description_;
+};
+
+/// The local-search SP optimizer behind the strategy interface. Seedable:
+/// restart shuffles and move picks depend on opts.seed.
+class LocalSearchStrategy final : public SchedulerStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "local-search"; }
+  [[nodiscard]] std::string description() const override {
+    return "hill-climbing SP optimization with seeded restarts";
+  }
+  [[nodiscard]] bool seedable() const override { return true; }
+
+  [[nodiscard]] StrategyResult schedule(const TaskGraph& tg,
+                                        const StrategyOptions& opts) const override {
+    LocalSearchOptions ls;
+    ls.processors = opts.processors;
+    ls.seed = opts.seed;
+    ls.max_iterations = opts.max_iterations;
+    ls.restarts = opts.restarts;
+    LocalSearchResult ls_result = optimize_priority(tg, ls);
+
+    StrategyResult result;
+    result.strategy = name();
+    result.detail = "local search from " + to_string(ls_result.start_heuristic) +
+                    ", " + std::to_string(ls_result.iterations_used) + " iterations";
+    result.schedule = std::move(ls_result.schedule);
+    finalize_result(tg, result);
+    return result;
+  }
+};
+
+}  // namespace
+
+void register_builtin_strategies(StrategyRegistry& registry) {
+  struct Builtin {
+    PriorityHeuristic heuristic;
+    const char* description;
+  };
+  const Builtin heuristics[] = {
+      {PriorityHeuristic::kAlapEdf, "EDF on ALAP completion times (the paper's default)"},
+      {PriorityHeuristic::kBLevel, "longest remaining WCET path first [Kwok & Ahmad]"},
+      {PriorityHeuristic::kDeadlineMonotonic,
+       "smallest relative deadline first [Forget et al.]"},
+      {PriorityHeuristic::kArrivalOrder, "earliest arrival first (FIFO baseline)"},
+  };
+  for (const Builtin& b : heuristics) {
+    registry.add(to_string(b.heuristic), [h = b.heuristic, d = std::string(b.description)] {
+      return std::make_unique<HeuristicStrategy>(h, d);
+    });
+  }
+  registry.add("local-search", [] { return std::make_unique<LocalSearchStrategy>(); });
+}
+
+}  // namespace sched
+}  // namespace fppn

@@ -1,0 +1,68 @@
+// SchedulerStrategy — the uniform interface every scheduling policy in the
+// engine implements (§III-B policies: the four SP heuristics and the
+// local-search optimizer, plus anything users register).
+//
+// A strategy maps a task graph to a static schedule under a common options
+// contract; callers discover strategies by name through the
+// StrategyRegistry (sched/registry.hpp) and never name concrete heuristic
+// functions. The parallel schedule search (sched/parallel_search.hpp) fans
+// out over registered strategies and seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/static_schedule.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+namespace sched {
+
+/// Options understood by every strategy. Iteration/seed fields are ignored
+/// by strategies that are not iterative/seedable.
+struct StrategyOptions {
+  std::int64_t processors = 2;
+  std::uint64_t seed = 1;      ///< RNG seed, seedable strategies only
+  int max_iterations = 2000;   ///< move budget, iterative strategies only
+  int restarts = 2;            ///< restart count, iterative strategies only
+};
+
+/// Outcome of one strategy invocation, with the schedule already evaluated
+/// under the lexicographic objective (deadline violations, makespan).
+struct StrategyResult {
+  StaticSchedule schedule;
+  std::string strategy;               ///< name of the producing strategy
+  std::string detail;                 ///< human-readable provenance
+  std::size_t deadline_violations = 0;
+  Time makespan;
+  bool feasible = false;
+};
+
+class SchedulerStrategy {
+ public:
+  virtual ~SchedulerStrategy() = default;
+
+  /// Registry key; stable, lowercase, dash-separated.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line description for --help output.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// True when different seeds can yield different schedules. The parallel
+  /// search enumerates seeds only for seedable strategies.
+  [[nodiscard]] virtual bool seedable() const { return false; }
+
+  /// Computes a complete schedule for `tg`. Implementations must be
+  /// deterministic functions of (tg, opts) and safe to call from multiple
+  /// threads on distinct instances.
+  [[nodiscard]] virtual StrategyResult schedule(const TaskGraph& tg,
+                                                const StrategyOptions& opts) const = 0;
+};
+
+/// Fills deadline_violations / makespan / feasible of `result` from its
+/// schedule — shared by all strategy implementations so every result is
+/// scored identically.
+void finalize_result(const TaskGraph& tg, StrategyResult& result);
+
+}  // namespace sched
+}  // namespace fppn

@@ -13,6 +13,8 @@
 namespace fppn {
 namespace {
 
+using apps::kPi;
+
 using apps::build_fft;
 using apps::reference_dft;
 
@@ -155,7 +157,7 @@ TEST(FftApp, GeneratorBitReversalIsSelfInverseThroughPipeline) {
   const auto spectrum =
       decode_spectrum(res.histories.output_samples.at(app.output)[0].value);
   for (int k = 0; k < n; ++k) {
-    const double angle = -2.0 * std::numbers::pi * 3.0 * k / n;
+    const double angle = -2.0 * kPi * 3.0 * k / n;
     EXPECT_NEAR(spectrum[static_cast<std::size_t>(k)].real(), std::cos(angle), 1e-9);
     EXPECT_NEAR(spectrum[static_cast<std::size_t>(k)].imag(), std::sin(angle), 1e-9);
   }

@@ -1,0 +1,190 @@
+// Parallel schedule search: bit-identical winner selection regardless of
+// worker-thread count, never-worse-than-any-single-strategy, and option
+// validation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "apps/fig1.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/registry.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace fppn {
+namespace {
+
+/// Random layered DAG (same construction as the heuristics bench).
+TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
+  std::uniform_int_distribution<int> fan(1, 3);
+  TaskGraph tg(Duration::ms(frame));
+  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      Job j;
+      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
+      j.arrival = Time::ms(0);
+      j.deadline = Time::ms(frame);
+      j.wcet = Duration::ms(wcet(rng));
+      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
+      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
+    }
+  }
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      const int out = fan(rng);
+      for (int e = 0; e < out; ++e) {
+        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
+                    grid[static_cast<std::size_t>(l + 1)]
+                        [static_cast<std::size_t>(pick(rng))]);
+      }
+    }
+  }
+  return tg;
+}
+
+/// Full placement equality: same processor and start time for every job.
+void expect_identical_schedules(const StaticSchedule& a, const StaticSchedule& b,
+                                std::size_t jobs) {
+  ASSERT_EQ(a.job_count(), jobs);
+  ASSERT_EQ(b.job_count(), jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const JobId id{i};
+    ASSERT_TRUE(a.is_placed(id));
+    ASSERT_TRUE(b.is_placed(id));
+    EXPECT_EQ(a.placement(id).processor, b.placement(id).processor) << "job " << i;
+    EXPECT_EQ(a.placement(id).start, b.placement(id).start) << "job " << i;
+  }
+}
+
+sched::ParallelSearchOptions base_options(std::int64_t processors) {
+  sched::ParallelSearchOptions opts;
+  opts.processors = processors;
+  opts.seeds_per_strategy = 3;
+  opts.max_iterations = 300;
+  opts.restarts = 1;
+  return opts;
+}
+
+TEST(ParallelSearch, DeterministicAcrossWorkerCounts) {
+  // Acceptance criterion: the chosen schedule is bit-identical whether the
+  // search runs on 1, 2 or 8 workers.
+  for (const std::uint64_t graph_seed : {0ULL, 7ULL, 13ULL}) {
+    const TaskGraph tg = random_task_graph(5, 5, 160, graph_seed);
+    sched::ParallelSearchOptions opts = base_options(3);
+    opts.workers = 1;
+    const auto one = sched::parallel_search(tg, opts);
+    for (const int workers : {2, 8}) {
+      opts.workers = workers;
+      const auto many = sched::parallel_search(tg, opts);
+      EXPECT_EQ(many.best.strategy, one.best.strategy) << "graph seed " << graph_seed;
+      EXPECT_EQ(many.seed, one.seed) << "graph seed " << graph_seed;
+      EXPECT_EQ(many.best.makespan, one.best.makespan) << "graph seed " << graph_seed;
+      EXPECT_EQ(many.best.deadline_violations, one.best.deadline_violations);
+      expect_identical_schedules(many.best.schedule, one.best.schedule, tg.job_count());
+    }
+  }
+}
+
+TEST(ParallelSearch, RepeatedCallsAreIdentical) {
+  const TaskGraph tg = random_task_graph(5, 5, 160, 3);
+  const auto a = sched::parallel_search(tg, base_options(3));
+  const auto b = sched::parallel_search(tg, base_options(3));
+  EXPECT_EQ(a.best.strategy, b.best.strategy);
+  EXPECT_EQ(a.seed, b.seed);
+  expect_identical_schedules(a.best.schedule, b.best.schedule, tg.job_count());
+}
+
+TEST(ParallelSearch, NeverWorseThanAnySingleStrategy) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  const auto result = sched::parallel_search(derived.graph, base_options(2));
+  auto& registry = sched::StrategyRegistry::global();
+  for (const std::string& name : registry.names()) {
+    sched::StrategyOptions sopts;
+    sopts.processors = 2;
+    sopts.max_iterations = 300;
+    sopts.restarts = 1;
+    const auto single = registry.create(name)->schedule(derived.graph, sopts);
+    // Lexicographic objective: violations first, then makespan.
+    EXPECT_LE(result.best.deadline_violations, single.deadline_violations) << name;
+    if (result.best.deadline_violations == single.deadline_violations) {
+      EXPECT_LE(result.best.makespan, single.makespan) << name;
+    }
+  }
+}
+
+TEST(ParallelSearch, FindsFeasibleFig1ScheduleOnTwoProcessors) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  const auto result = sched::parallel_search(derived.graph, base_options(2));
+  EXPECT_TRUE(result.best.feasible);
+  EXPECT_EQ(result.best.deadline_violations, 0u);
+  // 4 non-seedable heuristics + 3 seeds of local-search.
+  EXPECT_EQ(result.candidates, 7u);
+}
+
+TEST(ParallelSearch, HonorsRestrictedStrategyList) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  sched::ParallelSearchOptions opts = base_options(2);
+  opts.strategies = {"b-level"};
+  const auto result = sched::parallel_search(derived.graph, opts);
+  EXPECT_EQ(result.best.strategy, "b-level");
+  EXPECT_EQ(result.candidates, 1u);
+}
+
+TEST(ParallelSearch, UnknownStrategyThrowsBeforeSearching) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  sched::ParallelSearchOptions opts = base_options(2);
+  opts.strategies = {"alap-edf", "definitely-not-registered"};
+  EXPECT_THROW((void)sched::parallel_search(derived.graph, opts),
+               sched::UnknownStrategyError);
+}
+
+/// User strategy that returns a partial schedule: no placements at all, so
+/// its only violations are kUnscheduled (zero *deadline* violations) and
+/// its makespan is minimal. It must never beat a feasible candidate.
+class BrokenStrategy final : public sched::SchedulerStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "aaa-broken"; }
+  [[nodiscard]] std::string description() const override { return "partial schedule"; }
+  [[nodiscard]] sched::StrategyResult schedule(
+      const TaskGraph& tg, const sched::StrategyOptions& opts) const override {
+    sched::StrategyResult result;
+    result.strategy = name();
+    result.detail = "leaves every job unplaced";
+    result.schedule = StaticSchedule(tg.job_count(), opts.processors);
+    sched::finalize_result(tg, result);
+    return result;
+  }
+};
+
+TEST(ParallelSearch, FeasibleCandidateOutranksInfeasiblePartialSchedule) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  sched::StrategyRegistry registry;
+  sched::register_builtin_strategies(registry);
+  // "aaa-broken" sorts first, has zero deadline violations and a zero
+  // makespan — it wins every tie-break except the feasibility rank.
+  registry.add("aaa-broken", [] { return std::make_unique<BrokenStrategy>(); });
+  const auto result = sched::parallel_search(derived.graph, base_options(2), registry);
+  EXPECT_TRUE(result.best.feasible);
+  EXPECT_NE(result.best.strategy, "aaa-broken");
+}
+
+TEST(ParallelSearch, RejectsBadOptions) {
+  const TaskGraph tg = random_task_graph(2, 2, 100, 1);
+  sched::ParallelSearchOptions opts = base_options(0);
+  EXPECT_THROW((void)sched::parallel_search(tg, opts), std::invalid_argument);
+  opts = base_options(2);
+  opts.seeds_per_strategy = 0;
+  EXPECT_THROW((void)sched::parallel_search(tg, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fppn

@@ -3,14 +3,19 @@
 // schedules and simulate the online policy. This is the analogue of the
 // paper's publicly released code-generation tool [10] for this library.
 //
+// Scheduling goes through the strategy registry (pass any registered name
+// to --strategy; `fppn_tool --help` lists them) and --optimize runs the
+// parallel multi-strategy/multi-seed search. Execution goes through the
+// runtime registry (--runtime vm|threads).
+//
 // Usage:
 //   fppn_tool check     <file>
 //   fppn_tool taskgraph <file> [--dot] [--wcet C] [--unfold U]
-//   fppn_tool schedule  <file> -m N [--heuristic alap-edf|b-level|
-//                        deadline-monotonic|arrival-order] [--optimize]
-//                        [--wcet C] [--unfold U] [--dot|--gantt]
-//   fppn_tool simulate  <file> -m N [--frames F] [--overhead F1,Fn]
-//                        [--wcet C] [--seed S]
+//   fppn_tool schedule  <file> -m N [--strategy NAME] [--optimize]
+//                       [--jobs W] [--seed S] [--wcet C] [--unfold U]
+//                       [--dot|--gantt]
+//   fppn_tool simulate  <file> -m N [--runtime NAME] [--frames F]
+//                       [--overhead F1,Fn] [--wcet C] [--seed S]
 //   fppn_tool roundtrip <file>         # parse and re-emit the description
 #include <cstdio>
 #include <cstring>
@@ -20,9 +25,9 @@
 #include <string>
 
 #include "io/text_format.hpp"
-#include "runtime/vm_runtime.hpp"
-#include "sched/local_search.hpp"
-#include "sched/search.hpp"
+#include "runtime/runtime.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/registry.hpp"
 #include "sim/gantt.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/derivation.hpp"
@@ -37,32 +42,74 @@ struct Args {
   std::int64_t processors = 2;
   std::int64_t frames = 1;
   int unfold = 1;
+  int jobs = 0;  ///< parallel-search workers; 0 = hardware concurrency
   std::uint64_t seed = 1;
   std::optional<Duration> uniform_wcet;
-  std::optional<PriorityHeuristic> heuristic;
+  std::optional<std::string> strategy;
+  std::string runtime = "vm";
   bool optimize = false;
   bool dot = false;
   bool gantt = false;
   OverheadModel overhead;
 };
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: fppn_tool <check|taskgraph|schedule|simulate|roundtrip> "
-               "<file> [options]\n  see the header of tools/fppn_tool.cpp\n");
+               "<file> [options]\n"
+               "options:\n"
+               "  -m N             processor count (schedule/simulate)\n"
+               "  --strategy NAME  scheduling strategy (schedule)\n"
+               "  --optimize       parallel multi-strategy/multi-seed search\n"
+               "  --jobs W         parallel-search worker threads (0 = auto)\n"
+               "  --runtime NAME   execution backend (simulate)\n"
+               "  --frames F       schedule-frame repetitions (simulate)\n"
+               "  --overhead F1,Fn frame overhead model (simulate)\n"
+               "  --wcet C         uniform WCET override\n"
+               "  --unfold U       unfolding factor for the derivation\n"
+               "  --seed S         RNG seed (search/sporadic scripts)\n"
+               "  --dot | --gantt  graph/schedule rendering\n");
+  std::fprintf(out, "strategies:\n");
+  for (const std::string& name : sched::StrategyRegistry::global().names()) {
+    const auto strategy = sched::StrategyRegistry::global().create(name);
+    std::fprintf(out, "  %-20s %s\n", name.c_str(), strategy->description().c_str());
+  }
+  std::fprintf(out, "runtimes:\n");
+  for (const std::string& name : runtime::RuntimeRegistry::global().names()) {
+    const auto backend = runtime::make_runtime(name);
+    std::fprintf(out, "  %-20s %s\n", name.c_str(), backend->description().c_str());
+  }
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
   std::exit(2);
 }
 
-std::optional<PriorityHeuristic> heuristic_by_name(const std::string& name) {
-  for (const PriorityHeuristic h : all_heuristics()) {
-    if (to_string(h) == name) {
-      return h;
-    }
+/// Validates a user-supplied registry name; on failure prints the name and
+/// the registered list (kind = "strategy" / "runtime") and exits 2.
+template <class Registry>
+void require_known(const Registry& registry, const char* kind, const char* kind_plural,
+                   const std::string& name) {
+  if (registry.contains(name)) {
+    return;
   }
-  return std::nullopt;
+  std::fprintf(stderr, "fppn_tool: unknown %s '%s'\navailable %s:", kind, name.c_str(),
+               kind_plural);
+  for (const std::string& n : registry.names()) {
+    std::fprintf(stderr, " %s", n.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
 }
 
 Args parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(stdout);
+      std::exit(0);
+    }
+  }
   if (argc < 3) {
     usage();
   }
@@ -83,15 +130,21 @@ Args parse_args(int argc, char** argv) {
       a.frames = std::stoll(next());
     } else if (arg == "--unfold") {
       a.unfold = std::stoi(next());
+    } else if (arg == "--jobs") {
+      a.jobs = std::stoi(next());
     } else if (arg == "--seed") {
       a.seed = std::stoull(next());
     } else if (arg == "--wcet") {
       a.uniform_wcet = io::parse_duration(next());
-    } else if (arg == "--heuristic") {
-      a.heuristic = heuristic_by_name(next());
-      if (!a.heuristic.has_value()) {
-        usage();
-      }
+    } else if (arg == "--strategy" || arg == "--heuristic") {
+      // --heuristic is the pre-registry spelling, kept as an alias.
+      a.strategy = next();
+      require_known(sched::StrategyRegistry::global(), "strategy", "strategies",
+                    *a.strategy);
+    } else if (arg == "--runtime") {
+      a.runtime = next();
+      require_known(runtime::RuntimeRegistry::global(), "runtime", "runtimes",
+                    a.runtime);
     } else if (arg == "--optimize") {
       a.optimize = true;
     } else if (arg == "--dot") {
@@ -144,6 +197,29 @@ DerivedTaskGraph derive(const io::ParsedNetwork& parsed, const Args& args) {
   return derive_task_graph(parsed.net, resolve_wcets(parsed, args), opts);
 }
 
+/// The engine's default scheduling path: parallel search over the whole
+/// registry. A plain (non-optimizing) call keeps iterative strategies on a
+/// small budget so it stays quick.
+sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& args) {
+  sched::ParallelSearchOptions opts;
+  opts.processors = args.processors;
+  opts.workers = args.jobs;
+  opts.base_seed = args.seed;
+  if (args.strategy.has_value()) {
+    opts.strategies = {*args.strategy};
+  }
+  if (args.optimize) {
+    opts.seeds_per_strategy = 3;
+    opts.max_iterations = 2000;
+    opts.restarts = 2;
+  } else {
+    opts.seeds_per_strategy = 1;
+    opts.max_iterations = 400;
+    opts.restarts = 1;
+  }
+  return sched::parallel_search(tg, opts);
+}
+
 int cmd_check(const Args& args) {
   const auto parsed = load(args.file);
   std::printf("ok: %zu processes, %zu channels\n", parsed.net.process_count(),
@@ -179,43 +255,30 @@ int cmd_taskgraph(const Args& args) {
 int cmd_schedule(const Args& args) {
   const auto parsed = load(args.file);
   const auto derived = derive(parsed, args);
-  StaticSchedule schedule;
-  std::string how;
-  if (args.optimize) {
-    LocalSearchOptions opts;
-    opts.processors = args.processors;
-    opts.seed = args.seed;
-    LocalSearchResult result = optimize_priority(derived.graph, opts);
-    schedule = std::move(result.schedule);
-    how = "local search from " + to_string(result.start_heuristic) + ", " +
-          std::to_string(result.iterations_used) + " iterations";
-  } else if (args.heuristic.has_value()) {
-    schedule = list_schedule(derived.graph, *args.heuristic, args.processors);
-    how = to_string(*args.heuristic);
-  } else {
-    ScheduleAttempt attempt = best_schedule(derived.graph, args.processors);
-    schedule = std::move(attempt.schedule);
-    how = "best heuristic: " + to_string(attempt.heuristic);
-  }
-  const FeasibilityReport report = schedule.check_feasibility(derived.graph);
-  std::printf("%s on %lld processor(s): %s, makespan %s ms\n", how.c_str(),
-              static_cast<long long>(args.processors),
-              report.feasible() ? "FEASIBLE" : "infeasible",
-              schedule.makespan(derived.graph).to_string().c_str());
-  if (!report.feasible()) {
+  const sched::ParallelSearchResult result = search_schedule(derived.graph, args);
+  std::printf("%s on %lld processor(s): %s, makespan %s ms\n",
+              result.best.detail.c_str(), static_cast<long long>(args.processors),
+              result.best.feasible ? "FEASIBLE" : "infeasible",
+              result.best.makespan.to_string().c_str());
+  std::printf("(searched %zu candidate(s) on %d worker(s); winner: %s, seed %llu)\n",
+              result.candidates, result.workers_used, result.best.strategy.c_str(),
+              static_cast<unsigned long long>(result.seed));
+  if (!result.best.feasible) {
+    const FeasibilityReport report =
+        result.best.schedule.check_feasibility(derived.graph);
     std::printf("%s\n", report.to_string(derived.graph).c_str());
   }
   if (args.gantt) {
-    std::printf("%s", schedule.to_gantt(derived.graph, 100).c_str());
+    std::printf("%s", result.best.schedule.to_gantt(derived.graph, 100).c_str());
   }
-  return report.feasible() ? 0 : 3;
+  return result.best.feasible ? 0 : 3;
 }
 
 int cmd_simulate(const Args& args) {
   const auto parsed = load(args.file);
   const auto derived = derive(parsed, args);
-  const ScheduleAttempt attempt = best_schedule(derived.graph, args.processors);
-  if (!attempt.feasible) {
+  const sched::ParallelSearchResult result = search_schedule(derived.graph, args);
+  if (!result.best.feasible) {
     std::printf("warning: no feasible schedule found; simulating anyway\n");
   }
   // Random admissible sporadic scripts over the whole run.
@@ -229,11 +292,12 @@ int cmd_simulate(const Args& args) {
     scripts.emplace(
         p, SporadicScript::random(spec.burst, spec.period, horizon, ++salt));
   }
-  VmRunOptions opts;
+  runtime::RunOptions opts;
   opts.frames = args.frames;
   opts.overhead = args.overhead;
-  const RunResult run =
-      run_static_order_vm(parsed.net, derived, attempt.schedule, opts, {}, scripts);
+  const RunResult run = runtime::make_runtime(args.runtime)
+                            ->run(parsed.net, derived, result.best.schedule, opts, {},
+                                  scripts);
   std::printf("%s\n", run.trace.summary().c_str());
   GanttOptions gopts;
   std::printf("%s", render_gantt(run.trace, args.processors, gopts).c_str());
