@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown files.
+
+Scans every tracked *.md file (skipping build directories), extracts
+inline links/images `[text](target)`, and verifies that each relative
+target resolves to an existing file or directory relative to the file
+containing the link. External links (http/https/mailto) and pure
+in-page anchors (#...) are skipped; a `path#anchor` target is checked
+for the path part only.
+
+Exit status: 0 when all relative links resolve, 1 otherwise (each broken
+link is listed as file:line: target).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", "build-asan", ".git", ".cache"}
+# Inline [text](target) / ![alt](target); stops at the first ')' or space
+# (titles like (foo "bar") carry the path first).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(md: Path, root: Path):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue  # code blocks illustrate syntax, not real links
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+            elif root not in resolved.parents and resolved != root:
+                broken.append((lineno, target + " (escapes the repository)"))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    checked = 0
+    for md in markdown_files(root):
+        checked += 1
+        for lineno, target in check_file(md, root):
+            print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}")
+            failures += 1
+    print(f"checked {checked} markdown file(s): "
+          f"{'all relative links OK' if failures == 0 else f'{failures} broken link(s)'}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

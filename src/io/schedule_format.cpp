@@ -1,0 +1,191 @@
+#include "io/schedule_format.hpp"
+
+#include <sstream>
+
+#include "taskgraph/fingerprint.hpp"
+
+namespace fppn::io {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_schedule_entry(const ScheduleEntry& entry) {
+  std::ostringstream out;
+  out << "fppn-schedule v" << kScheduleFormatVersion << '\n';
+  out << "fingerprint " << fingerprint_hex(entry.fingerprint) << '\n';
+  out << "strategy " << entry.strategy << '\n';
+  out << "seed " << entry.seed << '\n';
+  out << "processors " << entry.processors << '\n';
+  out << "budget " << entry.max_iterations << ' ' << entry.restarts << '\n';
+  out << "detail " << entry.detail << '\n';
+  out << "jobs " << entry.schedule.job_count() << '\n';
+  for (std::size_t i = 0; i < entry.schedule.job_count(); ++i) {
+    const JobId id(i);
+    if (!entry.schedule.is_placed(id)) {
+      continue;  // partial schedules: unplaced jobs simply have no line
+    }
+    const Placement& p = entry.schedule.placement(id);
+    out << "place " << i << ' ' << p.processor.value() << ' '
+        << p.start.value().to_string() << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+ScheduleEntry read_schedule_entry(std::istream& in) {
+  std::size_t lineno = 0;
+  std::string line;
+  const auto next_line = [&]() -> std::string {
+    if (!std::getline(in, line)) {
+      throw ParseError(lineno, "unexpected end of schedule entry (no 'end' trailer?)");
+    }
+    ++lineno;
+    return line;
+  };
+  const auto expect_tokens = [&](const std::vector<std::string>& toks, std::size_t n,
+                                 const char* what) {
+    if (toks.size() != n) {
+      throw ParseError(lineno, std::string("malformed ") + what + " line");
+    }
+  };
+
+  // Magic/version first: anything else means "not a (current) cache entry".
+  {
+    const auto toks = tokenize(next_line());
+    if (toks.size() != 2 || toks[0] != "fppn-schedule" ||
+        toks[1] != "v" + std::to_string(kScheduleFormatVersion)) {
+      throw ParseError(lineno, "expected header 'fppn-schedule v" +
+                                   std::to_string(kScheduleFormatVersion) + "'");
+    }
+  }
+
+  ScheduleEntry entry;
+  const auto parse_i64 = [&](const std::string& s) -> std::int64_t {
+    try {
+      return std::stoll(s);
+    } catch (const std::exception&) {
+      throw ParseError(lineno, "expected an integer, got '" + s + "'");
+    }
+  };
+
+  {
+    const auto toks = tokenize(next_line());
+    expect_tokens(toks, 2, "fingerprint");
+    if (toks[0] != "fingerprint") {
+      throw ParseError(lineno, "expected 'fingerprint'");
+    }
+    try {
+      entry.fingerprint = parse_fingerprint_hex(toks[1]);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(lineno, e.what());
+    }
+  }
+  {
+    const auto toks = tokenize(next_line());
+    expect_tokens(toks, 2, "strategy");
+    if (toks[0] != "strategy") {
+      throw ParseError(lineno, "expected 'strategy'");
+    }
+    entry.strategy = toks[1];
+  }
+  {
+    const auto toks = tokenize(next_line());
+    expect_tokens(toks, 2, "seed");
+    if (toks[0] != "seed") {
+      throw ParseError(lineno, "expected 'seed'");
+    }
+    entry.seed = static_cast<std::uint64_t>(parse_i64(toks[1]));
+  }
+  std::int64_t processors = 0;
+  {
+    const auto toks = tokenize(next_line());
+    expect_tokens(toks, 2, "processors");
+    if (toks[0] != "processors") {
+      throw ParseError(lineno, "expected 'processors'");
+    }
+    processors = parse_i64(toks[1]);
+    if (processors < 1) {
+      throw ParseError(lineno, "processors must be >= 1");
+    }
+    entry.processors = processors;
+  }
+  {
+    const auto toks = tokenize(next_line());
+    expect_tokens(toks, 3, "budget");
+    if (toks[0] != "budget") {
+      throw ParseError(lineno, "expected 'budget'");
+    }
+    entry.max_iterations = static_cast<int>(parse_i64(toks[1]));
+    entry.restarts = static_cast<int>(parse_i64(toks[2]));
+  }
+  {
+    // `detail` is free text: everything after the first space, verbatim.
+    next_line();
+    const std::string prefix = "detail";
+    if (line.compare(0, prefix.size(), prefix) != 0) {
+      throw ParseError(lineno, "expected 'detail'");
+    }
+    entry.detail =
+        line.size() > prefix.size() + 1 ? line.substr(prefix.size() + 1) : "";
+  }
+  std::size_t jobs = 0;
+  {
+    const auto toks = tokenize(next_line());
+    expect_tokens(toks, 2, "jobs");
+    if (toks[0] != "jobs") {
+      throw ParseError(lineno, "expected 'jobs'");
+    }
+    const std::int64_t n = parse_i64(toks[1]);
+    if (n < 0) {
+      throw ParseError(lineno, "negative job count");
+    }
+    jobs = static_cast<std::size_t>(n);
+  }
+
+  entry.schedule = StaticSchedule(jobs, processors);
+  for (;;) {
+    const auto toks = tokenize(next_line());
+    if (toks.size() == 1 && toks[0] == "end") {
+      return entry;
+    }
+    expect_tokens(toks, 4, "place");
+    if (toks[0] != "place") {
+      throw ParseError(lineno, "expected 'place' or 'end'");
+    }
+    const std::int64_t job = parse_i64(toks[1]);
+    const std::int64_t proc = parse_i64(toks[2]);
+    if (job < 0 || static_cast<std::size_t>(job) >= jobs) {
+      throw ParseError(lineno, "job index out of range");
+    }
+    if (proc < 0 || proc >= processors) {
+      throw ParseError(lineno, "processor index out of range");
+    }
+    Time start;
+    try {
+      start = Time() + parse_duration(toks[3]);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(lineno, std::string("bad start time: ") + e.what());
+    }
+    entry.schedule.place(JobId(static_cast<std::size_t>(job)),
+                         ProcessorId(static_cast<std::size_t>(proc)), start);
+  }
+}
+
+ScheduleEntry read_schedule_entry_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_schedule_entry(in);
+}
+
+}  // namespace fppn::io

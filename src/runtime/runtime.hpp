@@ -48,7 +48,16 @@ class Runtime {
 
   /// Executes `opts.frames` repetitions of the schedule frame and returns
   /// the common RunResult (trace, histories, deadline misses). Throws
-  /// std::invalid_argument on incomplete schedules or bad options.
+  /// std::invalid_argument on incomplete schedules or bad options
+  /// (frames < 1, negative actual execution times).
+  ///
+  /// Determinism: every backend must produce output histories
+  /// functionally equal to the zero-delay reference (Prop. 4.1) — "vm" is
+  /// additionally bit-deterministic in its trace times, while "threads"
+  /// measures wall time, so its trace/deadline numbers carry OS jitter.
+  /// Thread safety: backends are stateless; one instance may serve
+  /// concurrent run() calls, and make_runtime hands out fresh instances
+  /// anyway.
   [[nodiscard]] virtual RunResult run(
       const Network& net, const DerivedTaskGraph& derived,
       const StaticSchedule& schedule, const RunOptions& opts = {},
@@ -68,10 +77,15 @@ class RuntimeRegistry : public detail::NameRegistry<Runtime, UnknownRuntimeError
   RuntimeRegistry() : NameRegistry("runtime") {}
 
   /// The process-wide registry, pre-loaded with "vm" and "threads".
+  /// First call initializes it thread-safely. Like the strategy registry,
+  /// add() is not synchronized against concurrent lookups — register
+  /// backends at startup, read from anywhere afterwards.
   [[nodiscard]] static RuntimeRegistry& global();
 };
 
-/// Shorthand for RuntimeRegistry::global().create(name).
+/// Shorthand for RuntimeRegistry::global().create(name). Throws
+/// UnknownRuntimeError (listing the registered backends) for unknown
+/// names.
 [[nodiscard]] std::unique_ptr<Runtime> make_runtime(const std::string& name);
 
 }  // namespace runtime

@@ -13,6 +13,13 @@
 // invocation inside the window; if fewer than t occurred the job is marked
 // 'false' and skipped. Windows tile the time line exactly, so every real
 // invocation is handled by exactly one subset.
+//
+// Every function here is a pure function of its arguments (exact rational
+// arithmetic, no state): deterministic, safe to call concurrently, and
+// non-throwing for the argument ranges produced by the derivation —
+// callers pass `sorted` ascending (both lookup helpers binary-search-free
+// scan and merely return wrong answers on unsorted input, they never
+// throw).
 #pragma once
 
 #include <optional>

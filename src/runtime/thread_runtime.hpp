@@ -32,6 +32,15 @@ struct ThreadRunOptions {
 /// the VM (trace times are measured wall times converted back to model
 /// milliseconds; deadline misses are measured, so they can include OS
 /// scheduling noise).
+///
+/// Determinism: output *histories* are deterministic — functionally equal
+/// to the zero-delay reference on every run (runtime_parity_test) — but
+/// trace timestamps and measured deadline misses are wall-clock-dependent
+/// by nature. Thread safety: safe to call concurrently (each call owns
+/// its workers and execution state), though concurrent runs compete for
+/// cores and distort each other's measured times. Throws
+/// std::invalid_argument when frames < 1 or the schedule leaves a job
+/// unplaced.
 [[nodiscard]] RunResult run_static_order_threads(
     const Network& net, const DerivedTaskGraph& derived, const StaticSchedule& schedule,
     const ThreadRunOptions& opts = {}, const InputScripts& inputs = {},

@@ -67,8 +67,14 @@ struct RunResult {
 ///
 /// `sporadics` gives the real invocation time stamps of each sporadic
 /// process over the whole run (global time, not per frame). `inputs` are
-/// the external-input sample arrays. Throws std::invalid_argument when the
-/// schedule does not place every job or the processor count is < 1.
+/// the external-input sample arrays.
+///
+/// Deterministic: a pure function of its arguments — simulated time is
+/// exact rational, so traces, histories and deadline misses are
+/// bit-identical across runs and platforms. Thread safety: no shared
+/// state; safe to call concurrently. Throws std::invalid_argument when
+/// the schedule does not place every job, frames < 1, or an injected
+/// actual execution time is negative.
 [[nodiscard]] RunResult run_static_order_vm(
     const Network& net, const DerivedTaskGraph& derived, const StaticSchedule& schedule,
     const VmRunOptions& opts = {}, const InputScripts& inputs = {},
@@ -78,6 +84,8 @@ struct RunResult {
 /// [0, frames*H) plus the sporadic scripts, executed with the zero-delay
 /// semantics. Prop. 4.1 + Prop. 2.1 imply the VM histories must be
 /// functionally equal to this (the property tests verify it).
+/// Deterministic and safe to call concurrently; exceptions from the
+/// semantics layer (ill-formed networks) propagate unchanged.
 [[nodiscard]] ZeroDelayResult zero_delay_reference(
     const Network& net, const Duration& hyperperiod, std::int64_t frames,
     const InputScripts& inputs = {},

@@ -20,11 +20,19 @@ namespace fppn {
 /// SP total order `priority` (highest first; must contain every job
 /// exactly once). Always produces a complete schedule; feasibility (the
 /// deadline constraint) must be checked afterwards.
+///
+/// Deterministic: a pure function of (tg, priority, processors) — ties at
+/// a decision instant go to the higher-SP job, free processors are taken
+/// in index order. Thread safety: no shared state; safe to call
+/// concurrently. Throws std::invalid_argument when `priority` is not a
+/// permutation of all jobs, `tg` is cyclic, or processors < 1.
 [[nodiscard]] StaticSchedule list_schedule(const TaskGraph& tg,
                                            const std::vector<JobId>& priority,
                                            std::int64_t processors);
 
-/// Convenience: computes the SP order from a heuristic first.
+/// Convenience: computes the SP order from a heuristic first. Same
+/// determinism/thread-safety/throw behavior as the explicit-order
+/// overload.
 [[nodiscard]] StaticSchedule list_schedule(const TaskGraph& tg,
                                            PriorityHeuristic heuristic,
                                            std::int64_t processors);

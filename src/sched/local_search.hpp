@@ -33,6 +33,12 @@ struct LocalSearchResult {
 
 /// Optimizes SP for `tg`. Never returns a schedule worse than the best
 /// plain heuristic (the search starts there and only accepts improvements).
+///
+/// Deterministic: a pure function of (tg, opts) — all randomness comes
+/// from opts.seed, so equal inputs yield the bit-identical schedule on
+/// any platform. Thread safety: no shared state; safe to call
+/// concurrently. Throws std::invalid_argument when processors < 1 or the
+/// graph is cyclic (via the underlying list scheduler).
 [[nodiscard]] LocalSearchResult optimize_priority(const TaskGraph& tg,
                                                   const LocalSearchOptions& opts = {});
 

@@ -67,37 +67,67 @@ ParallelSearchResult parallel_search(const TaskGraph& tg,
     throw std::invalid_argument("parallel_search: no candidate strategies");
   }
 
+  const auto options_for = [&](const Candidate& c) {
+    StrategyOptions sopts;
+    sopts.processors = opts.processors;
+    sopts.seed = c.seed;
+    sopts.max_iterations = opts.max_iterations;
+    sopts.restarts = opts.restarts;
+    return sopts;
+  };
+
+  // Cache probe, before any evaluation: a hit fills the candidate's result
+  // slot directly; only misses go to the worker pool. Lookups re-score the
+  // cached schedule against `tg`, so hits and fresh evaluations are ranked
+  // by the exact same numbers — cache warmth cannot change the winner.
+  std::vector<std::optional<StrategyResult>> results(candidates.size());
+  std::vector<std::size_t> pending;
+  std::size_t cache_hits = 0;
+  const std::uint64_t fp = opts.cache != nullptr ? fingerprint(tg) : 0;
+  const auto key_for = [&](std::size_t i) {
+    return make_cache_key(fp, candidates[i].strategy, options_for(candidates[i]));
+  };
+  if (opts.cache != nullptr) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      results[i] = opts.cache->lookup(key_for(i), tg);
+      if (results[i].has_value()) {
+        ++cache_hits;
+      } else {
+        pending.push_back(i);
+      }
+    }
+  } else {
+    pending.resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      pending[i] = i;
+    }
+  }
+
   int workers = opts.workers > 0
                     ? opts.workers
                     : static_cast<int>(std::max(1U, std::thread::hardware_concurrency()));
-  workers = std::min<int>(workers, static_cast<int>(candidates.size()));
+  workers = std::min<int>(workers, static_cast<int>(std::max<std::size_t>(pending.size(), 1)));
 
   // Each slot is written by exactly one worker; selection happens after
   // the join, over the index-ordered vector, so the winner cannot depend
   // on thread interleaving.
-  std::vector<std::optional<StrategyResult>> results(candidates.size());
   std::atomic<std::size_t> next{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
 
   const auto run_candidate = [&](std::size_t index) {
     const Candidate& c = candidates[index];
-    StrategyOptions sopts;
-    sopts.processors = opts.processors;
-    sopts.seed = c.seed;
-    sopts.max_iterations = opts.max_iterations;
-    sopts.restarts = opts.restarts;
-    results[index] = registry.create(c.strategy)->schedule(tg, sopts);
+    results[index] = registry.create(c.strategy)->schedule(tg, options_for(c));
   };
 
   const auto worker_loop = [&] {
     for (;;) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= candidates.size()) {
+      const std::size_t p = next.fetch_add(1, std::memory_order_relaxed);
+      if (p >= pending.size()) {
         return;
       }
       try {
-        run_candidate(index);
+        run_candidate(pending[p]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) {
@@ -107,20 +137,30 @@ ParallelSearchResult parallel_search(const TaskGraph& tg,
     }
   };
 
-  if (workers <= 1) {
-    worker_loop();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back(worker_loop);
-    }
-    for (std::thread& t : pool) {
-      t.join();
+  if (!pending.empty()) {
+    if (workers <= 1) {
+      worker_loop();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back(worker_loop);
+      }
+      for (std::thread& t : pool) {
+        t.join();
+      }
     }
   }
   if (first_error) {
     std::rethrow_exception(first_error);
+  }
+
+  // Persist every fresh evaluation (the eventual winner among them), so a
+  // repeat of this exact search is answered entirely from the cache.
+  if (opts.cache != nullptr) {
+    for (const std::size_t i : pending) {
+      opts.cache->store(key_for(i), *results[i]);
+    }
   }
 
   std::size_t best_index = 0;
@@ -135,6 +175,8 @@ ParallelSearchResult parallel_search(const TaskGraph& tg,
   out.best = std::move(*results[best_index]);
   out.seed = candidates[best_index].seed;
   out.candidates = candidates.size();
+  out.evaluated = pending.size();
+  out.cache_hits = cache_hits;
   out.workers_used = workers;
   return out;
 }

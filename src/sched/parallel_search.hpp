@@ -3,10 +3,19 @@
 // Fans a fixed candidate list — (strategy, seed) pairs: one candidate per
 // non-seedable strategy, `seeds_per_strategy` per seedable one — out over a
 // std::thread pool, evaluates each candidate independently, and selects
-// the winner deterministically: fewest deadline violations, then smallest
-// makespan, then strategy name, then seed. The candidate list and the
-// selection are both independent of the worker count, so the chosen
-// schedule is bit-identical whether the search runs on 1 or 64 threads.
+// the winner deterministically: feasibility first, then fewest deadline
+// violations, then smallest makespan, then strategy name, then seed. The
+// candidate list and the selection are both independent of the worker
+// count, so the chosen schedule is bit-identical whether the search runs
+// on 1 or 64 threads.
+//
+// With a ScheduleCache attached (ParallelSearchOptions::cache), candidates
+// whose (fingerprint, strategy, seed, processors, budget) key is cached
+// are answered from the cache instead of evaluated, and every freshly
+// evaluated candidate — the winner included — is stored afterwards.
+// Cached results are re-scored against the query graph, so a fully warm
+// search evaluates zero candidates yet selects the bit-identical winner of
+// the cold run (regression-tested in parallel_search_test.cpp).
 //
 // This is the default scheduling path of fppn_tool and the benches.
 #pragma once
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "sched/registry.hpp"
+#include "sched/schedule_cache.hpp"
 #include "sched/strategy.hpp"
 
 namespace fppn {
@@ -34,25 +44,37 @@ struct ParallelSearchOptions {
   /// Budget forwarded to iterative strategies.
   int max_iterations = 2000;
   int restarts = 2;
+  /// Optional schedule cache (not owned; must outlive the call). Null
+  /// disables caching. The same cache may serve concurrent searches.
+  ScheduleCache* cache = nullptr;
 };
 
 struct ParallelSearchResult {
   StrategyResult best;             ///< winning candidate, fully evaluated
   std::uint64_t seed = 0;          ///< seed of the winning candidate
-  std::size_t candidates = 0;      ///< candidates evaluated
+  std::size_t candidates = 0;      ///< total candidates considered
+  std::size_t evaluated = 0;       ///< candidates actually run (cache misses)
+  std::size_t cache_hits = 0;      ///< candidates answered by the cache
   int workers_used = 1;
 };
 
-/// Runs the search. Throws std::invalid_argument when the registry/options
-/// yield no candidates or processors < 1. Any exception thrown by a
-/// strategy is rethrown on the calling thread.
+/// Runs the search. Deterministic: for fixed (tg, opts, registry
+/// contents), the returned winner is bit-identical regardless of worker
+/// count, thread interleaving, or cache warmth. Throws
+/// std::invalid_argument when the registry/options yield no candidates,
+/// processors < 1, or seeds_per_strategy < 1; UnknownStrategyError for an
+/// unknown strategy name (before any work starts). Any exception thrown by
+/// a strategy or by a cache store is rethrown on the calling thread.
+/// Thread safety: safe to call concurrently, including with a shared
+/// registry and a shared cache.
 [[nodiscard]] ParallelSearchResult parallel_search(
     const TaskGraph& tg, const ParallelSearchOptions& opts = {},
     const StrategyRegistry& registry = StrategyRegistry::global());
 
 /// Small-budget convenience sweep — one seed per strategy, a bounded
-/// iteration budget — for callers (benches, examples) that just need a
-/// good schedule for M processors quickly.
+/// iteration budget, no cache — for callers (benches, examples) that just
+/// need a good schedule for M processors quickly. Same determinism,
+/// thread-safety and throw behavior as parallel_search.
 [[nodiscard]] ParallelSearchResult quick_parallel_search(const TaskGraph& tg,
                                                          std::int64_t processors,
                                                          int max_iterations = 400,

@@ -8,6 +8,17 @@
 // The partitioner is utilization-based worst-fit-decreasing over the
 // per-process demand sum(C_i)/H, followed by partition-constrained list
 // scheduling (the ready rule of §III-B, with the processor fixed per job).
+//
+// These are the low-level entry points; the engine path is the
+// "partitioned-wfd" SchedulerStrategy registered in the strategy registry
+// (sched/registry.hpp), which wraps partition_and_schedule and thereby
+// participates in parallel_search, the schedule cache and
+// `fppn_tool --strategy`.
+//
+// Determinism: both functions are pure functions of their arguments — the
+// WFD bin choice and all scheduling ties are broken by index, never by
+// iteration order or randomness. Thread safety: no shared state; safe to
+// call concurrently.
 #pragma once
 
 #include <optional>
@@ -27,8 +38,9 @@ struct PartitionedResult {
 };
 
 /// Explicit assignment: schedules `tg` with each job pinned to
-/// `assignment[job.process]`. Throws when a job's process has no
-/// assignment or it is out of range.
+/// `assignment[job.process]`. Throws std::invalid_argument when a job's
+/// process has no (in-range) assignment or `priority` does not cover
+/// every job; std::logic_error if the simulation stalls (cyclic graph).
 [[nodiscard]] StaticSchedule partitioned_list_schedule(
     const TaskGraph& tg, const std::vector<ProcessorId>& assignment,
     const std::vector<JobId>& priority, std::int64_t processors);
@@ -37,6 +49,8 @@ struct PartitionedResult {
 /// scheduling.
 /// `process_count` sizes the assignment table (processes are identified
 /// by the jobs' ProcessId values, which must be < process_count).
+/// Throws std::invalid_argument when processors < 1 or a job's process id
+/// is >= process_count.
 [[nodiscard]] PartitionedResult partition_and_schedule(
     const TaskGraph& tg, std::size_t process_count, std::int64_t processors,
     PriorityHeuristic heuristic = PriorityHeuristic::kAlapEdf);

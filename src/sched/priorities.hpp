@@ -23,18 +23,26 @@ enum class PriorityHeuristic : std::uint8_t {
   kArrivalOrder,       ///< earliest arrival first (FIFO baseline)
 };
 
+/// Registry name of the heuristic ("alap-edf", ...); never throws.
 [[nodiscard]] std::string to_string(PriorityHeuristic h);
 
-/// All heuristics, for sweep benchmarks.
+/// All heuristics in a fixed, documented order (kAlapEdf first), for
+/// sweep benchmarks and the seed -> heuristic mapping of partitioned-wfd.
+/// The returned reference is to a function-local static: valid for the
+/// process lifetime, safe to read concurrently.
 [[nodiscard]] const std::vector<PriorityHeuristic>& all_heuristics();
 
 /// Jobs sorted from highest to lowest schedule priority. Ties are broken
 /// by (arrival, job id) so the order is always deterministic and total.
+/// Thread safety: pure function, safe to call concurrently. Throws
+/// std::invalid_argument for cyclic graphs under kAlapEdf/kBLevel (both
+/// need longest-path values).
 [[nodiscard]] std::vector<JobId> schedule_priority(const TaskGraph& tg,
                                                    PriorityHeuristic heuristic);
 
 /// b-level of every job: longest WCET sum of any path starting at the job
-/// (including its own WCET). Precondition: DAG.
+/// (including its own WCET). Deterministic; throws std::invalid_argument
+/// when the graph is cyclic.
 [[nodiscard]] std::vector<Duration> b_levels(const TaskGraph& tg);
 
 }  // namespace fppn

@@ -11,6 +11,16 @@
 //
 // create() returns a fresh instance per call, so concurrent callers (the
 // parallel search) never share strategy state.
+//
+// Thread safety: the registry itself is not internally synchronized —
+// add() during concurrent create()/names() is a data race. Register
+// strategies at startup (global() pre-loads the built-ins on first use,
+// thread-safely via static-local initialization); afterwards the
+// read-only operations (contains/names/create) are safe from any number
+// of threads. Throw behavior is documented on NameRegistry
+// (rt/registry.hpp): add() throws std::invalid_argument on empty or
+// duplicate names, create() throws UnknownStrategyError listing every
+// registered name.
 #pragma once
 
 #include "rt/registry.hpp"
@@ -32,12 +42,15 @@ class StrategyRegistry
   StrategyRegistry() : NameRegistry("strategy") {}
 
   /// The process-wide registry, pre-loaded with the built-in strategies.
+  /// First call initializes it thread-safely; the instance lives for the
+  /// process lifetime.
   [[nodiscard]] static StrategyRegistry& global();
 };
 
-/// Registers the built-in strategies (heuristics + local search) into any
-/// registry; global() calls this once. Exposed for tests that want a
-/// private registry with the same contents.
+/// Registers the built-in strategies (the four SP heuristics, local
+/// search, partitioned-wfd) into any registry; global() calls this once.
+/// Exposed for tests that want a private registry with the same contents.
+/// Throws std::invalid_argument if any of the names is already taken.
 void register_builtin_strategies(StrategyRegistry& registry);
 
 }  // namespace sched

@@ -1,0 +1,188 @@
+#include "sched/schedule_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/schedule_format.hpp"
+
+namespace fppn {
+namespace sched {
+
+namespace fs = std::filesystem;
+
+std::string CacheKey::filename() const {
+  std::ostringstream out;
+  out << fingerprint_hex(fingerprint) << '-' << strategy << "-m" << processors
+      << "-seed" << seed << "-it" << max_iterations << "-r" << restarts << ".sched";
+  return out.str();
+}
+
+CacheKey make_cache_key(std::uint64_t graph_fingerprint, const std::string& strategy,
+                        const StrategyOptions& opts) {
+  CacheKey key;
+  key.fingerprint = graph_fingerprint;
+  key.strategy = strategy;
+  key.seed = opts.seed;
+  key.processors = opts.processors;
+  key.max_iterations = opts.max_iterations;
+  key.restarts = opts.restarts;
+  return key;
+}
+
+CacheKey make_cache_key(const TaskGraph& tg, const std::string& strategy,
+                        const StrategyOptions& opts) {
+  return make_cache_key(fingerprint(tg), strategy, opts);
+}
+
+ScheduleCache::ScheduleCache(const std::string& directory) : directory_(directory) {
+  std::error_code ec;
+  const fs::path dir(directory_);
+  if (fs::exists(dir, ec)) {
+    if (!fs::is_directory(dir, ec)) {
+      throw std::runtime_error("schedule cache: '" + directory_ +
+                               "' exists but is not a directory");
+    }
+    return;
+  }
+  // Create only the leaf: a missing parent is almost always a typo, and a
+  // typo'd cache path must fail loudly, not silently cache nothing.
+  if (!dir.parent_path().empty() && !fs::exists(dir.parent_path(), ec)) {
+    throw std::runtime_error("schedule cache: parent of '" + directory_ +
+                             "' does not exist");
+  }
+  if (!fs::create_directory(dir, ec) || ec) {
+    throw std::runtime_error("schedule cache: cannot create directory '" + directory_ +
+                             "': " + ec.message());
+  }
+}
+
+std::optional<StrategyResult> ScheduleCache::lookup(const CacheKey& key,
+                                                    const TaskGraph& tg) {
+  std::optional<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      entry = it->second;
+    } else if (!directory_.empty()) {
+      entry = load_from_disk(key);
+      if (entry.has_value()) {
+        memory_.emplace(key, *entry);  // promote so the next probe is O(log n)
+      }
+    }
+    if (entry.has_value() && entry->schedule.job_count() != tg.job_count()) {
+      // Fingerprint collision safety net: never hand back a schedule that
+      // cannot even index this graph's jobs.
+      ++stats_.disk_rejects;
+      memory_.erase(key);
+      entry.reset();
+    }
+    if (entry.has_value()) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (!entry.has_value()) {
+    return std::nullopt;
+  }
+  StrategyResult result;
+  result.schedule = std::move(entry->schedule);
+  result.strategy = key.strategy;
+  result.detail = std::move(entry->detail);
+  finalize_result(tg, result);
+  return result;
+}
+
+void ScheduleCache::store(const CacheKey& key, const StrategyResult& result) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    memory_[key] = Entry{result.schedule, result.detail};
+    ++stats_.stores;
+  }
+  if (directory_.empty()) {
+    return;
+  }
+  io::ScheduleEntry entry;
+  entry.fingerprint = key.fingerprint;
+  entry.strategy = key.strategy;
+  entry.seed = key.seed;
+  entry.processors = key.processors;
+  entry.max_iterations = key.max_iterations;
+  entry.restarts = key.restarts;
+  entry.detail = result.detail;
+  entry.schedule = result.schedule;
+
+  // Unique temp name per writer (pid + process-wide counter): concurrent
+  // stores of the same key — same process or not — each publish their own
+  // complete file via the atomic rename, last one wins.
+  static std::atomic<unsigned long> write_counter{0};
+  const fs::path final_path = fs::path(directory_) / key.filename();
+  const fs::path tmp_path = final_path.string() + ".tmp." +
+                            std::to_string(static_cast<long>(::getpid())) + "." +
+                            std::to_string(write_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp_path);
+    if (!out) {
+      throw std::runtime_error("schedule cache: cannot write '" + tmp_path.string() +
+                               "'");
+    }
+    out << io::write_schedule_entry(entry);
+    out.flush();
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      throw std::runtime_error("schedule cache: short write to '" + tmp_path.string() +
+                               "' (disk full?)");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("schedule cache: cannot rename into '" +
+                             final_path.string() + "': " + ec.message());
+  }
+}
+
+std::optional<ScheduleCache::Entry> ScheduleCache::load_from_disk(const CacheKey& key) {
+  const fs::path path = fs::path(directory_) / key.filename();
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;  // plain miss: the entry was never written
+  }
+  io::ScheduleEntry entry;
+  try {
+    entry = io::read_schedule_entry(in);
+  } catch (const io::ParseError&) {
+    ++stats_.disk_rejects;  // corrupt or different format version
+    return std::nullopt;
+  }
+  // The file name encodes the key, but verify the header provenance too:
+  // a renamed or hand-edited entry must not satisfy the wrong query.
+  if (entry.fingerprint != key.fingerprint || entry.strategy != key.strategy ||
+      entry.seed != key.seed || entry.processors != key.processors ||
+      entry.max_iterations != key.max_iterations || entry.restarts != key.restarts) {
+    ++stats_.disk_rejects;
+    return std::nullopt;
+  }
+  return Entry{std::move(entry.schedule), std::move(entry.detail)};
+}
+
+CacheStats ScheduleCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ScheduleCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return memory_.size();
+}
+
+}  // namespace sched
+}  // namespace fppn

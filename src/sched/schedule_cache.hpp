@@ -1,0 +1,139 @@
+// Content-addressed schedule cache: never solve the same (graph, strategy,
+// seed, budget) query twice.
+//
+// Keys are CacheKey = (task-graph fingerprint, strategy name, seed,
+// processor count, iteration budget, restart budget) — exactly the inputs
+// a SchedulerStrategy's result may depend on. Values are the produced
+// StaticSchedule plus the strategy's detail line. Scores (makespan,
+// violations, feasibility) are NOT stored: lookup() re-derives them from
+// the schedule with finalize_result, so a cached candidate ranks
+// bit-identically to a freshly evaluated one in parallel_search's winner
+// selection (the cold-vs-warm determinism contract, regression-tested in
+// parallel_search_test.cpp).
+//
+// Two tiers: an in-memory map (always on) and an optional on-disk
+// directory with one versioned text file per entry (io/schedule_format.hpp;
+// format documented in docs/FILE_FORMATS.md). Disk entries that are
+// corrupt, of a different format version, or fail validation against the
+// query (job count, processor count, key fields) are treated as misses and
+// overwritten on the next store — a fingerprint collision can therefore
+// never smuggle a wrong-sized schedule into a search.
+//
+// Thread safety: lookup/store/stats are safe to call concurrently on one
+// ScheduleCache (internal mutex). Disk writes go through a temp file +
+// rename, so concurrent *processes* sharing a cache directory never
+// observe torn entries.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include <map>
+
+#include "sched/strategy.hpp"
+#include "taskgraph/fingerprint.hpp"
+
+namespace fppn {
+namespace sched {
+
+/// Everything a strategy result may depend on besides the graph contents.
+struct CacheKey {
+  std::uint64_t fingerprint = 0;  ///< fingerprint(tg)
+  std::string strategy;           ///< registry name
+  std::uint64_t seed = 0;
+  std::int64_t processors = 0;
+  int max_iterations = 0;
+  int restarts = 0;
+
+  friend bool operator<(const CacheKey& a, const CacheKey& b) {
+    return std::tie(a.fingerprint, a.strategy, a.seed, a.processors, a.max_iterations,
+                    a.restarts) < std::tie(b.fingerprint, b.strategy, b.seed,
+                                           b.processors, b.max_iterations, b.restarts);
+  }
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return !(a < b) && !(b < a);
+  }
+
+  /// Filesystem-safe entry file name, e.g.
+  /// "3a1f...9c-local-search-m2-seed3-it2000-r2.sched". Strategy names are
+  /// lowercase/dash by the registry contract, so no escaping is needed.
+  [[nodiscard]] std::string filename() const;
+};
+
+/// Builds the key for one (strategy, seed) candidate from the options the
+/// parallel search forwards to strategies. Deterministic; never throws.
+[[nodiscard]] CacheKey make_cache_key(const TaskGraph& tg, const std::string& strategy,
+                                      const StrategyOptions& opts);
+
+/// Same, with the graph fingerprint precomputed — the parallel search
+/// fingerprints once per call and keys every candidate from it.
+[[nodiscard]] CacheKey make_cache_key(std::uint64_t graph_fingerprint,
+                                      const std::string& strategy,
+                                      const StrategyOptions& opts);
+
+/// Monotonic counters; a snapshot is returned by ScheduleCache::stats().
+struct CacheStats {
+  std::size_t hits = 0;          ///< lookups answered (memory or disk)
+  std::size_t misses = 0;        ///< lookups not answered
+  std::size_t stores = 0;        ///< entries written
+  std::size_t disk_rejects = 0;  ///< disk entries dropped (corrupt/mismatched)
+};
+
+class ScheduleCache {
+ public:
+  /// In-memory cache only.
+  ScheduleCache() = default;
+
+  /// In-memory + on-disk cache rooted at `directory`. Creates the leaf
+  /// directory when missing; throws std::runtime_error with the failing
+  /// path when the parent does not exist, the path is not a directory, or
+  /// it cannot be created — a bad cache path is an error, never a silent
+  /// permanent miss.
+  explicit ScheduleCache(const std::string& directory);
+
+  /// Returns the cached result for `key`, re-scored against `tg`
+  /// (finalize_result), or nullopt on a miss. Memory is probed first,
+  /// then disk; a disk hit is promoted into memory. Entries whose job
+  /// count, processor count or key provenance fields do not match the
+  /// query are rejected (counted in CacheStats::disk_rejects) and treated
+  /// as misses. Throws only on allocation failure.
+  [[nodiscard]] std::optional<StrategyResult> lookup(const CacheKey& key,
+                                                     const TaskGraph& tg);
+
+  /// Stores `result` under `key`, overwriting any previous entry, in
+  /// memory and (when disk-backed) on disk. Disk write failures throw
+  /// std::runtime_error with the failing path; the memory tier is updated
+  /// first, so the in-process cache stays usable even if the throw is
+  /// caught.
+  void store(const CacheKey& key, const StrategyResult& result);
+
+  /// Counter snapshot (taken under the lock, so internally consistent).
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Entries currently held in memory.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Disk directory, empty for memory-only caches.
+  [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+
+ private:
+  struct Entry {
+    StaticSchedule schedule;
+    std::string detail;
+  };
+
+  /// Disk probe; returns nullopt (and bumps disk_rejects when warranted)
+  /// for missing/corrupt/mismatched entries. Caller holds the lock.
+  [[nodiscard]] std::optional<Entry> load_from_disk(const CacheKey& key);
+
+  std::string directory_;
+  mutable std::mutex mu_;
+  std::map<CacheKey, Entry> memory_;
+  CacheStats stats_;
+};
+
+}  // namespace sched
+}  // namespace fppn

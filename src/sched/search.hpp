@@ -19,7 +19,8 @@ struct ScheduleAttempt {
 
 /// Tries every heuristic on M processors; returns the first feasible
 /// schedule (heuristics in all_heuristics() order), else the attempt with
-/// the fewest deadline violations.
+/// the fewest deadline violations. Deterministic and safe to call
+/// concurrently; throws like list_schedule (cyclic graph, processors < 1).
 [[nodiscard]] ScheduleAttempt best_schedule(const TaskGraph& tg, std::int64_t processors);
 
 struct MinProcessorsResult {
@@ -29,7 +30,8 @@ struct MinProcessorsResult {
 };
 
 /// Finds the smallest M in [max(1, ceil(Load)), limit] with a feasible
-/// list schedule under any heuristic.
+/// list schedule under any heuristic. Deterministic and safe to call
+/// concurrently; throws like best_schedule.
 [[nodiscard]] MinProcessorsResult min_processors(const TaskGraph& tg,
                                                  std::int64_t limit = 64);
 

@@ -6,6 +6,13 @@
 //   deadline:    e_i <= D_i           (e_i = s_i + C_i)
 //   precedence:  (J_i, J_j) in E  =>  e_i <= s_j
 //   mutex:       mu_i == mu_j  =>  e_i <= s_j or e_j <= s_i
+//
+// Determinism: StaticSchedule is a plain value type; every const query
+// (feasibility, makespan, rendering) is a pure function of the placements
+// and the task graph — exact rational comparisons, no iteration-order or
+// platform dependence. Thread safety: const members are safe to call
+// concurrently; place() requires external synchronization (the parallel
+// search never shares a mutable schedule between workers).
 #pragma once
 
 #include <cstdint>
@@ -53,32 +60,43 @@ struct FeasibilityReport {
 class StaticSchedule {
  public:
   StaticSchedule() = default;
+  /// Empty schedule for `job_count` jobs. Throws std::invalid_argument
+  /// when processors < 1.
   StaticSchedule(std::size_t job_count, std::int64_t processors);
 
   [[nodiscard]] std::int64_t processor_count() const noexcept { return processors_; }
   [[nodiscard]] std::size_t job_count() const noexcept { return placements_.size(); }
 
+  /// Sets (or overwrites) a job's placement. Throws std::invalid_argument
+  /// when the job or processor id is out of range.
   void place(JobId job, ProcessorId proc, Time start);
 
+  /// False for out-of-range ids as well as unplaced jobs; never throws.
   [[nodiscard]] bool is_placed(JobId job) const;
+  /// Throws std::logic_error unless is_placed(job) — check it first when
+  /// handling partial schedules.
   [[nodiscard]] const Placement& placement(JobId job) const;
   [[nodiscard]] Time start(JobId job) const { return placement(job).start; }
   [[nodiscard]] Time end(JobId job, const TaskGraph& tg) const {
     return placement(job).start + tg.job(job).wcet;
   }
 
-  /// Jobs per processor, sorted by start time — the static order the
-  /// online policy (§IV) executes.
+  /// Jobs per processor, sorted by (start time, job id) — the static
+  /// order the online policy (§IV) executes. Deterministic total order;
+  /// never throws.
   [[nodiscard]] std::vector<std::vector<JobId>> per_processor_order(
       const TaskGraph& tg) const;
 
-  /// Latest completion time over all jobs.
+  /// Latest completion time over all *placed* jobs (Time() when none).
   [[nodiscard]] Time makespan(const TaskGraph& tg) const;
 
   /// Busy time per processor (sum of placed WCETs).
   [[nodiscard]] std::vector<Duration> busy_time(const TaskGraph& tg) const;
 
-  /// Full Def. 3.2 feasibility check.
+  /// Full Def. 3.2 feasibility check, including a kUnscheduled violation
+  /// per unplaced job. The violation list order is deterministic
+  /// (per-job checks in job order, then precedence in edge order, then
+  /// mutex per processor); never throws.
   [[nodiscard]] FeasibilityReport check_feasibility(const TaskGraph& tg) const;
 
   /// ASCII Gantt chart (Fig. 4 style), `cols` characters wide.

@@ -1,7 +1,10 @@
 #include "sched/strategy.hpp"
 
+#include <algorithm>
+
 #include "sched/list_scheduler.hpp"
 #include "sched/local_search.hpp"
+#include "sched/partitioned.hpp"
 #include "sched/priorities.hpp"
 #include "sched/registry.hpp"
 
@@ -76,6 +79,48 @@ class LocalSearchStrategy final : public SchedulerStrategy {
   }
 };
 
+/// Partitioned scheduling behind the strategy interface: worst-fit-
+/// decreasing process-to-processor pinning (the paper's static mapping
+/// mu_i, §V) followed by partition-constrained list scheduling. Seedable,
+/// with a deliberate split: the seed selects only the SP heuristic used
+/// *within* the fixed partition (seed mod heuristic count), never the
+/// partition itself — the WFD assignment is a pure function of the graph,
+/// so every seed pins each process to the same processor ("assignment
+/// stability", tested in partitioned_test.cpp).
+class PartitionedStrategy final : public SchedulerStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "partitioned-wfd"; }
+  [[nodiscard]] std::string description() const override {
+    return "worst-fit-decreasing process pinning + constrained list schedule";
+  }
+  [[nodiscard]] bool seedable() const override { return true; }
+
+  [[nodiscard]] StrategyResult schedule(const TaskGraph& tg,
+                                        const StrategyOptions& opts) const override {
+    // Processes are identified by the jobs' ProcessId values; the
+    // assignment table must cover the largest one.
+    std::size_t process_count = 0;
+    for (const Job& j : tg.jobs()) {
+      if (!j.process.is_valid()) {
+        throw std::invalid_argument("partitioned-wfd: job '" + j.name +
+                                    "' has no process id");
+      }
+      process_count = std::max(process_count, j.process.value() + 1);
+    }
+    const auto& heuristics = all_heuristics();
+    const PriorityHeuristic h =
+        heuristics[static_cast<std::size_t>(opts.seed % heuristics.size())];
+    PartitionedResult p = partition_and_schedule(tg, process_count, opts.processors, h);
+
+    StrategyResult result;
+    result.strategy = name();
+    result.detail = "partitioned WFD pinning, SP heuristic " + to_string(h);
+    result.schedule = std::move(p.schedule);
+    finalize_result(tg, result);
+    return result;
+  }
+};
+
 }  // namespace
 
 void register_builtin_strategies(StrategyRegistry& registry) {
@@ -96,6 +141,7 @@ void register_builtin_strategies(StrategyRegistry& registry) {
     });
   }
   registry.add("local-search", [] { return std::make_unique<LocalSearchStrategy>(); });
+  registry.add("partitioned-wfd", [] { return std::make_unique<PartitionedStrategy>(); });
 }
 
 }  // namespace sched

@@ -53,15 +53,21 @@ class SchedulerStrategy {
   [[nodiscard]] virtual bool seedable() const { return false; }
 
   /// Computes a complete schedule for `tg`. Implementations must be
-  /// deterministic functions of (tg, opts) and safe to call from multiple
-  /// threads on distinct instances.
+  /// deterministic functions of (tg, opts) — all randomness derived from
+  /// opts.seed — and safe to call from multiple threads on distinct
+  /// instances (the registry hands every caller a fresh instance).
+  /// Implementations may throw std::invalid_argument for graphs/options
+  /// they cannot schedule (e.g. cyclic graphs, processors < 1); the
+  /// parallel search rethrows on the calling thread.
   [[nodiscard]] virtual StrategyResult schedule(const TaskGraph& tg,
                                                 const StrategyOptions& opts) const = 0;
 };
 
 /// Fills deadline_violations / makespan / feasible of `result` from its
-/// schedule — shared by all strategy implementations so every result is
-/// scored identically.
+/// schedule — shared by all strategy implementations (and by cache
+/// lookups) so every result, fresh or cached, is scored identically.
+/// Deterministic and thread-safe (pure function of tg + the schedule);
+/// never throws.
 void finalize_result(const TaskGraph& tg, StrategyResult& result);
 
 }  // namespace sched

@@ -1,0 +1,183 @@
+// Task-graph fingerprints: sensitivity to every observable field,
+// construction-order independence, stability, and absence of collisions
+// over families of near-identical graphs.
+#include "taskgraph/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "apps/fig1.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace fppn {
+namespace {
+
+TaskGraph small_graph() {
+  TaskGraph tg(Duration::ms(200));
+  for (int i = 0; i < 4; ++i) {
+    Job j;
+    j.process = ProcessId{static_cast<std::size_t>(i)};
+    j.k = 1;
+    j.arrival = Time::ms(0);
+    j.deadline = Time::ms(200);
+    j.wcet = Duration::ms(25);
+    j.name = "J" + std::to_string(i);
+    tg.add_job(j);
+  }
+  tg.add_edge(JobId(0), JobId(1));
+  tg.add_edge(JobId(1), JobId(2));
+  tg.add_edge(JobId(0), JobId(3));
+  return tg;
+}
+
+TEST(Fingerprint, StableAcrossCalls) {
+  const TaskGraph tg = small_graph();
+  EXPECT_EQ(fingerprint(tg), fingerprint(tg));
+  EXPECT_EQ(fingerprint(small_graph()), fingerprint(tg));
+}
+
+TEST(Fingerprint, DerivedGraphIsStable) {
+  const auto app = apps::build_fig1();
+  const auto a = derive_task_graph(app.net, app.fig3_wcets());
+  const auto b = derive_task_graph(app.net, app.fig3_wcets());
+  EXPECT_EQ(fingerprint(a.graph), fingerprint(b.graph));
+}
+
+TEST(Fingerprint, SensitiveToEveryJobField) {
+  const std::uint64_t base = fingerprint(small_graph());
+
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).wcet = Duration::ms(26);
+    EXPECT_NE(fingerprint(tg), base) << "wcet change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).deadline = Time::ms(199);
+    EXPECT_NE(fingerprint(tg), base) << "deadline change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).arrival = Time::ms(1);
+    EXPECT_NE(fingerprint(tg), base) << "arrival change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).process = ProcessId{9};
+    EXPECT_NE(fingerprint(tg), base) << "process change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).k = 2;
+    EXPECT_NE(fingerprint(tg), base) << "invocation index change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).is_server = true;
+    EXPECT_NE(fingerprint(tg), base) << "server flag change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).subset = 1;
+    EXPECT_NE(fingerprint(tg), base) << "subset change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.job(JobId(2)).name = "renamed";
+    EXPECT_NE(fingerprint(tg), base) << "name change not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.set_hyperperiod(Duration::ms(400));
+    EXPECT_NE(fingerprint(tg), base) << "hyperperiod change not detected";
+  }
+}
+
+TEST(Fingerprint, SensitiveToEdges) {
+  const std::uint64_t base = fingerprint(small_graph());
+  {
+    TaskGraph tg = small_graph();
+    tg.add_edge(JobId(2), JobId(3));
+    EXPECT_NE(fingerprint(tg), base) << "added edge not detected";
+  }
+  {
+    TaskGraph tg = small_graph();
+    tg.remove_edge(JobId(0), JobId(3));
+    EXPECT_NE(fingerprint(tg), base) << "removed edge not detected";
+  }
+  {
+    // Same endpoints reversed: a genuinely different precedence relation.
+    TaskGraph tg = small_graph();
+    tg.remove_edge(JobId(0), JobId(3));
+    tg.add_edge(JobId(3), JobId(0));
+    EXPECT_NE(fingerprint(tg), base) << "edge direction not detected";
+  }
+}
+
+TEST(Fingerprint, EdgeInsertionOrderIrrelevant) {
+  // The same graph built with edges added in a different order must
+  // fingerprint identically (the "order-independent" contract).
+  TaskGraph a = small_graph();
+  TaskGraph b(Duration::ms(200));
+  for (int i = 0; i < 4; ++i) {
+    b.add_job(a.job(JobId(static_cast<std::size_t>(i))));
+  }
+  b.add_edge(JobId(0), JobId(3));
+  b.add_edge(JobId(1), JobId(2));
+  b.add_edge(JobId(0), JobId(1));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, JobPermutationIsADifferentGraph) {
+  // Schedules address jobs by index, so swapping two distinguishable jobs
+  // must change the fingerprint even though the job *set* is equal.
+  TaskGraph a(Duration::ms(100));
+  TaskGraph b(Duration::ms(100));
+  Job j0, j1;
+  j0.process = ProcessId{0};
+  j0.arrival = Time::ms(0);
+  j0.deadline = Time::ms(100);
+  j0.wcet = Duration::ms(10);
+  j0.name = "a";
+  j1 = j0;
+  j1.process = ProcessId{1};
+  j1.name = "b";
+  a.add_job(j0);
+  a.add_job(j1);
+  b.add_job(j1);
+  b.add_job(j0);
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, NoCollisionsOverRandomFamily) {
+  // 512 random perturbations of one base graph — every WCET bump yields a
+  // distinct graph, so all fingerprints must be pairwise distinct.
+  std::set<std::uint64_t> seen;
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 512; ++trial) {
+    TaskGraph tg = small_graph();
+    // Unique WCET vector per trial: trial index encoded in milliseconds.
+    tg.job(JobId(0)).wcet = Duration::ms(25 + trial);
+    tg.job(JobId(1)).wcet =
+        Duration::ratio_ms(1 + static_cast<std::int64_t>(rng() % 1000), 7);
+    const bool fresh = seen.insert(fingerprint(tg)).second;
+    EXPECT_TRUE(fresh) << "collision at trial " << trial;
+  }
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  for (const std::uint64_t fp :
+       {0ULL, 1ULL, 0xdeadbeefULL, 0xffffffffffffffffULL, 0x0123456789abcdefULL}) {
+    const std::string hex = fingerprint_hex(fp);
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(parse_fingerprint_hex(hex), fp);
+  }
+  EXPECT_THROW((void)parse_fingerprint_hex("123"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fingerprint_hex("zzzzzzzzzzzzzzzz"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fingerprint_hex("0123456789ABCDEF"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fppn

@@ -123,8 +123,9 @@ TEST(ParallelSearch, FindsFeasibleFig1ScheduleOnTwoProcessors) {
   const auto result = sched::parallel_search(derived.graph, base_options(2));
   EXPECT_TRUE(result.best.feasible);
   EXPECT_EQ(result.best.deadline_violations, 0u);
-  // 4 non-seedable heuristics + 3 seeds of local-search.
-  EXPECT_EQ(result.candidates, 7u);
+  // 4 non-seedable heuristics + 3 seeds each of local-search and
+  // partitioned-wfd.
+  EXPECT_EQ(result.candidates, 10u);
 }
 
 TEST(ParallelSearch, HonorsRestrictedStrategyList) {
@@ -175,6 +176,75 @@ TEST(ParallelSearch, FeasibleCandidateOutranksInfeasiblePartialSchedule) {
   const auto result = sched::parallel_search(derived.graph, base_options(2), registry);
   EXPECT_TRUE(result.best.feasible);
   EXPECT_NE(result.best.strategy, "aaa-broken");
+}
+
+TEST(ParallelSearch, ColdVsWarmCachePickBitIdenticalWinner) {
+  // Acceptance criterion: a warm-cache search on a repeated graph
+  // evaluates 0 candidates yet returns the bit-identical winner of the
+  // cold run.
+  for (const std::uint64_t graph_seed : {0ULL, 7ULL}) {
+    const TaskGraph tg = random_task_graph(5, 5, 160, graph_seed);
+    sched::ScheduleCache cache;
+    sched::ParallelSearchOptions opts = base_options(3);
+    opts.cache = &cache;
+
+    const auto cold = sched::parallel_search(tg, opts);
+    EXPECT_EQ(cold.evaluated, cold.candidates);
+    EXPECT_EQ(cold.cache_hits, 0u);
+
+    const auto warm = sched::parallel_search(tg, opts);
+    EXPECT_EQ(warm.evaluated, 0u) << "graph seed " << graph_seed;
+    EXPECT_EQ(warm.cache_hits, warm.candidates);
+    EXPECT_EQ(warm.candidates, cold.candidates);
+
+    EXPECT_EQ(warm.best.strategy, cold.best.strategy);
+    EXPECT_EQ(warm.seed, cold.seed);
+    EXPECT_EQ(warm.best.detail, cold.best.detail);
+    EXPECT_EQ(warm.best.makespan, cold.best.makespan);
+    EXPECT_EQ(warm.best.deadline_violations, cold.best.deadline_violations);
+    EXPECT_EQ(warm.best.feasible, cold.best.feasible);
+    expect_identical_schedules(warm.best.schedule, cold.best.schedule, tg.job_count());
+  }
+}
+
+TEST(ParallelSearch, CacheMatchesUncachedWinner) {
+  // Attaching a cache must not change the search outcome at all.
+  const TaskGraph tg = random_task_graph(5, 5, 160, 11);
+  const auto plain = sched::parallel_search(tg, base_options(3));
+  sched::ScheduleCache cache;
+  sched::ParallelSearchOptions opts = base_options(3);
+  opts.cache = &cache;
+  const auto cached = sched::parallel_search(tg, opts);
+  EXPECT_EQ(cached.best.strategy, plain.best.strategy);
+  EXPECT_EQ(cached.seed, plain.seed);
+  expect_identical_schedules(cached.best.schedule, plain.best.schedule, tg.job_count());
+}
+
+TEST(ParallelSearch, CacheIsPerGraphNotGlobal) {
+  // A warm cache for one graph must not satisfy a different graph: the
+  // fingerprint in the key separates them.
+  sched::ScheduleCache cache;
+  sched::ParallelSearchOptions opts = base_options(3);
+  opts.cache = &cache;
+  const TaskGraph a = random_task_graph(5, 5, 160, 1);
+  const TaskGraph b = random_task_graph(5, 5, 160, 2);
+  (void)sched::parallel_search(a, opts);
+  const auto fresh = sched::parallel_search(b, opts);
+  EXPECT_EQ(fresh.cache_hits, 0u);
+  EXPECT_EQ(fresh.evaluated, fresh.candidates);
+}
+
+TEST(ParallelSearch, BudgetChangeMissesTheCache) {
+  // max_iterations/restarts are part of the key: a bigger budget may find
+  // a different schedule, so it must not reuse small-budget entries.
+  const TaskGraph tg = random_task_graph(5, 5, 160, 4);
+  sched::ScheduleCache cache;
+  sched::ParallelSearchOptions opts = base_options(3);
+  opts.cache = &cache;
+  (void)sched::parallel_search(tg, opts);
+  opts.max_iterations = opts.max_iterations * 2;
+  const auto rerun = sched::parallel_search(tg, opts);
+  EXPECT_EQ(rerun.cache_hits, 0u);
 }
 
 TEST(ParallelSearch, RejectsBadOptions) {

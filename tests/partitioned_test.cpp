@@ -8,6 +8,8 @@
 #include "apps/fig1.hpp"
 #include "apps/fms.hpp"
 #include "runtime/vm_runtime.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/registry.hpp"
 #include "sched/search.hpp"
 #include "taskgraph/derivation.hpp"
 
@@ -107,6 +109,95 @@ TEST(Partitioned, ExplicitAssignmentRespected) {
   }
   EXPECT_TRUE(mutex_ok);
   EXPECT_EQ(s.makespan(derived.graph), Time::ms(250));
+}
+
+TEST(PartitionedStrategy, RegisteredInGlobalRegistry) {
+  auto& registry = sched::StrategyRegistry::global();
+  ASSERT_TRUE(registry.contains("partitioned-wfd"));
+  const auto strategy = registry.create("partitioned-wfd");
+  EXPECT_EQ(strategy->name(), "partitioned-wfd");
+  EXPECT_TRUE(strategy->seedable());
+  EXPECT_FALSE(strategy->description().empty());
+}
+
+TEST(PartitionedStrategy, FeasibleOnFig7FmsWorkload) {
+  // The paper's FMS case study (§V-B, 812 jobs) through the registry: the
+  // partitioned strategy must find a feasible static mapping mu_i.
+  const auto app = apps::build_fms();
+  const auto derived = derive_task_graph(app.net, app.default_wcets());
+  sched::StrategyOptions opts;
+  opts.processors = 3;
+  opts.seed = 1;
+  const auto result =
+      sched::StrategyRegistry::global().create("partitioned-wfd")->schedule(
+          derived.graph, opts);
+  EXPECT_TRUE(result.feasible)
+      << result.schedule.check_feasibility(derived.graph).to_string(derived.graph);
+  EXPECT_EQ(result.strategy, "partitioned-wfd");
+}
+
+TEST(PartitionedStrategy, PinsEveryProcessViaRegistry) {
+  // The defining property must survive the strategy wrapper: all jobs of a
+  // process share one processor.
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  sched::StrategyOptions opts;
+  opts.processors = 3;
+  const auto result =
+      sched::StrategyRegistry::global().create("partitioned-wfd")->schedule(
+          derived.graph, opts);
+  for (std::size_t p = 0; p < app.net.process_count(); ++p) {
+    const auto jobs = derived.graph.jobs_of(ProcessId{p});
+    for (std::size_t j = 1; j < jobs.size(); ++j) {
+      EXPECT_EQ(result.schedule.placement(jobs[j]).processor,
+                result.schedule.placement(jobs[0]).processor)
+          << derived.graph.job(jobs[j]).name;
+    }
+  }
+}
+
+TEST(PartitionedStrategy, AssignmentStableAcrossSeeds) {
+  // The seed varies only the SP heuristic inside the fixed partition; the
+  // WFD process-to-processor assignment itself is seed-independent, so
+  // every seed pins each process to the same processor.
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  const auto strategy = sched::StrategyRegistry::global().create("partitioned-wfd");
+
+  std::vector<ProcessorId> reference;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    sched::StrategyOptions opts;
+    opts.processors = 3;
+    opts.seed = seed;
+    const auto result = strategy->schedule(derived.graph, opts);
+    std::vector<ProcessorId> assignment(app.net.process_count());
+    for (std::size_t p = 0; p < app.net.process_count(); ++p) {
+      const auto jobs = derived.graph.jobs_of(ProcessId{p});
+      if (!jobs.empty()) {
+        assignment[p] = result.schedule.placement(jobs[0]).processor;
+      }
+    }
+    if (seed == 0) {
+      reference = assignment;
+    } else {
+      EXPECT_EQ(assignment, reference) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PartitionedStrategy, ParticipatesInParallelSearchByDefault) {
+  // With an empty strategy list, the search enumerates the whole registry —
+  // restricting it to partitioned-wfd must also work and tag the result.
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  sched::ParallelSearchOptions opts;
+  opts.processors = 3;
+  opts.strategies = {"partitioned-wfd"};
+  opts.seeds_per_strategy = 4;
+  const auto result = sched::parallel_search(derived.graph, opts);
+  EXPECT_EQ(result.best.strategy, "partitioned-wfd");
+  EXPECT_EQ(result.candidates, 4u);
+  EXPECT_TRUE(result.best.feasible);
 }
 
 TEST(Partitioned, InvalidInputsRejected) {

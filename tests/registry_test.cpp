@@ -11,9 +11,9 @@ namespace {
 
 TEST(StrategyRegistry, GlobalContainsBuiltins) {
   const auto names = sched::StrategyRegistry::global().names();
-  ASSERT_GE(names.size(), 5u);
-  for (const char* expected :
-       {"alap-edf", "b-level", "deadline-monotonic", "arrival-order", "local-search"}) {
+  ASSERT_GE(names.size(), 6u);
+  for (const char* expected : {"alap-edf", "b-level", "deadline-monotonic",
+                               "arrival-order", "local-search", "partitioned-wfd"}) {
     EXPECT_TRUE(sched::StrategyRegistry::global().contains(expected)) << expected;
   }
 }

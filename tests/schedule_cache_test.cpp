@@ -1,0 +1,304 @@
+// Schedule cache: entry round-trip through the versioned text format,
+// memory/disk lookup semantics, validation of mismatched or corrupt
+// entries, and the loud-failure contract for bad cache directories.
+#include "sched/schedule_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "apps/fig1.hpp"
+#include "io/schedule_format.hpp"
+#include "sched/list_scheduler.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace fppn {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("fppn_cache_test_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+DerivedTaskGraph fig1_graph() {
+  const auto app = apps::build_fig1();
+  return derive_task_graph(app.net, app.fig3_wcets());
+}
+
+sched::StrategyResult evaluate(const TaskGraph& tg, std::int64_t processors) {
+  sched::StrategyResult result;
+  result.strategy = "alap-edf";
+  result.detail = "list schedule, SP heuristic alap-edf";
+  result.schedule = list_schedule(tg, PriorityHeuristic::kAlapEdf, processors);
+  sched::finalize_result(tg, result);
+  return result;
+}
+
+sched::CacheKey key_for(const TaskGraph& tg, std::int64_t processors) {
+  sched::StrategyOptions opts;
+  opts.processors = processors;
+  opts.seed = 1;
+  opts.max_iterations = 400;
+  opts.restarts = 1;
+  return sched::make_cache_key(tg, "alap-edf", opts);
+}
+
+TEST(ScheduleFormat, EntryRoundTripsBitIdentically) {
+  const auto derived = fig1_graph();
+  const auto result = evaluate(derived.graph, 2);
+
+  io::ScheduleEntry entry;
+  entry.fingerprint = fingerprint(derived.graph);
+  entry.strategy = result.strategy;
+  entry.seed = 7;
+  entry.processors = 2;
+  entry.max_iterations = 400;
+  entry.restarts = 1;
+  entry.detail = result.detail;
+  entry.schedule = result.schedule;
+
+  const std::string text = io::write_schedule_entry(entry);
+  const io::ScheduleEntry back = io::read_schedule_entry_string(text);
+  EXPECT_EQ(back.fingerprint, entry.fingerprint);
+  EXPECT_EQ(back.strategy, entry.strategy);
+  EXPECT_EQ(back.seed, entry.seed);
+  EXPECT_EQ(back.processors, entry.processors);
+  EXPECT_EQ(back.max_iterations, entry.max_iterations);
+  EXPECT_EQ(back.restarts, entry.restarts);
+  EXPECT_EQ(back.detail, entry.detail);
+  ASSERT_EQ(back.schedule.job_count(), entry.schedule.job_count());
+  for (std::size_t i = 0; i < entry.schedule.job_count(); ++i) {
+    const JobId id(i);
+    ASSERT_TRUE(back.schedule.is_placed(id));
+    EXPECT_EQ(back.schedule.placement(id).processor,
+              entry.schedule.placement(id).processor);
+    EXPECT_EQ(back.schedule.placement(id).start, entry.schedule.placement(id).start);
+  }
+}
+
+TEST(ScheduleFormat, PartialSchedulesRoundTrip) {
+  io::ScheduleEntry entry;
+  entry.strategy = "x";
+  entry.processors = 2;
+  entry.schedule = StaticSchedule(3, 2);
+  entry.schedule.place(JobId(1), ProcessorId(0), Time() + Duration::ratio_ms(40, 3));
+  const io::ScheduleEntry back =
+      io::read_schedule_entry_string(io::write_schedule_entry(entry));
+  EXPECT_FALSE(back.schedule.is_placed(JobId(0)));
+  ASSERT_TRUE(back.schedule.is_placed(JobId(1)));
+  EXPECT_EQ(back.schedule.placement(JobId(1)).start.value(), Rational(40, 3));
+  EXPECT_FALSE(back.schedule.is_placed(JobId(2)));
+}
+
+TEST(ScheduleFormat, RejectsWrongVersionAndCorruption) {
+  const auto derived = fig1_graph();
+  io::ScheduleEntry entry;
+  entry.strategy = "alap-edf";
+  entry.processors = 2;
+  entry.schedule = evaluate(derived.graph, 2).schedule;
+  std::string text = io::write_schedule_entry(entry);
+
+  {
+    std::string wrong = text;
+    wrong.replace(wrong.find("v1"), 2, "v9");
+    EXPECT_THROW((void)io::read_schedule_entry_string(wrong), io::ParseError);
+  }
+  {
+    // Truncation: drop the "end" trailer and the last placement line.
+    const std::string truncated = text.substr(0, text.rfind("place"));
+    EXPECT_THROW((void)io::read_schedule_entry_string(truncated), io::ParseError);
+  }
+  {
+    std::string bad = text;
+    bad.replace(bad.find("place 0"), 7, "place 999");
+    EXPECT_THROW((void)io::read_schedule_entry_string(bad), io::ParseError);
+  }
+  EXPECT_THROW((void)io::read_schedule_entry_string("not a schedule\n"), io::ParseError);
+}
+
+TEST(ScheduleCache, MemoryHitAfterStore) {
+  const auto derived = fig1_graph();
+  sched::ScheduleCache cache;
+  const auto key = key_for(derived.graph, 2);
+  EXPECT_FALSE(cache.lookup(key, derived.graph).has_value());
+
+  const auto result = evaluate(derived.graph, 2);
+  cache.store(key, result);
+  const auto hit = cache.lookup(key, derived.graph);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->strategy, result.strategy);
+  EXPECT_EQ(hit->detail, result.detail);
+  EXPECT_EQ(hit->makespan, result.makespan);
+  EXPECT_EQ(hit->feasible, result.feasible);
+  EXPECT_EQ(hit->deadline_violations, result.deadline_violations);
+
+  const sched::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(ScheduleCache, KeyDiscriminatesEveryField) {
+  const auto derived = fig1_graph();
+  sched::ScheduleCache cache;
+  const auto key = key_for(derived.graph, 2);
+  cache.store(key, evaluate(derived.graph, 2));
+
+  sched::CacheKey other = key;
+  other.seed = 2;
+  EXPECT_FALSE(cache.lookup(other, derived.graph).has_value()) << "seed";
+  other = key;
+  other.strategy = "b-level";
+  EXPECT_FALSE(cache.lookup(other, derived.graph).has_value()) << "strategy";
+  other = key;
+  other.processors = 3;
+  EXPECT_FALSE(cache.lookup(other, derived.graph).has_value()) << "processors";
+  other = key;
+  other.max_iterations = 2000;
+  EXPECT_FALSE(cache.lookup(other, derived.graph).has_value()) << "iterations";
+  other = key;
+  other.restarts = 5;
+  EXPECT_FALSE(cache.lookup(other, derived.graph).has_value()) << "restarts";
+  other = key;
+  other.fingerprint ^= 1;
+  EXPECT_FALSE(cache.lookup(other, derived.graph).has_value()) << "fingerprint";
+}
+
+TEST(ScheduleCache, DiskEntrySurvivesNewCacheInstance) {
+  const TempDir dir("persist");
+  const auto derived = fig1_graph();
+  const auto key = key_for(derived.graph, 2);
+  const auto result = evaluate(derived.graph, 2);
+  {
+    sched::ScheduleCache writer(dir.path());
+    writer.store(key, result);
+  }
+  sched::ScheduleCache reader(dir.path());
+  const auto hit = reader.lookup(key, derived.graph);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->makespan, result.makespan);
+  EXPECT_EQ(hit->detail, result.detail);
+  for (std::size_t i = 0; i < derived.graph.job_count(); ++i) {
+    const JobId id(i);
+    EXPECT_EQ(hit->schedule.placement(id).processor,
+              result.schedule.placement(id).processor);
+    EXPECT_EQ(hit->schedule.placement(id).start, result.schedule.placement(id).start);
+  }
+}
+
+TEST(ScheduleCache, CorruptDiskEntryIsAMissNotAnError) {
+  const TempDir dir("corrupt");
+  const auto derived = fig1_graph();
+  const auto key = key_for(derived.graph, 2);
+  {
+    std::ofstream out(fs::path(dir.path()) / key.filename());
+    out << "garbage\n";
+  }
+  sched::ScheduleCache cache(dir.path());
+  EXPECT_FALSE(cache.lookup(key, derived.graph).has_value());
+  EXPECT_EQ(cache.stats().disk_rejects, 1u);
+  // A store then repairs the entry in place.
+  cache.store(key, evaluate(derived.graph, 2));
+  sched::ScheduleCache fresh(dir.path());
+  EXPECT_TRUE(fresh.lookup(key, derived.graph).has_value());
+}
+
+TEST(ScheduleCache, MismatchedJobCountIsRejected) {
+  // Fingerprint-collision safety net: an entry whose schedule cannot index
+  // the queried graph must never be returned.
+  const TempDir dir("mismatch");
+  const auto derived = fig1_graph();
+  const auto key = key_for(derived.graph, 2);
+  sched::ScheduleCache cache(dir.path());
+  cache.store(key, evaluate(derived.graph, 2));
+
+  TaskGraph bigger(derived.graph.hyperperiod());
+  for (std::size_t i = 0; i < derived.graph.job_count() + 1; ++i) {
+    Job j;
+    j.process = ProcessId{i};
+    j.arrival = Time::ms(0);
+    j.deadline = Time::ms(100);
+    j.wcet = Duration::ms(1);
+    j.name = "g" + std::to_string(i);
+    bigger.add_job(j);
+  }
+  EXPECT_FALSE(cache.lookup(key, bigger).has_value());
+  EXPECT_GE(cache.stats().disk_rejects, 1u);
+}
+
+TEST(ScheduleCache, ConcurrentSameKeyStoresNeverTearEntries) {
+  // Writers use unique temp files + atomic rename, so racing stores of
+  // one key must all succeed and leave a complete, parseable entry.
+  const TempDir dir("race");
+  const auto derived = fig1_graph();
+  const auto key = key_for(derived.graph, 2);
+  const auto result = evaluate(derived.graph, 2);
+  sched::ScheduleCache cache(dir.path());
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 8; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        cache.store(key, result);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+
+  sched::ScheduleCache reader(dir.path());
+  const auto hit = reader.lookup(key, derived.graph);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->makespan, result.makespan);
+  EXPECT_EQ(reader.stats().disk_rejects, 0u);
+  // No leftover temp files after the last rename.
+  std::size_t stray_tmp = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    if (e.path().string().find(".tmp") != std::string::npos) {
+      ++stray_tmp;
+    }
+  }
+  EXPECT_EQ(stray_tmp, 0u);
+}
+
+TEST(ScheduleCache, BadDirectoryFailsLoudly) {
+  EXPECT_THROW((void)sched::ScheduleCache("/nonexistent-parent-xyz/cache"),
+               std::runtime_error);
+  const TempDir dir("notadir");
+  const std::string file_path = (fs::path(dir.path()) / "a_file").string();
+  std::ofstream(file_path) << "x";
+  EXPECT_THROW((void)sched::ScheduleCache{file_path}, std::runtime_error);
+}
+
+TEST(ScheduleCache, CreatesLeafDirectory) {
+  const TempDir dir("leaf");
+  const std::string leaf = (fs::path(dir.path()) / "sub").string();
+  sched::ScheduleCache cache(leaf);
+  EXPECT_TRUE(fs::is_directory(leaf));
+  EXPECT_EQ(cache.directory(), leaf);
+}
+
+}  // namespace
+}  // namespace fppn

@@ -13,10 +13,16 @@
 //   fppn_tool taskgraph <file> [--dot] [--wcet C] [--unfold U]
 //   fppn_tool schedule  <file> -m N [--strategy NAME] [--optimize]
 //                       [--jobs W] [--seed S] [--wcet C] [--unfold U]
-//                       [--dot|--gantt]
+//                       [--cache-dir D] [--no-cache] [--dot|--gantt]
 //   fppn_tool simulate  <file> -m N [--runtime NAME] [--frames F]
 //                       [--overhead F1,Fn] [--wcet C] [--seed S]
+//                       [--cache-dir D] [--no-cache]
 //   fppn_tool roundtrip <file>         # parse and re-emit the description
+//
+// --cache-dir enables the on-disk schedule cache (sched::ScheduleCache):
+// repeated searches over the same graph are answered from disk instead of
+// re-evaluated, with the bit-identical winner. A bad cache path is a hard
+// error (exit 1), never a silent miss.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,7 +52,9 @@ struct Args {
   std::uint64_t seed = 1;
   std::optional<Duration> uniform_wcet;
   std::optional<std::string> strategy;
+  std::optional<std::string> cache_dir;
   std::string runtime = "vm";
+  bool no_cache = false;
   bool optimize = false;
   bool dot = false;
   bool gantt = false;
@@ -68,6 +76,9 @@ void print_usage(std::FILE* out) {
                "  --wcet C         uniform WCET override\n"
                "  --unfold U       unfolding factor for the derivation\n"
                "  --seed S         RNG seed (search/sporadic scripts)\n"
+               "  --cache-dir D    on-disk schedule cache (schedule/simulate);\n"
+               "                   D is created when its parent exists, else error\n"
+               "  --no-cache       disable the schedule cache even with --cache-dir\n"
                "  --dot | --gantt  graph/schedule rendering\n");
   std::fprintf(out, "strategies:\n");
   for (const std::string& name : sched::StrategyRegistry::global().names()) {
@@ -145,6 +156,10 @@ Args parse_args(int argc, char** argv) {
       a.runtime = next();
       require_known(runtime::RuntimeRegistry::global(), "runtime", "runtimes",
                     a.runtime);
+    } else if (arg == "--cache-dir") {
+      a.cache_dir = next();
+    } else if (arg == "--no-cache") {
+      a.no_cache = true;
     } else if (arg == "--optimize") {
       a.optimize = true;
     } else if (arg == "--dot") {
@@ -198,8 +213,9 @@ DerivedTaskGraph derive(const io::ParsedNetwork& parsed, const Args& args) {
 }
 
 /// The engine's default scheduling path: parallel search over the whole
-/// registry. A plain (non-optimizing) call keeps iterative strategies on a
-/// small budget so it stays quick.
+/// registry, backed by the on-disk schedule cache when --cache-dir is
+/// given (and --no-cache is not). A plain (non-optimizing) call keeps
+/// iterative strategies on a small budget so it stays quick.
 sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& args) {
   sched::ParallelSearchOptions opts;
   opts.processors = args.processors;
@@ -217,7 +233,18 @@ sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& arg
     opts.max_iterations = 400;
     opts.restarts = 1;
   }
-  return sched::parallel_search(tg, opts);
+  std::optional<sched::ScheduleCache> cache;
+  if (args.cache_dir.has_value() && !args.no_cache) {
+    cache.emplace(*args.cache_dir);  // throws on a bad path: loud, not a silent miss
+    opts.cache = &*cache;
+  }
+  const sched::ParallelSearchResult result = sched::parallel_search(tg, opts);
+  if (cache.has_value()) {
+    const sched::CacheStats stats = cache->stats();
+    std::printf("cache '%s': %zu hit(s), %zu miss(es), %zu store(s)\n",
+                cache->directory().c_str(), stats.hits, stats.misses, stats.stores);
+  }
+  return result;
 }
 
 int cmd_check(const Args& args) {
@@ -260,9 +287,11 @@ int cmd_schedule(const Args& args) {
               result.best.detail.c_str(), static_cast<long long>(args.processors),
               result.best.feasible ? "FEASIBLE" : "infeasible",
               result.best.makespan.to_string().c_str());
-  std::printf("(searched %zu candidate(s) on %d worker(s); winner: %s, seed %llu)\n",
-              result.candidates, result.workers_used, result.best.strategy.c_str(),
-              static_cast<unsigned long long>(result.seed));
+  std::printf(
+      "(searched %zu candidate(s), %zu evaluated + %zu cached, on %d worker(s); "
+      "winner: %s, seed %llu)\n",
+      result.candidates, result.evaluated, result.cache_hits, result.workers_used,
+      result.best.strategy.c_str(), static_cast<unsigned long long>(result.seed));
   if (!result.best.feasible) {
     const FeasibilityReport report =
         result.best.schedule.check_feasibility(derived.graph);
