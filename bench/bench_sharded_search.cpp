@@ -1,0 +1,167 @@
+// Sharded-search benchmarks: the same candidate matrix evaluated by 1, 2
+// and 4 real worker *processes* (fork per shard — the same isolation the
+// fppn_tool orchestrator provides via search-worker), plus the in-process
+// parallel search as the baseline. On a multi-core box the shard counts
+// should scale the wall clock down until the per-process fixed costs
+// (fork, graph re-derivation is skipped here, manifest I/O, merge)
+// dominate; every variant returns the bit-identical winner.
+#include <benchmark/benchmark.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "sched/parallel_search.hpp"
+#include "sched/sharded_search.hpp"
+
+namespace {
+
+using namespace fppn;
+namespace fs = std::filesystem;
+
+/// Random layered DAG, same construction as the heuristics bench.
+TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
+  std::uniform_int_distribution<int> fan(1, 3);
+  TaskGraph tg(Duration::ms(frame));
+  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      Job j;
+      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
+      j.arrival = Time::ms(0);
+      j.deadline = Time::ms(frame);
+      j.wcet = Duration::ms(wcet(rng));
+      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
+      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
+    }
+  }
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      const int out = fan(rng);
+      for (int e = 0; e < out; ++e) {
+        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
+                    grid[static_cast<std::size_t>(l + 1)]
+                        [static_cast<std::size_t>(pick(rng))]);
+      }
+    }
+  }
+  return tg;
+}
+
+sched::ParallelSearchOptions search_options() {
+  sched::ParallelSearchOptions opts;
+  opts.processors = 4;
+  opts.seeds_per_strategy = 4;
+  opts.max_iterations = 800;
+  opts.restarts = 2;
+  opts.workers = 1;  // one thread per process: processes are the axis here
+  return opts;
+}
+
+/// Launcher that forks one real OS process per shard; each child
+/// evaluates its shard and exits, the parent waits for all of them.
+sched::ShardLauncher fork_shard_launcher(const TaskGraph& tg,
+                                         const sched::ParallelSearchOptions& opts,
+                                         const std::string& shard_dir) {
+  return [&tg, opts, shard_dir](const sched::ShardPlan& plan) {
+    std::vector<pid_t> pids;
+    for (int s = 0; s < plan.shards; ++s) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        throw std::runtime_error("bench_sharded_search: fork failed");
+      }
+      if (pid == 0) {
+        try {
+          (void)sched::evaluate_shard(tg, opts, plan, s, shard_dir);
+        } catch (...) {
+          std::_Exit(1);
+        }
+        std::_Exit(0);
+      }
+      pids.push_back(pid);
+    }
+    for (const pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        throw std::runtime_error("bench_sharded_search: shard worker failed");
+      }
+    }
+  };
+}
+
+/// Fresh scratch directory per iteration (shard results are per-run
+/// state; a populated directory would turn the run into a pure merge).
+std::string fresh_shard_dir(int shards) {
+  static int counter = 0;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("fppn_bench_shards_" + std::to_string(::getpid()) + "_" +
+        std::to_string(shards) + "_" + std::to_string(counter++)))
+          .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+void BM_ShardedSearchProcesses(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const TaskGraph tg = random_task_graph(8, 8, 900, 21);
+  const sched::ParallelSearchOptions opts = search_options();
+  std::string winner;
+  for (auto _ : state) {
+    const std::string dir = fresh_shard_dir(shards);
+    sched::ShardedSearchOptions sharding;
+    sharding.shards = shards;
+    sharding.shard_dir = dir;
+    sharding.launcher = fork_shard_launcher(tg, opts, dir);
+    const sched::ParallelSearchResult result = sched::sharded_search(tg, opts, sharding);
+    benchmark::DoNotOptimize(result.best.makespan);
+    winner = result.best.strategy + "/" + std::to_string(result.seed);
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+  state.SetLabel(std::to_string(tg.job_count()) + " jobs, " + std::to_string(shards) +
+                 " process(es), winner " + winner);
+}
+BENCHMARK(BM_ShardedSearchProcesses)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_InProcessBaseline(benchmark::State& state) {
+  const TaskGraph tg = random_task_graph(8, 8, 900, 21);
+  sched::ParallelSearchOptions opts = search_options();
+  std::string winner;
+  for (auto _ : state) {
+    const sched::ParallelSearchResult result = sched::parallel_search(tg, opts);
+    benchmark::DoNotOptimize(result.best.makespan);
+    winner = result.best.strategy + "/" + std::to_string(result.seed);
+  }
+  state.SetLabel(std::to_string(tg.job_count()) + " jobs, 1 thread, winner " + winner);
+}
+BENCHMARK(BM_InProcessBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "sharded-search benchmarks: N worker processes evaluate disjoint shards\n"
+      "of the candidate matrix and the merge picks the bit-identical winner of\n"
+      "the in-process search; compare 1 vs 2 vs 4 processes for the scaling.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

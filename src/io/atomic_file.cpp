@@ -1,0 +1,69 @@
+#include "io/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace fppn::io {
+
+namespace fs = std::filesystem;
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  static std::atomic<unsigned long> write_counter{0};
+  const fs::path final_path(path);
+  const fs::path tmp_path = final_path.string() + ".tmp." +
+                            std::to_string(static_cast<long>(::getpid())) + "." +
+                            std::to_string(write_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp_path);
+    if (!out) {
+      throw std::runtime_error("cannot write '" + tmp_path.string() + "'");
+    }
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      throw std::runtime_error("short write to '" + tmp_path.string() +
+                               "' (disk full?)");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("cannot rename into '" + final_path.string() +
+                             "': " + ec.message());
+  }
+}
+
+void ensure_directory(const std::string& directory, const std::string& context) {
+  std::error_code ec;
+  const fs::path dir(directory);
+  if (fs::exists(dir, ec)) {
+    if (!fs::is_directory(dir, ec)) {
+      throw std::runtime_error(context + ": '" + directory +
+                               "' exists but is not a directory");
+    }
+    return;
+  }
+  if (!dir.parent_path().empty() && !fs::exists(dir.parent_path(), ec)) {
+    throw std::runtime_error(context + ": parent of '" + directory +
+                             "' does not exist");
+  }
+  std::error_code create_ec;
+  if (!fs::create_directory(dir, create_ec) || create_ec) {
+    // A racing process may have created it between the exists() probe and
+    // here — losing that race is success, not an error.
+    std::error_code probe_ec;
+    if (!fs::is_directory(dir, probe_ec)) {
+      throw std::runtime_error(context + ": cannot create directory '" + directory +
+                               "': " + create_ec.message());
+    }
+  }
+}
+
+}  // namespace fppn::io

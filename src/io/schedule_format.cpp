@@ -2,24 +2,10 @@
 
 #include <sstream>
 
+#include "io/line_parser.hpp"
 #include "taskgraph/fingerprint.hpp"
 
 namespace fppn::io {
-
-namespace {
-
-/// Splits a line into whitespace-separated tokens.
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream in(line);
-  std::string tok;
-  while (in >> tok) {
-    out.push_back(tok);
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string write_schedule_entry(const ScheduleEntry& entry) {
   std::ostringstream out;
@@ -45,138 +31,119 @@ std::string write_schedule_entry(const ScheduleEntry& entry) {
 }
 
 ScheduleEntry read_schedule_entry(std::istream& in) {
-  std::size_t lineno = 0;
-  std::string line;
-  const auto next_line = [&]() -> std::string {
-    if (!std::getline(in, line)) {
-      throw ParseError(lineno, "unexpected end of schedule entry (no 'end' trailer?)");
-    }
-    ++lineno;
-    return line;
-  };
-  const auto expect_tokens = [&](const std::vector<std::string>& toks, std::size_t n,
-                                 const char* what) {
-    if (toks.size() != n) {
-      throw ParseError(lineno, std::string("malformed ") + what + " line");
-    }
-  };
+  detail::LineParser parser(in);
+  constexpr const char* kEof = "unexpected end of schedule entry (no 'end' trailer?)";
 
   // Magic/version first: anything else means "not a (current) cache entry".
   {
-    const auto toks = tokenize(next_line());
+    const auto toks = parser.next_tokens(kEof);
     if (toks.size() != 2 || toks[0] != "fppn-schedule" ||
         toks[1] != "v" + std::to_string(kScheduleFormatVersion)) {
-      throw ParseError(lineno, "expected header 'fppn-schedule v" +
-                                   std::to_string(kScheduleFormatVersion) + "'");
+      throw ParseError(parser.lineno(), "expected header 'fppn-schedule v" +
+                                            std::to_string(kScheduleFormatVersion) +
+                                            "'");
     }
   }
 
   ScheduleEntry entry;
-  const auto parse_i64 = [&](const std::string& s) -> std::int64_t {
-    try {
-      return std::stoll(s);
-    } catch (const std::exception&) {
-      throw ParseError(lineno, "expected an integer, got '" + s + "'");
-    }
-  };
-
   {
-    const auto toks = tokenize(next_line());
-    expect_tokens(toks, 2, "fingerprint");
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "fingerprint");
     if (toks[0] != "fingerprint") {
-      throw ParseError(lineno, "expected 'fingerprint'");
+      throw ParseError(parser.lineno(), "expected 'fingerprint'");
     }
     try {
       entry.fingerprint = parse_fingerprint_hex(toks[1]);
     } catch (const std::invalid_argument& e) {
-      throw ParseError(lineno, e.what());
+      throw ParseError(parser.lineno(), e.what());
     }
   }
   {
-    const auto toks = tokenize(next_line());
-    expect_tokens(toks, 2, "strategy");
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "strategy");
     if (toks[0] != "strategy") {
-      throw ParseError(lineno, "expected 'strategy'");
+      throw ParseError(parser.lineno(), "expected 'strategy'");
     }
     entry.strategy = toks[1];
   }
   {
-    const auto toks = tokenize(next_line());
-    expect_tokens(toks, 2, "seed");
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "seed");
     if (toks[0] != "seed") {
-      throw ParseError(lineno, "expected 'seed'");
+      throw ParseError(parser.lineno(), "expected 'seed'");
     }
-    entry.seed = static_cast<std::uint64_t>(parse_i64(toks[1]));
+    entry.seed = parser.parse_u64(toks[1]);
   }
   std::int64_t processors = 0;
   {
-    const auto toks = tokenize(next_line());
-    expect_tokens(toks, 2, "processors");
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "processors");
     if (toks[0] != "processors") {
-      throw ParseError(lineno, "expected 'processors'");
+      throw ParseError(parser.lineno(), "expected 'processors'");
     }
-    processors = parse_i64(toks[1]);
+    processors = parser.parse_i64(toks[1]);
     if (processors < 1) {
-      throw ParseError(lineno, "processors must be >= 1");
+      throw ParseError(parser.lineno(), "processors must be >= 1");
     }
     entry.processors = processors;
   }
   {
-    const auto toks = tokenize(next_line());
-    expect_tokens(toks, 3, "budget");
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 3, "budget");
     if (toks[0] != "budget") {
-      throw ParseError(lineno, "expected 'budget'");
+      throw ParseError(parser.lineno(), "expected 'budget'");
     }
-    entry.max_iterations = static_cast<int>(parse_i64(toks[1]));
-    entry.restarts = static_cast<int>(parse_i64(toks[2]));
+    entry.max_iterations = static_cast<int>(parser.parse_i64(toks[1]));
+    entry.restarts = static_cast<int>(parser.parse_i64(toks[2]));
   }
   {
     // `detail` is free text: everything after the first space, verbatim.
-    next_line();
+    const std::string& line = parser.next_line(kEof);
     const std::string prefix = "detail";
     if (line.compare(0, prefix.size(), prefix) != 0) {
-      throw ParseError(lineno, "expected 'detail'");
+      throw ParseError(parser.lineno(), "expected 'detail'");
     }
     entry.detail =
         line.size() > prefix.size() + 1 ? line.substr(prefix.size() + 1) : "";
   }
   std::size_t jobs = 0;
   {
-    const auto toks = tokenize(next_line());
-    expect_tokens(toks, 2, "jobs");
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "jobs");
     if (toks[0] != "jobs") {
-      throw ParseError(lineno, "expected 'jobs'");
+      throw ParseError(parser.lineno(), "expected 'jobs'");
     }
-    const std::int64_t n = parse_i64(toks[1]);
+    const std::int64_t n = parser.parse_i64(toks[1]);
     if (n < 0) {
-      throw ParseError(lineno, "negative job count");
+      throw ParseError(parser.lineno(), "negative job count");
     }
     jobs = static_cast<std::size_t>(n);
   }
 
   entry.schedule = StaticSchedule(jobs, processors);
   for (;;) {
-    const auto toks = tokenize(next_line());
+    const auto toks = parser.next_tokens(kEof);
     if (toks.size() == 1 && toks[0] == "end") {
+      parser.reject_trailing_content();
       return entry;
     }
-    expect_tokens(toks, 4, "place");
+    parser.expect_tokens(toks, 4, "place");
     if (toks[0] != "place") {
-      throw ParseError(lineno, "expected 'place' or 'end'");
+      throw ParseError(parser.lineno(), "expected 'place' or 'end'");
     }
-    const std::int64_t job = parse_i64(toks[1]);
-    const std::int64_t proc = parse_i64(toks[2]);
+    const std::int64_t job = parser.parse_i64(toks[1]);
+    const std::int64_t proc = parser.parse_i64(toks[2]);
     if (job < 0 || static_cast<std::size_t>(job) >= jobs) {
-      throw ParseError(lineno, "job index out of range");
+      throw ParseError(parser.lineno(), "job index out of range");
     }
     if (proc < 0 || proc >= processors) {
-      throw ParseError(lineno, "processor index out of range");
+      throw ParseError(parser.lineno(), "processor index out of range");
     }
     Time start;
     try {
       start = Time() + parse_duration(toks[3]);
     } catch (const std::invalid_argument& e) {
-      throw ParseError(lineno, std::string("bad start time: ") + e.what());
+      throw ParseError(parser.lineno(), std::string("bad start time: ") + e.what());
     }
     entry.schedule.place(JobId(static_cast<std::size_t>(job)),
                          ProcessorId(static_cast<std::size_t>(proc)), start);

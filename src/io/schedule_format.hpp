@@ -45,9 +45,11 @@ struct ScheduleEntry {
 /// Renders an entry in format version kScheduleFormatVersion. Never throws.
 [[nodiscard]] std::string write_schedule_entry(const ScheduleEntry& entry);
 
-/// Parses one entry. Throws ParseError (with a 1-based line number) on a
-/// wrong magic/version line, malformed or missing fields, out-of-range
-/// placements, or a missing "end" trailer (truncation guard).
+/// Parses one entry and consumes the stream to its end. Throws ParseError
+/// (with a 1-based line number) on a wrong magic/version line, malformed
+/// or missing fields, out-of-range placements, a missing "end" trailer
+/// (truncation guard), or any non-blank content after "end" — a
+/// truncated-then-concatenated file must not half-parse.
 [[nodiscard]] ScheduleEntry read_schedule_entry(std::istream& in);
 [[nodiscard]] ScheduleEntry read_schedule_entry_string(const std::string& text);
 

@@ -1,0 +1,156 @@
+#include "io/shard_manifest.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "io/line_parser.hpp"
+#include "taskgraph/fingerprint.hpp"
+
+namespace fppn::io {
+
+std::string shard_manifest_filename(int shard_index, int shard_count) {
+  if (shard_index < 0 || shard_index >= shard_count) {
+    throw std::invalid_argument("shard_manifest_filename: index " +
+                                std::to_string(shard_index) + " not in [0, " +
+                                std::to_string(shard_count) + ")");
+  }
+  return "shard-" + std::to_string(shard_index) + "-of-" +
+         std::to_string(shard_count) + ".manifest";
+}
+
+std::string write_shard_manifest(const ShardManifest& manifest) {
+  std::ostringstream out;
+  out << "fppn-shards v" << kShardManifestVersion << '\n';
+  out << "fingerprint " << fingerprint_hex(manifest.fingerprint) << '\n';
+  out << "shard " << manifest.shard_index << ' ' << manifest.shard_count << '\n';
+  out << "processors " << manifest.processors << '\n';
+  out << "budget " << manifest.max_iterations << ' ' << manifest.restarts << '\n';
+  out << "stats " << manifest.evaluated << ' ' << manifest.cache_hits << '\n';
+  out << "candidates " << manifest.candidates.size() << '\n';
+  for (const ShardManifestEntry& c : manifest.candidates) {
+    out << "candidate " << c.strategy << ' ' << c.seed << ' ' << c.file << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+ShardManifest read_shard_manifest(std::istream& in) {
+  detail::LineParser parser(in);
+  constexpr const char* kEof = "unexpected end of shard manifest (no 'end' trailer?)";
+
+  // Magic/version first: anything else means "not a (current) manifest".
+  {
+    const auto toks = parser.next_tokens(kEof);
+    if (toks.size() != 2 || toks[0] != "fppn-shards" ||
+        toks[1] != "v" + std::to_string(kShardManifestVersion)) {
+      throw ParseError(parser.lineno(), "expected header 'fppn-shards v" +
+                                            std::to_string(kShardManifestVersion) +
+                                            "'");
+    }
+  }
+
+  ShardManifest manifest;
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "fingerprint");
+    if (toks[0] != "fingerprint") {
+      throw ParseError(parser.lineno(), "expected 'fingerprint'");
+    }
+    try {
+      manifest.fingerprint = parse_fingerprint_hex(toks[1]);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(parser.lineno(), e.what());
+    }
+  }
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 3, "shard");
+    if (toks[0] != "shard") {
+      throw ParseError(parser.lineno(), "expected 'shard'");
+    }
+    manifest.shard_index = static_cast<int>(parser.parse_i64(toks[1]));
+    manifest.shard_count = static_cast<int>(parser.parse_i64(toks[2]));
+    if (manifest.shard_count < 1 || manifest.shard_index < 0 ||
+        manifest.shard_index >= manifest.shard_count) {
+      throw ParseError(parser.lineno(), "shard index out of range");
+    }
+  }
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "processors");
+    if (toks[0] != "processors") {
+      throw ParseError(parser.lineno(), "expected 'processors'");
+    }
+    manifest.processors = parser.parse_i64(toks[1]);
+    if (manifest.processors < 1) {
+      throw ParseError(parser.lineno(), "processors must be >= 1");
+    }
+  }
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 3, "budget");
+    if (toks[0] != "budget") {
+      throw ParseError(parser.lineno(), "expected 'budget'");
+    }
+    manifest.max_iterations = static_cast<int>(parser.parse_i64(toks[1]));
+    manifest.restarts = static_cast<int>(parser.parse_i64(toks[2]));
+  }
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 3, "stats");
+    if (toks[0] != "stats") {
+      throw ParseError(parser.lineno(), "expected 'stats'");
+    }
+    const std::int64_t evaluated = parser.parse_i64(toks[1]);
+    const std::int64_t cache_hits = parser.parse_i64(toks[2]);
+    if (evaluated < 0 || cache_hits < 0) {
+      throw ParseError(parser.lineno(), "negative stats counter");
+    }
+    manifest.evaluated = static_cast<std::size_t>(evaluated);
+    manifest.cache_hits = static_cast<std::size_t>(cache_hits);
+  }
+  std::size_t count = 0;
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "candidates");
+    if (toks[0] != "candidates") {
+      throw ParseError(parser.lineno(), "expected 'candidates'");
+    }
+    const std::int64_t n = parser.parse_i64(toks[1]);
+    if (n < 0) {
+      throw ParseError(parser.lineno(), "negative candidate count");
+    }
+    count = static_cast<std::size_t>(n);
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 4, "candidate");
+    if (toks[0] != "candidate") {
+      throw ParseError(parser.lineno(), "expected 'candidate'");
+    }
+    ShardManifestEntry c;
+    c.strategy = toks[1];
+    c.seed = parser.parse_u64(toks[2]);
+    c.file = toks[3];
+    manifest.candidates.push_back(std::move(c));
+  }
+
+  {
+    const auto toks = parser.next_tokens(kEof);
+    if (toks.size() != 1 || toks[0] != "end") {
+      throw ParseError(parser.lineno(), "expected 'end' after " +
+                                            std::to_string(count) +
+                                            " candidate line(s)");
+    }
+  }
+  parser.reject_trailing_content();
+  return manifest;
+}
+
+ShardManifest read_shard_manifest_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_shard_manifest(in);
+}
+
+}  // namespace fppn::io

@@ -1,0 +1,72 @@
+// Versioned text serialization of shard manifests — the per-shard index
+// file behind sched::sharded_search (see docs/FILE_FORMATS.md for the
+// grammar and an annotated example).
+//
+// One manifest describes one shard of a sharded schedule search: which
+// slice of the candidate matrix the shard owned, where each candidate's
+// result entry lives (one io/schedule_format.hpp file per candidate, in
+// the same directory), and the shard's cache accounting. The merge step
+// validates every manifest against the deterministic shard plan before
+// trusting any entry, so a stale or foreign shard directory fails loudly
+// instead of changing the winner. Line-oriented; starts with the
+// magic/version line "fppn-shards v1" and ends with "end"; trailing
+// non-blank content after "end" is a ParseError (truncation/concatenation
+// guard, same contract as schedule entries).
+//
+// Deterministic: write_shard_manifest is a pure function of the manifest;
+// read(write(m)) reproduces every field bit-identically.
+// Thread safety: all functions are stateless and safe to call
+// concurrently; callers synchronize access to shared streams themselves.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/text_format.hpp"
+
+namespace fppn::io {
+
+/// Current manifest-format version, written as "fppn-shards v<N>".
+/// Readers reject every other version.
+constexpr int kShardManifestVersion = 1;
+
+/// One candidate owned by the shard: its identity plus the name of the
+/// schedule-entry file (relative to the shard directory) holding its
+/// result.
+struct ShardManifestEntry {
+  std::string strategy;  ///< producing strategy's registry name
+  std::uint64_t seed = 0;
+  std::string file;      ///< entry file name within the shard directory
+};
+
+/// One shard's worth of search provenance and results.
+struct ShardManifest {
+  std::uint64_t fingerprint = 0;  ///< taskgraph fingerprint (16 hex digits)
+  int shard_index = 0;            ///< this shard's index, 0-based
+  int shard_count = 1;            ///< total shards in the plan
+  std::int64_t processors = 0;    ///< processor count searched for
+  int max_iterations = 0;         ///< iteration budget of the search
+  int restarts = 0;               ///< restart budget of the search
+  std::size_t evaluated = 0;      ///< candidates actually run in this shard
+  std::size_t cache_hits = 0;     ///< candidates answered by the cache
+  std::vector<ShardManifestEntry> candidates;
+};
+
+/// Conventional manifest file name within a shard directory, e.g.
+/// "shard-0-of-2.manifest". Throws std::invalid_argument when the index
+/// is not in [0, count).
+[[nodiscard]] std::string shard_manifest_filename(int shard_index, int shard_count);
+
+/// Renders a manifest in format version kShardManifestVersion. Never throws.
+[[nodiscard]] std::string write_shard_manifest(const ShardManifest& manifest);
+
+/// Parses one manifest. Throws ParseError (with a 1-based line number) on
+/// a wrong magic/version line, malformed or missing fields, a candidate
+/// count that does not match the candidate lines, a missing "end" trailer,
+/// or trailing non-blank content after "end".
+[[nodiscard]] ShardManifest read_shard_manifest(std::istream& in);
+[[nodiscard]] ShardManifest read_shard_manifest_string(const std::string& text);
+
+}  // namespace fppn::io

@@ -94,10 +94,14 @@ Rational& Rational::operator/=(const Rational& rhs) {
 }
 
 bool operator<(const Rational& lhs, const Rational& rhs) {
-  // lhs.num/lhs.den < rhs.num/rhs.den with positive denominators.
-  const std::int64_t g = std::gcd(lhs.den_, rhs.den_);
-  const std::int64_t a = checked_mul(lhs.num_, rhs.den_ / g);
-  const std::int64_t b = checked_mul(rhs.num_, lhs.den_ / g);
+  // lhs.num/lhs.den < rhs.num/rhs.den with positive denominators. Cross
+  // products can exceed 64 bits even for canonical values (coprime
+  // denominators get no gcd relief), and ordering is used to *rank*
+  // results — e.g. makespan tie-breaking in the schedule search — so it
+  // must stay total instead of throwing at the int64 overflow guard.
+  // 128-bit intermediates make the comparison exact for every value.
+  const __int128 a = static_cast<__int128>(lhs.num_) * rhs.den_;
+  const __int128 b = static_cast<__int128>(rhs.num_) * lhs.den_;
   return a < b;
 }
 

@@ -68,6 +68,9 @@ class Rational {
   friend constexpr bool operator!=(const Rational& a, const Rational& b) noexcept {
     return !(a == b);
   }
+  /// Exact total order. Compares via 128-bit cross products, so — unlike
+  /// the arithmetic operators — it never throws, even when the operands
+  /// sit at the int64 overflow guard.
   friend bool operator<(const Rational& lhs, const Rational& rhs);
   friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
   friend bool operator<=(const Rational& a, const Rational& b) { return !(b < a); }

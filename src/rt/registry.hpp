@@ -26,10 +26,21 @@ class NameRegistry {
   explicit NameRegistry(std::string kind) : kind_(std::move(kind)) {}
 
   /// Registers a factory. Throws std::invalid_argument when the name is
-  /// empty, already taken, or the factory is null.
+  /// empty, not lowercase/digits/dashes, already taken, or the factory is
+  /// null. The character restriction is load-bearing, not cosmetic: names
+  /// become cache-entry file names, shard-manifest tokens and worker argv
+  /// words, so whitespace or '/' would corrupt those downstream formats.
   void add(const std::string& name, Factory factory) {
     if (name.empty()) {
       throw std::invalid_argument(kind_ + " registry: empty name");
+    }
+    for (const char c : name) {
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-')) {
+        throw std::invalid_argument(kind_ + " registry: name '" + name +
+                                    "' must use only lowercase letters, digits and "
+                                    "dashes (names become file names and manifest "
+                                    "tokens)");
+      }
     }
     if (!factory) {
       throw std::invalid_argument(kind_ + " registry: null factory for '" + name + "'");

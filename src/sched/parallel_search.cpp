@@ -10,21 +10,48 @@
 namespace fppn {
 namespace sched {
 
-namespace {
+std::vector<SearchCandidate> enumerate_search_candidates(const ParallelSearchOptions& opts,
+                                                         const StrategyRegistry& registry) {
+  if (opts.processors < 1) {
+    throw std::invalid_argument("parallel_search: processors must be >= 1");
+  }
+  if (opts.seeds_per_strategy < 1) {
+    throw std::invalid_argument("parallel_search: seeds_per_strategy must be >= 1");
+  }
+  const std::vector<std::string> strategy_names =
+      opts.strategies.empty() ? registry.names() : opts.strategies;
+  std::vector<SearchCandidate> candidates;
+  for (const std::string& name : strategy_names) {
+    const auto strategy = registry.create(name);  // throws on unknown name
+    const int seeds = strategy->seedable() ? opts.seeds_per_strategy : 1;
+    for (int s = 0; s < seeds; ++s) {
+      candidates.push_back(
+          SearchCandidate{name, opts.base_seed + static_cast<std::uint64_t>(s)});
+    }
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("parallel_search: no candidate strategies");
+  }
+  return candidates;
+}
 
-struct Candidate {
-  std::string strategy;
-  std::uint64_t seed = 0;
-};
+StrategyOptions strategy_options_for(const ParallelSearchOptions& opts,
+                                     const SearchCandidate& candidate) {
+  StrategyOptions sopts;
+  sopts.processors = opts.processors;
+  sopts.seed = candidate.seed;
+  sopts.max_iterations = opts.max_iterations;
+  sopts.restarts = opts.restarts;
+  return sopts;
+}
 
-/// Strict-weak order of *evaluated* candidates; the unique minimum is the
-/// search winner. Feasibility outranks everything: a user-registered
-/// strategy can return a schedule whose violations are non-deadline
-/// (unplaced jobs, precedence/mutex overlaps) and such a result must
-/// never beat a fully feasible one on makespan. Exact rational makespan
-/// comparison keeps ties honest.
-bool better_than(const StrategyResult& a, std::uint64_t a_seed,
-                 const StrategyResult& b, std::uint64_t b_seed) {
+/// Feasibility outranks everything: a user-registered strategy can return
+/// a schedule whose violations are non-deadline (unplaced jobs,
+/// precedence/mutex overlaps) and such a result must never beat a fully
+/// feasible one on makespan. Exact rational makespan comparison keeps
+/// ties honest.
+bool better_search_candidate(const StrategyResult& a, std::uint64_t a_seed,
+                             const StrategyResult& b, std::uint64_t b_seed) {
   if (a.feasible != b.feasible) {
     return a.feasible;
   }
@@ -40,41 +67,13 @@ bool better_than(const StrategyResult& a, std::uint64_t a_seed,
   return a_seed < b_seed;
 }
 
-}  // namespace
-
-ParallelSearchResult parallel_search(const TaskGraph& tg,
-                                     const ParallelSearchOptions& opts,
-                                     const StrategyRegistry& registry) {
+CandidateEvaluation evaluate_candidates(const TaskGraph& tg,
+                                        const ParallelSearchOptions& opts,
+                                        const std::vector<SearchCandidate>& candidates,
+                                        const StrategyRegistry& registry) {
   if (opts.processors < 1) {
     throw std::invalid_argument("parallel_search: processors must be >= 1");
   }
-  if (opts.seeds_per_strategy < 1) {
-    throw std::invalid_argument("parallel_search: seeds_per_strategy must be >= 1");
-  }
-
-  // Build the deterministic candidate list (validates names up front).
-  const std::vector<std::string> strategy_names =
-      opts.strategies.empty() ? registry.names() : opts.strategies;
-  std::vector<Candidate> candidates;
-  for (const std::string& name : strategy_names) {
-    const auto strategy = registry.create(name);  // throws on unknown name
-    const int seeds = strategy->seedable() ? opts.seeds_per_strategy : 1;
-    for (int s = 0; s < seeds; ++s) {
-      candidates.push_back(Candidate{name, opts.base_seed + static_cast<std::uint64_t>(s)});
-    }
-  }
-  if (candidates.empty()) {
-    throw std::invalid_argument("parallel_search: no candidate strategies");
-  }
-
-  const auto options_for = [&](const Candidate& c) {
-    StrategyOptions sopts;
-    sopts.processors = opts.processors;
-    sopts.seed = c.seed;
-    sopts.max_iterations = opts.max_iterations;
-    sopts.restarts = opts.restarts;
-    return sopts;
-  };
 
   // Cache probe, before any evaluation: a hit fills the candidate's result
   // slot directly; only misses go to the worker pool. Lookups re-score the
@@ -85,7 +84,8 @@ ParallelSearchResult parallel_search(const TaskGraph& tg,
   std::size_t cache_hits = 0;
   const std::uint64_t fp = opts.cache != nullptr ? fingerprint(tg) : 0;
   const auto key_for = [&](std::size_t i) {
-    return make_cache_key(fp, candidates[i].strategy, options_for(candidates[i]));
+    return make_cache_key(fp, candidates[i].strategy,
+                          strategy_options_for(opts, candidates[i]));
   };
   if (opts.cache != nullptr) {
     for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -108,16 +108,21 @@ ParallelSearchResult parallel_search(const TaskGraph& tg,
                     : static_cast<int>(std::max(1U, std::thread::hardware_concurrency()));
   workers = std::min<int>(workers, static_cast<int>(std::max<std::size_t>(pending.size(), 1)));
 
-  // Each slot is written by exactly one worker; selection happens after
-  // the join, over the index-ordered vector, so the winner cannot depend
-  // on thread interleaving.
+  // Each slot is written by exactly one worker; callers rank over the
+  // index-ordered vector after the join, so the outcome cannot depend on
+  // thread interleaving.
   std::atomic<std::size_t> next{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
 
   const auto run_candidate = [&](std::size_t index) {
-    const Candidate& c = candidates[index];
-    results[index] = registry.create(c.strategy)->schedule(tg, options_for(c));
+    const SearchCandidate& c = candidates[index];
+    results[index] = registry.create(c.strategy)->schedule(tg, strategy_options_for(opts, c));
+    // Rank by the candidate's registry key, not the strategy's
+    // self-reported name(): cache hits and sharded-merge results rebuild
+    // the name from the key, and a strategy registered under a different
+    // name must not rank differently fresh vs. shipped.
+    results[index]->strategy = c.strategy;
   };
 
   const auto worker_loop = [&] {
@@ -163,21 +168,39 @@ ParallelSearchResult parallel_search(const TaskGraph& tg,
     }
   }
 
+  CandidateEvaluation out;
+  out.results.reserve(results.size());
+  for (std::optional<StrategyResult>& r : results) {
+    out.results.push_back(std::move(*r));
+  }
+  out.evaluated = pending.size();
+  out.cache_hits = cache_hits;
+  out.workers_used = workers;
+  return out;
+}
+
+ParallelSearchResult parallel_search(const TaskGraph& tg,
+                                     const ParallelSearchOptions& opts,
+                                     const StrategyRegistry& registry) {
+  const std::vector<SearchCandidate> candidates =
+      enumerate_search_candidates(opts, registry);
+  CandidateEvaluation eval = evaluate_candidates(tg, opts, candidates, registry);
+
   std::size_t best_index = 0;
-  for (std::size_t i = 1; i < results.size(); ++i) {
-    if (better_than(*results[i], candidates[i].seed, *results[best_index],
-                    candidates[best_index].seed)) {
+  for (std::size_t i = 1; i < eval.results.size(); ++i) {
+    if (better_search_candidate(eval.results[i], candidates[i].seed,
+                                eval.results[best_index], candidates[best_index].seed)) {
       best_index = i;
     }
   }
 
   ParallelSearchResult out;
-  out.best = std::move(*results[best_index]);
+  out.best = std::move(eval.results[best_index]);
   out.seed = candidates[best_index].seed;
   out.candidates = candidates.size();
-  out.evaluated = pending.size();
-  out.cache_hits = cache_hits;
-  out.workers_used = workers;
+  out.evaluated = eval.evaluated;
+  out.cache_hits = eval.cache_hits;
+  out.workers_used = eval.workers_used;
   return out;
 }
 

@@ -58,6 +58,70 @@ struct ParallelSearchResult {
   int workers_used = 1;
 };
 
+/// One (strategy, seed) cell of the search's candidate matrix. The pair is
+/// unique within one candidate list, which is what makes the winner order
+/// total (see better_search_candidate).
+struct SearchCandidate {
+  std::string strategy;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const SearchCandidate& a, const SearchCandidate& b) {
+    return a.strategy == b.strategy && a.seed == b.seed;
+  }
+  friend bool operator!=(const SearchCandidate& a, const SearchCandidate& b) {
+    return !(a == b);
+  }
+};
+
+/// Builds the deterministic candidate list for (opts, registry): one
+/// candidate per non-seedable strategy, opts.seeds_per_strategy per
+/// seedable one, in the order of opts.strategies (or sorted registry
+/// order when empty). Single source of truth for the candidate matrix:
+/// parallel_search evaluates exactly this list and the sharded search
+/// (sched/sharded_search.hpp) partitions it. Throws std::invalid_argument
+/// for bad options / an empty list and UnknownStrategyError for unknown
+/// names, before any scheduling work starts.
+[[nodiscard]] std::vector<SearchCandidate> enumerate_search_candidates(
+    const ParallelSearchOptions& opts,
+    const StrategyRegistry& registry = StrategyRegistry::global());
+
+/// The StrategyOptions a candidate is evaluated with: processors and
+/// budget from the search options, seed from the candidate. Also the
+/// basis of the candidate's cache key. Deterministic; never throws.
+[[nodiscard]] StrategyOptions strategy_options_for(const ParallelSearchOptions& opts,
+                                                   const SearchCandidate& candidate);
+
+/// The search's ranking: true when evaluated candidate (a, a_seed) beats
+/// (b, b_seed). Feasibility first, then fewest deadline violations, then
+/// smallest makespan (exact rational comparison — total and non-throwing
+/// even for makespans whose cross products exceed 64 bits), then strategy
+/// name, then seed. A strict total order over distinct (strategy, seed)
+/// pairs, so the minimum is unique and independent of evaluation order —
+/// shared by the in-process selection and the sharded merge so the two
+/// can never disagree.
+[[nodiscard]] bool better_search_candidate(const StrategyResult& a, std::uint64_t a_seed,
+                                           const StrategyResult& b, std::uint64_t b_seed);
+
+/// Outcome of evaluating one candidate list, results index-aligned with
+/// the input.
+struct CandidateEvaluation {
+  std::vector<StrategyResult> results;
+  std::size_t evaluated = 0;   ///< candidates actually run (cache misses)
+  std::size_t cache_hits = 0;  ///< candidates answered by opts.cache
+  int workers_used = 1;
+};
+
+/// Evaluates `candidates` on a worker pool (opts.workers threads, cache
+/// probe/store through opts.cache) without selecting a winner — the
+/// shared engine behind parallel_search and the sharded search worker.
+/// An empty candidate list is allowed (a shard can be empty) and returns
+/// an empty evaluation. Same determinism, thread-safety and throw
+/// behavior as parallel_search.
+[[nodiscard]] CandidateEvaluation evaluate_candidates(
+    const TaskGraph& tg, const ParallelSearchOptions& opts,
+    const std::vector<SearchCandidate>& candidates,
+    const StrategyRegistry& registry = StrategyRegistry::global());
+
 /// Runs the search. Deterministic: for fixed (tg, opts, registry
 /// contents), the returned winner is bit-identical regardless of worker
 /// count, thread interleaving, or cache warmth. Throws

@@ -1,13 +1,11 @@
 #include "sched/schedule_cache.hpp"
 
-#include <unistd.h>
-
-#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "io/atomic_file.hpp"
 #include "io/schedule_format.hpp"
 
 namespace fppn {
@@ -40,25 +38,7 @@ CacheKey make_cache_key(const TaskGraph& tg, const std::string& strategy,
 }
 
 ScheduleCache::ScheduleCache(const std::string& directory) : directory_(directory) {
-  std::error_code ec;
-  const fs::path dir(directory_);
-  if (fs::exists(dir, ec)) {
-    if (!fs::is_directory(dir, ec)) {
-      throw std::runtime_error("schedule cache: '" + directory_ +
-                               "' exists but is not a directory");
-    }
-    return;
-  }
-  // Create only the leaf: a missing parent is almost always a typo, and a
-  // typo'd cache path must fail loudly, not silently cache nothing.
-  if (!dir.parent_path().empty() && !fs::exists(dir.parent_path(), ec)) {
-    throw std::runtime_error("schedule cache: parent of '" + directory_ +
-                             "' does not exist");
-  }
-  if (!fs::create_directory(dir, ec) || ec) {
-    throw std::runtime_error("schedule cache: cannot create directory '" + directory_ +
-                             "': " + ec.message());
-  }
+  io::ensure_directory(directory_, "schedule cache");
 }
 
 std::optional<StrategyResult> ScheduleCache::lookup(const CacheKey& key,
@@ -118,35 +98,13 @@ void ScheduleCache::store(const CacheKey& key, const StrategyResult& result) {
   entry.detail = result.detail;
   entry.schedule = result.schedule;
 
-  // Unique temp name per writer (pid + process-wide counter): concurrent
-  // stores of the same key — same process or not — each publish their own
-  // complete file via the atomic rename, last one wins.
-  static std::atomic<unsigned long> write_counter{0};
+  // Shared temp-file + atomic-rename writer: concurrent stores of the
+  // same key — same process or not — never leave a torn entry behind.
   const fs::path final_path = fs::path(directory_) / key.filename();
-  const fs::path tmp_path = final_path.string() + ".tmp." +
-                            std::to_string(static_cast<long>(::getpid())) + "." +
-                            std::to_string(write_counter.fetch_add(1));
-  {
-    std::ofstream out(tmp_path);
-    if (!out) {
-      throw std::runtime_error("schedule cache: cannot write '" + tmp_path.string() +
-                               "'");
-    }
-    out << io::write_schedule_entry(entry);
-    out.flush();
-    if (!out.good()) {
-      std::error_code ec;
-      fs::remove(tmp_path, ec);
-      throw std::runtime_error("schedule cache: short write to '" + tmp_path.string() +
-                               "' (disk full?)");
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    throw std::runtime_error("schedule cache: cannot rename into '" +
-                             final_path.string() + "': " + ec.message());
+  try {
+    io::write_file_atomic(final_path.string(), io::write_schedule_entry(entry));
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string("schedule cache: ") + e.what());
   }
 }
 

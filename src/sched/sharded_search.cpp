@@ -1,0 +1,268 @@
+#include "sched/sharded_search.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "io/schedule_format.hpp"
+#include "io/shard_manifest.hpp"
+
+namespace fppn {
+namespace sched {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Shard result entries reuse the cache-entry file name, which encodes
+/// the full candidate key — unique per candidate within one plan.
+std::string entry_filename(const ShardPlan& plan, const ParallelSearchOptions& opts,
+                           const SearchCandidate& candidate) {
+  return make_cache_key(plan.graph_fingerprint, candidate.strategy,
+                        strategy_options_for(opts, candidate))
+      .filename();
+}
+
+}  // namespace
+
+std::size_t ShardPlan::total_candidates() const {
+  std::size_t total = 0;
+  for (const std::vector<SearchCandidate>& shard : assignment) {
+    total += shard.size();
+  }
+  return total;
+}
+
+ShardPlan make_shard_plan(const TaskGraph& tg, const ParallelSearchOptions& opts,
+                          int shards, const StrategyRegistry& registry) {
+  if (shards < 1) {
+    throw std::invalid_argument("sharded_search: shards must be >= 1");
+  }
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.graph_fingerprint = fingerprint(tg);
+  plan.assignment.resize(static_cast<std::size_t>(shards));
+  const std::vector<SearchCandidate> candidates =
+      enumerate_search_candidates(opts, registry);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    plan.assignment[i % static_cast<std::size_t>(shards)].push_back(candidates[i]);
+  }
+  return plan;
+}
+
+ShardEvaluation evaluate_shard(const TaskGraph& tg, const ParallelSearchOptions& opts,
+                               const ShardPlan& plan, int shard_index,
+                               const std::string& shard_dir,
+                               const StrategyRegistry& registry) {
+  if (shard_index < 0 || shard_index >= plan.shards) {
+    throw std::invalid_argument("sharded_search: shard index " +
+                                std::to_string(shard_index) + " not in [0, " +
+                                std::to_string(plan.shards) + ")");
+  }
+  io::ensure_directory(shard_dir, "sharded_search");
+  const std::vector<SearchCandidate>& mine =
+      plan.assignment[static_cast<std::size_t>(shard_index)];
+  const CandidateEvaluation eval = evaluate_candidates(tg, opts, mine, registry);
+
+  io::ShardManifest manifest;
+  manifest.fingerprint = plan.graph_fingerprint;
+  manifest.shard_index = shard_index;
+  manifest.shard_count = plan.shards;
+  manifest.processors = opts.processors;
+  manifest.max_iterations = opts.max_iterations;
+  manifest.restarts = opts.restarts;
+  manifest.evaluated = eval.evaluated;
+  manifest.cache_hits = eval.cache_hits;
+
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    io::ScheduleEntry entry;
+    entry.fingerprint = plan.graph_fingerprint;
+    entry.strategy = mine[i].strategy;
+    entry.seed = mine[i].seed;
+    entry.processors = opts.processors;
+    entry.max_iterations = opts.max_iterations;
+    entry.restarts = opts.restarts;
+    entry.detail = eval.results[i].detail;
+    entry.schedule = eval.results[i].schedule;
+    const std::string file = entry_filename(plan, opts, mine[i]);
+    io::write_file_atomic((fs::path(shard_dir) / file).string(),
+                          io::write_schedule_entry(entry));
+    manifest.candidates.push_back(io::ShardManifestEntry{mine[i].strategy,
+                                                         mine[i].seed, file});
+  }
+
+  // The manifest is published last: its presence means "this shard is
+  // complete", so the orchestrator/merge never reads a half-written shard.
+  io::write_file_atomic(
+      (fs::path(shard_dir) / io::shard_manifest_filename(shard_index, plan.shards))
+          .string(),
+      io::write_shard_manifest(manifest));
+
+  return ShardEvaluation{eval.evaluated, eval.cache_hits};
+}
+
+ParallelSearchResult merge_shards(const TaskGraph& tg, const ParallelSearchOptions& opts,
+                                  const ShardPlan& plan, const std::string& shard_dir) {
+  struct Scored {
+    StrategyResult result;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Scored> all;
+  all.reserve(plan.total_candidates());
+  std::size_t evaluated = 0;
+  std::size_t cache_hits = 0;
+
+  for (int s = 0; s < plan.shards; ++s) {
+    const fs::path manifest_path =
+        fs::path(shard_dir) / io::shard_manifest_filename(s, plan.shards);
+    std::ifstream in(manifest_path);
+    if (!in) {
+      throw std::runtime_error("sharded_search: missing shard manifest '" +
+                               manifest_path.string() + "'");
+    }
+    io::ShardManifest manifest;
+    try {
+      manifest = io::read_shard_manifest(in);
+    } catch (const io::ParseError& e) {
+      throw std::runtime_error("sharded_search: corrupt shard manifest '" +
+                               manifest_path.string() + "': " + e.what());
+    }
+
+    // Validate the manifest against the plan before trusting any entry: a
+    // stale or foreign shard directory must fail loudly, never quietly
+    // change the candidate matrix.
+    const std::vector<SearchCandidate>& expected =
+        plan.assignment[static_cast<std::size_t>(s)];
+    const auto reject = [&](const std::string& why) {
+      throw std::runtime_error("sharded_search: shard manifest '" +
+                               manifest_path.string() + "' " + why +
+                               " (stale shard directory? clear it and re-run)");
+    };
+    if (manifest.fingerprint != plan.graph_fingerprint) {
+      reject("was produced for a different task graph");
+    }
+    if (manifest.shard_index != s || manifest.shard_count != plan.shards) {
+      reject("describes a different shard topology");
+    }
+    if (manifest.processors != opts.processors) {
+      reject("was produced for a different processor count");
+    }
+    if (manifest.max_iterations != opts.max_iterations ||
+        manifest.restarts != opts.restarts) {
+      reject("was produced under a different search budget");
+    }
+    if (manifest.candidates.size() != expected.size()) {
+      reject("lists " + std::to_string(manifest.candidates.size()) +
+             " candidate(s), plan expects " + std::to_string(expected.size()));
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (manifest.candidates[i].strategy != expected[i].strategy ||
+          manifest.candidates[i].seed != expected[i].seed) {
+        reject("candidate " + std::to_string(i) + " does not match the plan");
+      }
+    }
+    evaluated += manifest.evaluated;
+    cache_hits += manifest.cache_hits;
+
+    for (std::size_t i = 0; i < manifest.candidates.size(); ++i) {
+      const fs::path entry_path = fs::path(shard_dir) / manifest.candidates[i].file;
+      std::ifstream entry_in(entry_path);
+      if (!entry_in) {
+        throw std::runtime_error("sharded_search: missing shard entry '" +
+                                 entry_path.string() + "'");
+      }
+      io::ScheduleEntry entry;
+      try {
+        entry = io::read_schedule_entry(entry_in);
+      } catch (const io::ParseError& e) {
+        throw std::runtime_error("sharded_search: corrupt shard entry '" +
+                                 entry_path.string() + "': " + e.what());
+      }
+      if (entry.fingerprint != plan.graph_fingerprint ||
+          entry.strategy != expected[i].strategy || entry.seed != expected[i].seed ||
+          entry.processors != opts.processors ||
+          entry.max_iterations != opts.max_iterations ||
+          entry.restarts != opts.restarts ||
+          entry.schedule.job_count() != tg.job_count()) {
+        throw std::runtime_error("sharded_search: shard entry '" +
+                                 entry_path.string() +
+                                 "' does not match the search it is merged into");
+      }
+      // Re-score against the query graph, exactly like a cache hit: a
+      // shipped schedule ranks bit-identically to a fresh evaluation.
+      Scored scored;
+      scored.seed = entry.seed;
+      scored.result.schedule = std::move(entry.schedule);
+      scored.result.strategy = entry.strategy;
+      scored.result.detail = std::move(entry.detail);
+      finalize_result(tg, scored.result);
+      all.push_back(std::move(scored));
+    }
+  }
+
+  if (all.empty()) {
+    throw std::runtime_error("sharded_search: no candidates across any shard");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (better_search_candidate(all[i].result, all[i].seed, all[best].result,
+                                all[best].seed)) {
+      best = i;
+    }
+  }
+
+  ParallelSearchResult out;
+  out.best = std::move(all[best].result);
+  out.seed = all[best].seed;
+  out.candidates = all.size();
+  out.evaluated = evaluated;
+  out.cache_hits = cache_hits;
+  out.workers_used = plan.shards;
+  return out;
+}
+
+ParallelSearchResult sharded_search(const TaskGraph& tg,
+                                    const ParallelSearchOptions& opts,
+                                    const ShardedSearchOptions& sharding,
+                                    const StrategyRegistry& registry) {
+  if (sharding.shard_dir.empty()) {
+    throw std::invalid_argument("sharded_search: shard_dir is required");
+  }
+  const ShardPlan plan = make_shard_plan(tg, opts, sharding.shards, registry);
+  io::ensure_directory(sharding.shard_dir, "sharded_search");
+
+  bool complete = true;
+  for (int s = 0; s < plan.shards; ++s) {
+    std::error_code ec;
+    if (!fs::exists(fs::path(sharding.shard_dir) /
+                        io::shard_manifest_filename(s, plan.shards),
+                    ec)) {
+      complete = false;
+      break;
+    }
+  }
+  if (!complete) {
+    if (!sharding.launcher) {
+      throw std::runtime_error(
+          "sharded_search: shard directory '" + sharding.shard_dir +
+          "' is missing shard manifests and no launcher was provided");
+    }
+    sharding.launcher(plan);
+  }
+  return merge_shards(tg, opts, plan, sharding.shard_dir);
+}
+
+ShardLauncher inprocess_shard_launcher(const TaskGraph& tg,
+                                       const ParallelSearchOptions& opts,
+                                       const std::string& shard_dir,
+                                       const StrategyRegistry& registry) {
+  return [&tg, opts, shard_dir, &registry](const ShardPlan& plan) {
+    for (int s = 0; s < plan.shards; ++s) {
+      (void)evaluate_shard(tg, opts, plan, s, shard_dir, registry);
+    }
+  };
+}
+
+}  // namespace sched
+}  // namespace fppn

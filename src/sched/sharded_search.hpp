@@ -1,0 +1,146 @@
+// Sharded multi-process schedule search: the parallel search's candidate
+// matrix split across N worker processes (or N machines) and merged back
+// with the exact in-process ranking.
+//
+// Pipeline:
+//
+//   make_shard_plan   deterministic round-robin split of the candidate
+//                     list (enumerate_search_candidates) into N shards —
+//                     pure function of (graph, options, shards, registry),
+//                     so orchestrator and workers compute the same plan
+//                     independently, with no plan file to ship
+//   evaluate_shard    evaluates one shard (thread pool + optional
+//                     ScheduleCache, exactly like parallel_search) and
+//                     publishes its results into a shard directory: one
+//                     schedule-format entry per candidate plus a
+//                     "fppn-shards v1" manifest (io/shard_manifest.hpp)
+//   merge_shards      reads every manifest + entry back, validates them
+//                     against the plan (fingerprint, shard topology,
+//                     budget, candidate identity — a stale or foreign
+//                     shard directory is a hard error, never a silently
+//                     different winner), re-scores each schedule against
+//                     the query graph and selects the winner with
+//                     better_search_candidate
+//   sharded_search    orchestrates: plans, launches workers through a
+//                     caller-supplied ShardLauncher (fppn_tool spawns
+//                     `fppn_tool search-worker` processes; tests evaluate
+//                     in-process) — or, when every manifest is already
+//                     present, consumes the pre-populated directory
+//                     without launching anything (multi-machine mode) —
+//                     then merges
+//
+// Determinism contract (extends parallel_search's): the candidate list,
+// the shard assignment and the ranking are all independent of the shard
+// count, process scheduling and cache warmth, and cached results are
+// re-scored on merge, so an N-shard run returns the bit-identical winner
+// of the 1-process search, cold or warm (regression-tested in
+// sharded_search_test.cpp).
+//
+// Thread safety: all functions are safe to call concurrently; distinct
+// worker processes may share one cache directory (entry writes are
+// atomic) but each shard index must be evaluated into a given shard
+// directory by one worker at a time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/parallel_search.hpp"
+
+namespace fppn {
+namespace sched {
+
+/// Deterministic assignment of the candidate matrix to shards.
+struct ShardPlan {
+  int shards = 1;
+  std::uint64_t graph_fingerprint = 0;
+  /// assignment[s] = the candidates shard s owns (round-robin over the
+  /// global candidate list, so shards stay balanced; a shard may be empty
+  /// when shards > candidates).
+  std::vector<std::vector<SearchCandidate>> assignment;
+
+  [[nodiscard]] std::size_t total_candidates() const;
+};
+
+/// Builds the plan for (tg, opts, shards). Pure function of its inputs —
+/// a worker process recomputes the identical plan from the same .fppn
+/// file and options. Throws std::invalid_argument for shards < 1 and
+/// everything enumerate_search_candidates throws.
+[[nodiscard]] ShardPlan make_shard_plan(
+    const TaskGraph& tg, const ParallelSearchOptions& opts, int shards,
+    const StrategyRegistry& registry = StrategyRegistry::global());
+
+/// Cache accounting of one shard evaluation (mirrors the manifest's
+/// "stats" line).
+struct ShardEvaluation {
+  std::size_t evaluated = 0;
+  std::size_t cache_hits = 0;
+};
+
+/// Evaluates shard `shard_index` of the plan (evaluate_candidates: worker
+/// threads per opts.workers, cache probe/store per opts.cache) and writes
+/// one schedule-format entry per candidate plus the shard manifest into
+/// `shard_dir` (created when missing, parent must exist — same loud-error
+/// contract as ScheduleCache). All writes are atomic (temp + rename).
+/// Throws std::invalid_argument for an out-of-range shard index,
+/// std::runtime_error for directory/write failures, and rethrows strategy
+/// exceptions like parallel_search.
+ShardEvaluation evaluate_shard(const TaskGraph& tg, const ParallelSearchOptions& opts,
+                               const ShardPlan& plan, int shard_index,
+                               const std::string& shard_dir,
+                               const StrategyRegistry& registry = StrategyRegistry::global());
+
+/// Reads every shard's manifest and entries from `shard_dir`, validates
+/// them against the plan and the query, re-scores every schedule against
+/// `tg` (finalize_result — cached/shipped results rank bit-identically to
+/// fresh ones) and selects the winner with better_search_candidate.
+/// ParallelSearchResult::evaluated / cache_hits are summed from the shard
+/// manifests; workers_used is the shard count. Throws std::runtime_error
+/// for a missing/corrupt/mismatched manifest or entry — shard results are
+/// search state, not a cache, so a bad shard directory is an error, never
+/// a silently smaller search.
+[[nodiscard]] ParallelSearchResult merge_shards(const TaskGraph& tg,
+                                                const ParallelSearchOptions& opts,
+                                                const ShardPlan& plan,
+                                                const std::string& shard_dir);
+
+/// Produces every shard's results for a plan, by whatever means the
+/// caller owns: spawn worker processes, submit cluster jobs, or evaluate
+/// in-process. Must not return until every shard manifest is published;
+/// throw to abort the search.
+using ShardLauncher = std::function<void(const ShardPlan& plan)>;
+
+struct ShardedSearchOptions {
+  int shards = 2;
+  /// Directory the shards publish into. Required. Created when missing
+  /// (parent must exist). Keep it distinct from any --cache-dir: shard
+  /// results are per-run search state, the cache is long-lived.
+  std::string shard_dir;
+  /// How to run the workers. When null, the shard directory must already
+  /// contain every manifest (pre-populated by other machines) or the
+  /// search throws.
+  ShardLauncher launcher;
+};
+
+/// The orchestrator: plans, ensures the shard directory exists, runs the
+/// launcher (skipped when every shard manifest is already present — the
+/// multi-machine consume mode), and merges. Returns the bit-identical
+/// winner of parallel_search(tg, opts, registry) for any shard count.
+/// Throws std::invalid_argument for bad options, std::runtime_error for
+/// directory problems, missing shards with no launcher, or merge
+/// validation failures, plus anything the launcher throws.
+[[nodiscard]] ParallelSearchResult sharded_search(
+    const TaskGraph& tg, const ParallelSearchOptions& opts,
+    const ShardedSearchOptions& sharding,
+    const StrategyRegistry& registry = StrategyRegistry::global());
+
+/// Launcher that evaluates every shard sequentially in this process —
+/// for tests and single-machine fallbacks. Captures tg/registry by
+/// reference; both must outlive the returned launcher.
+[[nodiscard]] ShardLauncher inprocess_shard_launcher(
+    const TaskGraph& tg, const ParallelSearchOptions& opts, const std::string& shard_dir,
+    const StrategyRegistry& registry = StrategyRegistry::global());
+
+}  // namespace sched
+}  // namespace fppn

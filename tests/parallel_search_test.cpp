@@ -3,6 +3,7 @@
 // validation.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 
 #include "apps/fig1.hpp"
@@ -176,6 +177,65 @@ TEST(ParallelSearch, FeasibleCandidateOutranksInfeasiblePartialSchedule) {
   const auto result = sched::parallel_search(derived.graph, base_options(2), registry);
   EXPECT_TRUE(result.best.feasible);
   EXPECT_NE(result.best.strategy, "aaa-broken");
+}
+
+/// User strategy that always throws, to exercise the worker pool's
+/// error path.
+class ThrowingStrategy final : public sched::SchedulerStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "aaa-throws"; }
+  [[nodiscard]] std::string description() const override { return "always throws"; }
+  [[nodiscard]] sched::StrategyResult schedule(
+      const TaskGraph&, const sched::StrategyOptions&) const override {
+    throw std::runtime_error("strategy exploded mid-search");
+  }
+};
+
+TEST(ParallelSearch, StrategyThrowMidSearchSurfacesFirstError) {
+  // A registered strategy that throws must surface its exception on the
+  // calling thread — not hang the pool, and not return a partial winner.
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  sched::StrategyRegistry registry;
+  sched::register_builtin_strategies(registry);
+  registry.add("aaa-throws", [] { return std::make_unique<ThrowingStrategy>(); });
+  for (const int workers : {1, 4}) {
+    sched::ParallelSearchOptions opts = base_options(2);
+    opts.workers = workers;
+    try {
+      (void)sched::parallel_search(derived.graph, opts, registry);
+      FAIL() << "expected the strategy's exception with " << workers << " worker(s)";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "strategy exploded mid-search") << workers << " worker(s)";
+    }
+  }
+}
+
+TEST(ParallelSearch, RanksMakespansNearInt64OverflowWithoutThrowing) {
+  // Rational makespan tie-breaking must stay total at the rt/rational
+  // overflow guard: comparing e.g. (2^63-1)/3 against (2^63-3)/2 would
+  // overflow 64-bit cross products (coprime denominators give gcd no
+  // leverage), and a throw here would kill the whole search.
+  // 2^63-1 is coprime to 3 and 2^63-3 is odd, so neither rational
+  // reduces: both cross products genuinely exceed int64.
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max();
+  sched::StrategyResult a;
+  a.strategy = "x";
+  a.feasible = true;
+  a.makespan = Time(Rational(huge, 3));
+  sched::StrategyResult b = a;
+  b.strategy = "y";
+  b.makespan = Time(Rational(huge - 2, 2));
+
+  bool a_wins = false;
+  EXPECT_NO_THROW(a_wins = sched::better_search_candidate(a, 1, b, 1));
+  EXPECT_TRUE(a_wins);  // huge/3 < (huge-2)/2
+  EXPECT_FALSE(sched::better_search_candidate(b, 1, a, 1));
+
+  // Equal violations and makespans fall through to the name tie-break
+  // without touching rational arithmetic.
+  b.makespan = a.makespan;
+  EXPECT_TRUE(sched::better_search_candidate(a, 1, b, 1));  // "x" < "y"
 }
 
 TEST(ParallelSearch, ColdVsWarmCachePickBitIdenticalWinner) {

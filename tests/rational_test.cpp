@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <unordered_set>
 
 namespace fppn {
@@ -59,6 +60,23 @@ TEST(Rational, ComparisonIsExact) {
   EXPECT_LT(Rational(1, 3), Rational(34, 100));
   EXPECT_GT(Rational(2, 3), Rational(66, 100));
   EXPECT_LT(Rational(-1, 2), Rational(1, 2));
+}
+
+TEST(Rational, ComparisonNeverThrowsNearInt64Overflow) {
+  // Ordering is used to *rank* (schedule makespans, hyperperiods), so it
+  // must stay total where the arithmetic operators throw: cross products
+  // of canonical values with coprime denominators can exceed 64 bits.
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max();
+  const Rational a(huge - 1, 3);
+  const Rational b(huge - 2, 2);
+  EXPECT_LT(a, b);  // (huge-1)/3 < (huge-2)/2, exactly
+  EXPECT_GT(b, a);
+  EXPECT_LT(Rational(-huge, 3), Rational(huge, 2));
+  EXPECT_LT(Rational(huge - 1, 2), Rational(huge, 2));
+  EXPECT_FALSE(Rational(huge, 2) < Rational(huge, 2));
+  // The same values still overflow loudly under addition — the guard is
+  // about arithmetic wrapping, not ordering.
+  EXPECT_THROW((void)(a + b), RationalError);
 }
 
 TEST(Rational, FloorCeil) {

@@ -60,6 +60,15 @@ TEST(StrategyRegistry, RejectsBadRegistrations) {
                             }),
                std::invalid_argument);
   EXPECT_THROW(registry.add("null-factory", nullptr), std::invalid_argument);
+  // Names become cache-entry file names, shard-manifest tokens and worker
+  // argv words, so the lowercase/digits/dashes contract is enforced.
+  const auto factory = [] {
+    return sched::StrategyRegistry::global().create("alap-edf");
+  };
+  EXPECT_THROW(registry.add("has space", factory), std::invalid_argument);
+  EXPECT_THROW(registry.add("has/slash", factory), std::invalid_argument);
+  EXPECT_THROW(registry.add("UpperCase", factory), std::invalid_argument);
+  EXPECT_NO_THROW(registry.add("ok-name-2", factory));
 }
 
 TEST(StrategyRegistry, UserStrategyPlugsIn) {

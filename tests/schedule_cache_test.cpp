@@ -9,6 +9,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <thread>
 
 #include "apps/fig1.hpp"
@@ -71,7 +72,8 @@ TEST(ScheduleFormat, EntryRoundTripsBitIdentically) {
   io::ScheduleEntry entry;
   entry.fingerprint = fingerprint(derived.graph);
   entry.strategy = result.strategy;
-  entry.seed = 7;
+  // Full-range uint64 seed: values >= 2^63 must survive the round-trip.
+  entry.seed = std::numeric_limits<std::uint64_t>::max() - 6;
   entry.processors = 2;
   entry.max_iterations = 400;
   entry.restarts = 1;
@@ -135,6 +137,44 @@ TEST(ScheduleFormat, RejectsWrongVersionAndCorruption) {
     EXPECT_THROW((void)io::read_schedule_entry_string(bad), io::ParseError);
   }
   EXPECT_THROW((void)io::read_schedule_entry_string("not a schedule\n"), io::ParseError);
+}
+
+TEST(ScheduleFormat, TrailingGarbageAfterEndIsAParseError) {
+  // A truncated entry concatenated with another file must not half-parse:
+  // anything non-blank after "end" is rejected. Trailing blank lines are
+  // harmless.
+  const auto derived = fig1_graph();
+  io::ScheduleEntry entry;
+  entry.strategy = "alap-edf";
+  entry.processors = 2;
+  entry.schedule = evaluate(derived.graph, 2).schedule;
+  const std::string text = io::write_schedule_entry(entry);
+
+  EXPECT_THROW((void)io::read_schedule_entry_string(text + "stray line\n"),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_schedule_entry_string(text + text), io::ParseError);
+  EXPECT_NO_THROW((void)io::read_schedule_entry_string(text + "\n  \n"));
+}
+
+TEST(ScheduleCache, TrailingGarbageDiskEntryIsAMissNotAnError) {
+  // The cache keeps its forgiving contract for the stricter parser: a
+  // disk entry with appended garbage is a rejected miss, never an error
+  // and never a half-parsed hit.
+  const TempDir dir("trailing");
+  const auto derived = fig1_graph();
+  const auto key = key_for(derived.graph, 2);
+  {
+    sched::ScheduleCache writer(dir.path());
+    writer.store(key, evaluate(derived.graph, 2));
+  }
+  {
+    std::ofstream out(fs::path(dir.path()) / key.filename(), std::ios::app);
+    out << "garbage appended after a complete entry\n";
+  }
+  sched::ScheduleCache reader(dir.path());
+  EXPECT_FALSE(reader.lookup(key, derived.graph).has_value());
+  EXPECT_EQ(reader.stats().disk_rejects, 1u);
+  EXPECT_EQ(reader.stats().misses, 1u);
 }
 
 TEST(ScheduleCache, MemoryHitAfterStore) {

@@ -1,0 +1,405 @@
+// Sharded schedule search: deterministic shard plans, bit-identical
+// winners vs. the in-process search (cold and warm, shared cache),
+// manifest round-trip, the pre-populated consume mode, and the
+// loud-failure contract for stale/corrupt shard directories.
+#include "sched/sharded_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <set>
+
+#include "io/shard_manifest.hpp"
+
+namespace fppn {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("fppn_shard_test_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Random layered DAG (same construction as the parallel-search tests).
+TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
+  std::uniform_int_distribution<int> fan(1, 3);
+  TaskGraph tg(Duration::ms(frame));
+  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      Job j;
+      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
+      j.arrival = Time::ms(0);
+      j.deadline = Time::ms(frame);
+      j.wcet = Duration::ms(wcet(rng));
+      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
+      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
+    }
+  }
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      const int out = fan(rng);
+      for (int e = 0; e < out; ++e) {
+        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
+                    grid[static_cast<std::size_t>(l + 1)]
+                        [static_cast<std::size_t>(pick(rng))]);
+      }
+    }
+  }
+  return tg;
+}
+
+sched::ParallelSearchOptions base_options(std::int64_t processors) {
+  sched::ParallelSearchOptions opts;
+  opts.processors = processors;
+  opts.seeds_per_strategy = 3;
+  opts.max_iterations = 300;
+  opts.restarts = 1;
+  return opts;
+}
+
+void expect_identical_schedules(const StaticSchedule& a, const StaticSchedule& b,
+                                std::size_t jobs) {
+  ASSERT_EQ(a.job_count(), jobs);
+  ASSERT_EQ(b.job_count(), jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const JobId id{i};
+    ASSERT_EQ(a.is_placed(id), b.is_placed(id)) << "job " << i;
+    if (!a.is_placed(id)) {
+      continue;
+    }
+    EXPECT_EQ(a.placement(id).processor, b.placement(id).processor) << "job " << i;
+    EXPECT_EQ(a.placement(id).start, b.placement(id).start) << "job " << i;
+  }
+}
+
+void expect_same_winner(const sched::ParallelSearchResult& a,
+                        const sched::ParallelSearchResult& b, std::size_t jobs) {
+  EXPECT_EQ(a.best.strategy, b.best.strategy);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.best.detail, b.best.detail);
+  EXPECT_EQ(a.best.makespan, b.best.makespan);
+  EXPECT_EQ(a.best.deadline_violations, b.best.deadline_violations);
+  EXPECT_EQ(a.best.feasible, b.best.feasible);
+  expect_identical_schedules(a.best.schedule, b.best.schedule, jobs);
+}
+
+TEST(ShardPlan, PartitionsTheCandidateMatrixDeterministically) {
+  const TaskGraph tg = random_task_graph(4, 4, 160, 5);
+  const sched::ParallelSearchOptions opts = base_options(3);
+  const std::vector<sched::SearchCandidate> candidates =
+      sched::enumerate_search_candidates(opts);
+
+  for (const int shards : {1, 2, 3, 7}) {
+    const sched::ShardPlan plan = sched::make_shard_plan(tg, opts, shards);
+    EXPECT_EQ(plan.shards, shards);
+    EXPECT_EQ(plan.graph_fingerprint, fingerprint(tg));
+    EXPECT_EQ(plan.total_candidates(), candidates.size());
+    // Round-robin: candidate i lands on shard i % shards, preserving the
+    // global order within each shard.
+    std::size_t index = 0;
+    std::set<std::pair<std::string, std::uint64_t>> seen;
+    for (const sched::SearchCandidate& c : candidates) {
+      const auto& shard = plan.assignment[index % static_cast<std::size_t>(shards)];
+      const std::size_t pos = index / static_cast<std::size_t>(shards);
+      ASSERT_LT(pos, shard.size());
+      EXPECT_EQ(shard[pos], c);
+      seen.emplace(c.strategy, c.seed);
+      ++index;
+    }
+    EXPECT_EQ(seen.size(), candidates.size()) << "candidates are unique";
+    // Plans are reproducible: a worker process recomputes the same plan.
+    const sched::ShardPlan again = sched::make_shard_plan(tg, opts, shards);
+    ASSERT_EQ(again.assignment.size(), plan.assignment.size());
+    for (std::size_t s = 0; s < plan.assignment.size(); ++s) {
+      EXPECT_EQ(again.assignment[s], plan.assignment[s]);
+    }
+  }
+}
+
+TEST(ShardPlan, RejectsBadShardCounts) {
+  const TaskGraph tg = random_task_graph(2, 2, 100, 1);
+  EXPECT_THROW((void)sched::make_shard_plan(tg, base_options(2), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sched::make_shard_plan(tg, base_options(2), -3),
+               std::invalid_argument);
+}
+
+TEST(ShardManifest, RoundTripsBitIdentically) {
+  io::ShardManifest manifest;
+  manifest.fingerprint = 0x1234abcd5678ef09ULL;
+  manifest.shard_index = 1;
+  manifest.shard_count = 4;
+  manifest.processors = 3;
+  manifest.max_iterations = 300;
+  manifest.restarts = 2;
+  manifest.evaluated = 2;
+  manifest.cache_hits = 1;
+  manifest.candidates.push_back(io::ShardManifestEntry{"alap-edf", 1, "a.sched"});
+  manifest.candidates.push_back(io::ShardManifestEntry{"local-search", 7, "b.sched"});
+  // Seeds are full-range uint64: values >= 2^63 must survive the
+  // round-trip (readers must accept everything the writer emits).
+  manifest.candidates.push_back(io::ShardManifestEntry{
+      "local-search", std::numeric_limits<std::uint64_t>::max(), "c.sched"});
+
+  const std::string text = io::write_shard_manifest(manifest);
+  const io::ShardManifest back = io::read_shard_manifest_string(text);
+  EXPECT_EQ(back.fingerprint, manifest.fingerprint);
+  EXPECT_EQ(back.shard_index, manifest.shard_index);
+  EXPECT_EQ(back.shard_count, manifest.shard_count);
+  EXPECT_EQ(back.processors, manifest.processors);
+  EXPECT_EQ(back.max_iterations, manifest.max_iterations);
+  EXPECT_EQ(back.restarts, manifest.restarts);
+  EXPECT_EQ(back.evaluated, manifest.evaluated);
+  EXPECT_EQ(back.cache_hits, manifest.cache_hits);
+  ASSERT_EQ(back.candidates.size(), manifest.candidates.size());
+  for (std::size_t i = 0; i < manifest.candidates.size(); ++i) {
+    EXPECT_EQ(back.candidates[i].strategy, manifest.candidates[i].strategy);
+    EXPECT_EQ(back.candidates[i].seed, manifest.candidates[i].seed);
+    EXPECT_EQ(back.candidates[i].file, manifest.candidates[i].file);
+  }
+  // Round-trip of the writer output is stable.
+  EXPECT_EQ(io::write_shard_manifest(back), text);
+}
+
+TEST(ShardManifest, RejectsVersionCorruptionAndTrailingGarbage) {
+  io::ShardManifest manifest;
+  manifest.shard_index = 0;
+  manifest.shard_count = 1;
+  manifest.processors = 2;
+  manifest.candidates.push_back(io::ShardManifestEntry{"alap-edf", 1, "a.sched"});
+  const std::string text = io::write_shard_manifest(manifest);
+
+  {
+    std::string wrong = text;
+    wrong.replace(wrong.find("v1"), 2, "v9");
+    EXPECT_THROW((void)io::read_shard_manifest_string(wrong), io::ParseError);
+  }
+  {
+    // Truncation: drop the "end" trailer.
+    const std::string truncated = text.substr(0, text.rfind("end"));
+    EXPECT_THROW((void)io::read_shard_manifest_string(truncated), io::ParseError);
+  }
+  {
+    // Candidate count promises more lines than present.
+    std::string overcount = text;
+    overcount.replace(overcount.find("candidates 1"), 12, "candidates 3");
+    EXPECT_THROW((void)io::read_shard_manifest_string(overcount), io::ParseError);
+  }
+  EXPECT_THROW((void)io::read_shard_manifest_string(text + "junk\n"), io::ParseError);
+  EXPECT_NO_THROW((void)io::read_shard_manifest_string(text + "\n \n"));
+  EXPECT_THROW((void)io::read_shard_manifest_string("not a manifest\n"),
+               io::ParseError);
+}
+
+TEST(ShardedSearch, MatchesInProcessWinnerBitIdentically) {
+  // Acceptance criterion: an N-shard run picks the bit-identical winner
+  // of the single-process search.
+  for (const std::uint64_t graph_seed : {0ULL, 7ULL}) {
+    const TaskGraph tg = random_task_graph(5, 5, 160, graph_seed);
+    const sched::ParallelSearchOptions opts = base_options(3);
+    const sched::ParallelSearchResult single = sched::parallel_search(tg, opts);
+
+    for (const int shards : {1, 2, 4}) {
+      const TempDir dir("match" + std::to_string(shards));
+      sched::ShardedSearchOptions sharding;
+      sharding.shards = shards;
+      sharding.shard_dir = dir.path();
+      sharding.launcher = sched::inprocess_shard_launcher(tg, opts, dir.path());
+      const sched::ParallelSearchResult sharded =
+          sched::sharded_search(tg, opts, sharding);
+      EXPECT_EQ(sharded.candidates, single.candidates) << "shards " << shards;
+      EXPECT_EQ(sharded.workers_used, shards);
+      expect_same_winner(sharded, single, tg.job_count());
+    }
+  }
+}
+
+TEST(ShardedSearch, ColdAndWarmSharedCachePickTheSameWinner) {
+  // Shard workers share one ScheduleCache: the warm rerun answers every
+  // candidate from the cache yet merges the bit-identical winner.
+  const TaskGraph tg = random_task_graph(5, 5, 160, 3);
+  const TempDir cache_dir("cache");
+  sched::ScheduleCache cache(cache_dir.path());
+  sched::ParallelSearchOptions opts = base_options(3);
+  opts.cache = &cache;
+
+  const TempDir cold_dir("cold");
+  sched::ShardedSearchOptions cold_sharding;
+  cold_sharding.shards = 2;
+  cold_sharding.shard_dir = cold_dir.path();
+  cold_sharding.launcher = sched::inprocess_shard_launcher(tg, opts, cold_dir.path());
+  const sched::ParallelSearchResult cold =
+      sched::sharded_search(tg, opts, cold_sharding);
+  EXPECT_EQ(cold.evaluated, cold.candidates);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  // A different cache *instance* over the same directory, as a separate
+  // worker process would see it.
+  sched::ScheduleCache warm_cache(cache_dir.path());
+  opts.cache = &warm_cache;
+  const TempDir warm_dir("warm");
+  sched::ShardedSearchOptions warm_sharding;
+  warm_sharding.shards = 2;
+  warm_sharding.shard_dir = warm_dir.path();
+  warm_sharding.launcher = sched::inprocess_shard_launcher(tg, opts, warm_dir.path());
+  const sched::ParallelSearchResult warm =
+      sched::sharded_search(tg, opts, warm_sharding);
+  EXPECT_EQ(warm.evaluated, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.candidates);
+  expect_same_winner(warm, cold, tg.job_count());
+
+  // And the sharded results agree with the uncached in-process search.
+  sched::ParallelSearchOptions plain = base_options(3);
+  const sched::ParallelSearchResult single = sched::parallel_search(tg, plain);
+  expect_same_winner(warm, single, tg.job_count());
+}
+
+TEST(ShardedSearch, ConsumesPrepopulatedShardDirectory) {
+  // Multi-machine mode: every manifest is already on disk (produced by
+  // "other machines"), so no launcher is needed — and none runs.
+  const TaskGraph tg = random_task_graph(5, 5, 160, 11);
+  const sched::ParallelSearchOptions opts = base_options(3);
+  const TempDir dir("consume");
+  const sched::ShardPlan plan = sched::make_shard_plan(tg, opts, 3);
+  for (int s = 0; s < plan.shards; ++s) {
+    (void)sched::evaluate_shard(tg, opts, plan, s, dir.path());
+  }
+
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = 3;
+  sharding.shard_dir = dir.path();
+  sharding.launcher = [](const sched::ShardPlan&) {
+    FAIL() << "launcher must not run when every manifest is present";
+  };
+  const sched::ParallelSearchResult merged = sched::sharded_search(tg, opts, sharding);
+  const sched::ParallelSearchResult single = sched::parallel_search(tg, opts);
+  expect_same_winner(merged, single, tg.job_count());
+}
+
+TEST(ShardedSearch, MissingShardWithoutLauncherFailsLoudly) {
+  const TaskGraph tg = random_task_graph(4, 4, 160, 2);
+  const sched::ParallelSearchOptions opts = base_options(2);
+  const TempDir dir("missing");
+  const sched::ShardPlan plan = sched::make_shard_plan(tg, opts, 2);
+  (void)sched::evaluate_shard(tg, opts, plan, 0, dir.path());  // shard 1 never runs
+
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = 2;
+  sharding.shard_dir = dir.path();
+  EXPECT_THROW((void)sched::sharded_search(tg, opts, sharding), std::runtime_error);
+}
+
+TEST(ShardedSearch, StaleShardDirectoryIsAnErrorNotADifferentWinner) {
+  // A shard directory populated for one graph/budget must not be merged
+  // into a different search.
+  const TaskGraph tg = random_task_graph(4, 4, 160, 6);
+  const sched::ParallelSearchOptions opts = base_options(2);
+  const TempDir dir("stale");
+  const sched::ShardPlan plan = sched::make_shard_plan(tg, opts, 2);
+  for (int s = 0; s < plan.shards; ++s) {
+    (void)sched::evaluate_shard(tg, opts, plan, s, dir.path());
+  }
+
+  {
+    // Different graph, same topology.
+    const TaskGraph other = random_task_graph(4, 4, 160, 9);
+    const sched::ShardPlan other_plan = sched::make_shard_plan(other, opts, 2);
+    EXPECT_THROW((void)sched::merge_shards(other, opts, other_plan, dir.path()),
+                 std::runtime_error);
+  }
+  {
+    // Same graph, different budget.
+    sched::ParallelSearchOptions bigger = opts;
+    bigger.max_iterations *= 2;
+    const sched::ShardPlan bigger_plan = sched::make_shard_plan(tg, bigger, 2);
+    EXPECT_THROW((void)sched::merge_shards(tg, bigger, bigger_plan, dir.path()),
+                 std::runtime_error);
+  }
+}
+
+TEST(ShardedSearch, CorruptManifestOrEntryFailsLoudly) {
+  const TaskGraph tg = random_task_graph(4, 4, 160, 8);
+  const sched::ParallelSearchOptions opts = base_options(2);
+  const sched::ShardPlan plan = sched::make_shard_plan(tg, opts, 2);
+
+  {
+    const TempDir dir("badmanifest");
+    for (int s = 0; s < plan.shards; ++s) {
+      (void)sched::evaluate_shard(tg, opts, plan, s, dir.path());
+    }
+    std::ofstream(fs::path(dir.path()) / io::shard_manifest_filename(1, 2))
+        << "garbage\n";
+    EXPECT_THROW((void)sched::merge_shards(tg, opts, plan, dir.path()),
+                 std::runtime_error);
+  }
+  {
+    const TempDir dir("badentry");
+    for (int s = 0; s < plan.shards; ++s) {
+      (void)sched::evaluate_shard(tg, opts, plan, s, dir.path());
+    }
+    // Corrupt the first entry listed by shard 0's manifest.
+    std::ifstream in(fs::path(dir.path()) / io::shard_manifest_filename(0, 2));
+    const io::ShardManifest manifest = io::read_shard_manifest(in);
+    ASSERT_FALSE(manifest.candidates.empty());
+    std::ofstream(fs::path(dir.path()) / manifest.candidates[0].file) << "junk\n";
+    EXPECT_THROW((void)sched::merge_shards(tg, opts, plan, dir.path()),
+                 std::runtime_error);
+  }
+}
+
+TEST(ShardedSearch, EmptyShardsAreLegal) {
+  // More shards than candidates: trailing shards own nothing, publish an
+  // empty manifest, and the merge still finds the winner.
+  const TaskGraph tg = random_task_graph(3, 3, 160, 4);
+  sched::ParallelSearchOptions opts = base_options(2);
+  opts.strategies = {"alap-edf", "b-level"};  // exactly 2 candidates
+  const TempDir dir("empty");
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = 5;
+  sharding.shard_dir = dir.path();
+  sharding.launcher = sched::inprocess_shard_launcher(tg, opts, dir.path());
+  const sched::ParallelSearchResult sharded = sched::sharded_search(tg, opts, sharding);
+  EXPECT_EQ(sharded.candidates, 2u);
+  const sched::ParallelSearchResult single = sched::parallel_search(tg, opts);
+  expect_same_winner(sharded, single, tg.job_count());
+}
+
+TEST(ShardedSearch, RejectsBadDirectories) {
+  const TaskGraph tg = random_task_graph(2, 2, 100, 1);
+  const sched::ParallelSearchOptions opts = base_options(2);
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = 2;
+  sharding.shard_dir = "";
+  EXPECT_THROW((void)sched::sharded_search(tg, opts, sharding), std::invalid_argument);
+  sharding.shard_dir = "/nonexistent-parent-xyz/shards";
+  EXPECT_THROW((void)sched::sharded_search(tg, opts, sharding), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fppn

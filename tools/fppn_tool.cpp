@@ -6,14 +6,20 @@
 // Scheduling goes through the strategy registry (pass any registered name
 // to --strategy; `fppn_tool --help` lists them) and --optimize runs the
 // parallel multi-strategy/multi-seed search. Execution goes through the
-// runtime registry (--runtime vm|threads).
+// runtime registry (--runtime vm|threads). `--shards N` splits the
+// schedule search across N `fppn_tool search-worker` processes
+// (sched::sharded_search) and merges the bit-identical winner of the
+// single-process run.
 //
 // Usage:
 //   fppn_tool check     <file>
 //   fppn_tool taskgraph <file> [--dot] [--wcet C] [--unfold U]
 //   fppn_tool schedule  <file> -m N [--strategy NAME] [--optimize]
 //                       [--jobs W] [--seed S] [--wcet C] [--unfold U]
-//                       [--cache-dir D] [--no-cache] [--dot|--gantt]
+//                       [--cache-dir D] [--no-cache]
+//                       [--shards N [--shard-dir D]] [--dot|--gantt]
+//   fppn_tool search-worker <file> -m N --shards N --shard-index I
+//                       --shard-dir D [schedule options]
 //   fppn_tool simulate  <file> -m N [--runtime NAME] [--frames F]
 //                       [--overhead F1,Fn] [--wcet C] [--seed S]
 //                       [--cache-dir D] [--no-cache]
@@ -22,18 +28,33 @@
 // --cache-dir enables the on-disk schedule cache (sched::ScheduleCache):
 // repeated searches over the same graph are answered from disk instead of
 // re-evaluated, with the bit-identical winner. A bad cache path is a hard
-// error (exit 1), never a silent miss.
+// error (exit 1), never a silent miss. Shard worker processes share the
+// same cache directory, so sharded searches are warm-cache friendly too.
+//
+// Every numeric flag is parsed with a checked helper: a non-integer or
+// out-of-range value exits 2 with an actionable message — never a raw
+// `stoi`/`stoll` exception.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "io/text_format.hpp"
 #include "runtime/runtime.hpp"
 #include "sched/parallel_search.hpp"
 #include "sched/registry.hpp"
+#include "sched/sharded_search.hpp"
 #include "sim/gantt.hpp"
 #include "taskgraph/analysis.hpp"
 #include "taskgraph/derivation.hpp"
@@ -42,6 +63,12 @@ using namespace fppn;
 
 namespace {
 
+namespace fs = std::filesystem;
+
+/// argv[0], kept for re-spawning shard workers when /proc/self/exe is
+/// unavailable.
+std::string g_argv0;
+
 struct Args {
   std::string command;
   std::string file;
@@ -49,10 +76,13 @@ struct Args {
   std::int64_t frames = 1;
   int unfold = 1;
   int jobs = 0;  ///< parallel-search workers; 0 = hardware concurrency
+  int shards = 0;       ///< >0: split the schedule search across processes
+  int shard_index = -1; ///< search-worker only: which shard this process owns
   std::uint64_t seed = 1;
   std::optional<Duration> uniform_wcet;
   std::optional<std::string> strategy;
   std::optional<std::string> cache_dir;
+  std::optional<std::string> shard_dir;
   std::string runtime = "vm";
   bool no_cache = false;
   bool optimize = false;
@@ -63,13 +93,20 @@ struct Args {
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: fppn_tool <check|taskgraph|schedule|simulate|roundtrip> "
+               "usage: fppn_tool "
+               "<check|taskgraph|schedule|search-worker|simulate|roundtrip> "
                "<file> [options]\n"
                "options:\n"
                "  -m N             processor count (schedule/simulate)\n"
                "  --strategy NAME  scheduling strategy (schedule)\n"
                "  --optimize       parallel multi-strategy/multi-seed search\n"
                "  --jobs W         parallel-search worker threads (0 = auto)\n"
+               "  --shards N       split the search across N worker processes\n"
+               "                   (schedule); same winner as the in-process run\n"
+               "  --shard-dir D    directory the shards publish into; with all\n"
+               "                   manifests pre-populated (e.g. from other\n"
+               "                   machines) no workers are spawned, only merged\n"
+               "  --shard-index I  shard owned by this process (search-worker)\n"
                "  --runtime NAME   execution backend (simulate)\n"
                "  --frames F       schedule-frame repetitions (simulate)\n"
                "  --overhead F1,Fn frame overhead model (simulate)\n"
@@ -95,6 +132,60 @@ void print_usage(std::FILE* out) {
 [[noreturn]] void usage() {
   print_usage(stderr);
   std::exit(2);
+}
+
+constexpr std::int64_t kNoMax = std::numeric_limits<std::int64_t>::max();
+
+/// Checked integer parse for a numeric flag: the whole value must be a
+/// base-10 integer within [min_value, max_value]. Anything else reports
+/// an actionable message naming the flag and exits 2 (the documented
+/// bad-usage code) — never a raw stoi/stoll exception. With max_value
+/// left at kNoMax the range message reads "must be >= N".
+std::int64_t parse_int_flag(const char* flag, const std::string& value,
+                            std::int64_t min_value, std::int64_t max_value = kNoMax) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    std::fprintf(stderr, "fppn_tool: expected an integer for %s, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "fppn_tool: %s out of range, got '%s'\n", flag, value.c_str());
+    std::exit(2);
+  }
+  if (parsed < min_value || parsed > max_value) {
+    if (max_value == kNoMax) {
+      std::fprintf(stderr, "fppn_tool: %s must be >= %lld, got '%s'\n", flag,
+                   static_cast<long long>(min_value), value.c_str());
+    } else {
+      std::fprintf(stderr, "fppn_tool: %s must be in [%lld, %lld], got '%s'\n", flag,
+                   static_cast<long long>(min_value),
+                   static_cast<long long>(max_value), value.c_str());
+    }
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// Checked unsigned parse (for --seed): rejects signs, non-digits and
+/// values beyond uint64.
+std::uint64_t parse_u64_flag(const char* flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const bool has_sign = !value.empty() && (value[0] == '-' || value[0] == '+');
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || has_sign || end != value.c_str() + value.size()) {
+    std::fprintf(stderr, "fppn_tool: expected an unsigned integer for %s, got '%s'\n",
+                 flag, value.c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "fppn_tool: %s out of range, got '%s'\n", flag, value.c_str());
+    std::exit(2);
+  }
+  return parsed;
 }
 
 /// Validates a user-supplied registry name; on failure prints the name and
@@ -136,15 +227,26 @@ Args parse_args(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "-m") {
-      a.processors = std::stoll(next());
+      // Nonsensical values fail here at the CLI, not deep in the engine.
+      a.processors = parse_int_flag("-m", next(), 1);
     } else if (arg == "--frames") {
-      a.frames = std::stoll(next());
+      a.frames = parse_int_flag("--frames", next(), 0);
     } else if (arg == "--unfold") {
-      a.unfold = std::stoi(next());
+      a.unfold = static_cast<int>(
+          parse_int_flag("--unfold", next(), 1, std::numeric_limits<int>::max()));
     } else if (arg == "--jobs") {
-      a.jobs = std::stoi(next());
+      a.jobs = static_cast<int>(
+          parse_int_flag("--jobs", next(), 0, std::numeric_limits<int>::max()));
+    } else if (arg == "--shards") {
+      a.shards = static_cast<int>(
+          parse_int_flag("--shards", next(), 1, std::numeric_limits<int>::max()));
+    } else if (arg == "--shard-index") {
+      a.shard_index = static_cast<int>(
+          parse_int_flag("--shard-index", next(), 0, std::numeric_limits<int>::max()));
+    } else if (arg == "--shard-dir") {
+      a.shard_dir = next();
     } else if (arg == "--seed") {
-      a.seed = std::stoull(next());
+      a.seed = parse_u64_flag("--seed", next());
     } else if (arg == "--wcet") {
       a.uniform_wcet = io::parse_duration(next());
     } else if (arg == "--strategy" || arg == "--heuristic") {
@@ -212,11 +314,11 @@ DerivedTaskGraph derive(const io::ParsedNetwork& parsed, const Args& args) {
   return derive_task_graph(parsed.net, resolve_wcets(parsed, args), opts);
 }
 
-/// The engine's default scheduling path: parallel search over the whole
-/// registry, backed by the on-disk schedule cache when --cache-dir is
-/// given (and --no-cache is not). A plain (non-optimizing) call keeps
-/// iterative strategies on a small budget so it stays quick.
-sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& args) {
+/// Search options shared by the in-process path, the sharded orchestrator
+/// and the search-worker subcommand — one source of truth, so every path
+/// enumerates the identical candidate matrix. A plain (non-optimizing)
+/// call keeps iterative strategies on a small budget so it stays quick.
+sched::ParallelSearchOptions build_search_options(const Args& args) {
   sched::ParallelSearchOptions opts;
   opts.processors = args.processors;
   opts.workers = args.jobs;
@@ -233,6 +335,14 @@ sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& arg
     opts.max_iterations = 400;
     opts.restarts = 1;
   }
+  return opts;
+}
+
+/// The engine's default scheduling path: parallel search over the whole
+/// registry, backed by the on-disk schedule cache when --cache-dir is
+/// given (and --no-cache is not).
+sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& args) {
+  sched::ParallelSearchOptions opts = build_search_options(args);
   std::optional<sched::ScheduleCache> cache;
   if (args.cache_dir.has_value() && !args.no_cache) {
     cache.emplace(*args.cache_dir);  // throws on a bad path: loud, not a silent miss
@@ -245,6 +355,150 @@ sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& arg
                 cache->directory().c_str(), stats.hits, stats.misses, stats.stores);
   }
   return result;
+}
+
+/// Full path of this executable, for re-spawning shard workers.
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return g_argv0;
+}
+
+/// Command line of one shard worker: the search-relevant flags of this
+/// invocation plus the shard coordinates. Workers share --cache-dir, so a
+/// sharded search warms (and is warmed by) the same cache as the
+/// in-process run.
+std::vector<std::string> worker_argv(const Args& args, const std::string& shard_dir,
+                                     int shard_index) {
+  std::vector<std::string> argv = {
+      self_exe_path(), "search-worker", args.file,
+      "-m", std::to_string(args.processors),
+      "--shards", std::to_string(args.shards),
+      "--shard-index", std::to_string(shard_index),
+      "--shard-dir", shard_dir,
+      "--seed", std::to_string(args.seed),
+      "--unfold", std::to_string(args.unfold),
+      "--jobs", std::to_string(args.jobs)};
+  if (args.strategy.has_value()) {
+    argv.push_back("--strategy");
+    argv.push_back(*args.strategy);
+  }
+  if (args.optimize) {
+    argv.push_back("--optimize");
+  }
+  if (args.uniform_wcet.has_value()) {
+    argv.push_back("--wcet");
+    argv.push_back(args.uniform_wcet->to_string());
+  }
+  if (args.cache_dir.has_value() && !args.no_cache) {
+    argv.push_back("--cache-dir");
+    argv.push_back(*args.cache_dir);
+  }
+  return argv;
+}
+
+/// Launcher that fork/execs one `fppn_tool search-worker` process per
+/// shard, concurrently, and waits for all of them; any worker failure
+/// aborts the search with its exit status.
+sched::ShardLauncher process_shard_launcher(const Args& args,
+                                            const std::string& shard_dir) {
+  return [args, shard_dir](const sched::ShardPlan& plan) {
+    std::vector<pid_t> pids;
+    pids.reserve(static_cast<std::size_t>(plan.shards));
+    for (int s = 0; s < plan.shards; ++s) {
+      const std::vector<std::string> argv_strings = worker_argv(args, shard_dir, s);
+      std::vector<char*> argv;
+      argv.reserve(argv_strings.size() + 1);
+      for (const std::string& a : argv_strings) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        // Don't leave already-spawned workers orphaned and racing the
+        // shard-dir cleanup: stop and reap them before aborting.
+        for (const pid_t spawned : pids) {
+          ::kill(spawned, SIGTERM);
+        }
+        for (const pid_t spawned : pids) {
+          int status = 0;
+          ::waitpid(spawned, &status, 0);
+        }
+        throw std::runtime_error("cannot fork shard worker " + std::to_string(s));
+      }
+      if (pid == 0) {
+        // execvp: the /proc/self/exe path is absolute, but the argv[0]
+        // fallback may be a bare PATH-looked-up name.
+        ::execvp(argv[0], argv.data());
+        std::perror("fppn_tool: exec shard worker");
+        std::_Exit(127);
+      }
+      pids.push_back(pid);
+    }
+    std::string failure;
+    for (std::size_t s = 0; s < pids.size(); ++s) {
+      int status = 0;
+      if (::waitpid(pids[s], &status, 0) < 0) {
+        failure = "cannot wait for shard worker " + std::to_string(s);
+        continue;
+      }
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        failure = "shard worker " + std::to_string(s) + " failed (" +
+                  (WIFEXITED(status)
+                       ? "exit status " + std::to_string(WEXITSTATUS(status))
+                       : "killed by signal " + std::to_string(WTERMSIG(status))) +
+                  ")";
+      }
+    }
+    if (!failure.empty()) {
+      throw std::runtime_error(failure);
+    }
+  };
+}
+
+/// Fresh private shard directory under the system temp dir, for --shards
+/// runs without an explicit --shard-dir.
+std::string make_temp_shard_dir() {
+  std::string templ = (fs::temp_directory_path() / "fppn-shards-XXXXXX").string();
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    std::fprintf(stderr, "fppn_tool: cannot create temporary shard directory\n");
+    std::exit(1);
+  }
+  return std::string(buf.data());
+}
+
+/// The sharded scheduling path: spawn one search-worker process per shard
+/// (or consume a pre-populated --shard-dir) and merge. Same winner as
+/// search_schedule, bit for bit.
+sched::ParallelSearchResult sharded_schedule(const TaskGraph& tg, const Args& args) {
+  const bool private_dir = !args.shard_dir.has_value();
+  const std::string shard_dir =
+      private_dir ? make_temp_shard_dir() : *args.shard_dir;
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = args.shards;
+  sharding.shard_dir = shard_dir;
+  sharding.launcher = process_shard_launcher(args, shard_dir);
+  const sched::ParallelSearchOptions opts = build_search_options(args);
+  try {
+    const sched::ParallelSearchResult result = sched::sharded_search(tg, opts, sharding);
+    if (private_dir) {
+      std::error_code ec;
+      fs::remove_all(shard_dir, ec);
+    }
+    return result;
+  } catch (...) {
+    if (private_dir) {
+      std::error_code ec;
+      fs::remove_all(shard_dir, ec);
+    }
+    throw;
+  }
 }
 
 int cmd_check(const Args& args) {
@@ -280,17 +534,27 @@ int cmd_taskgraph(const Args& args) {
 }
 
 int cmd_schedule(const Args& args) {
+  if (args.shard_dir.has_value() && args.shards < 1) {
+    // Silently recomputing in-process would drop shipped shard results.
+    std::fprintf(stderr, "fppn_tool: --shard-dir requires --shards N\n");
+    return 2;
+  }
   const auto parsed = load(args.file);
   const auto derived = derive(parsed, args);
-  const sched::ParallelSearchResult result = search_schedule(derived.graph, args);
+  const sched::ParallelSearchResult result = args.shards > 0
+                                                 ? sharded_schedule(derived.graph, args)
+                                                 : search_schedule(derived.graph, args);
   std::printf("%s on %lld processor(s): %s, makespan %s ms\n",
               result.best.detail.c_str(), static_cast<long long>(args.processors),
               result.best.feasible ? "FEASIBLE" : "infeasible",
               result.best.makespan.to_string().c_str());
+  const std::string workers_phrase =
+      args.shards > 0 ? "in " + std::to_string(result.workers_used) + " shard process(es)"
+                      : "on " + std::to_string(result.workers_used) + " worker(s)";
   std::printf(
-      "(searched %zu candidate(s), %zu evaluated + %zu cached, on %d worker(s); "
+      "(searched %zu candidate(s), %zu evaluated + %zu cached, %s; "
       "winner: %s, seed %llu)\n",
-      result.candidates, result.evaluated, result.cache_hits, result.workers_used,
+      result.candidates, result.evaluated, result.cache_hits, workers_phrase.c_str(),
       result.best.strategy.c_str(), static_cast<unsigned long long>(result.seed));
   if (!result.best.feasible) {
     const FeasibilityReport report =
@@ -301,6 +565,33 @@ int cmd_schedule(const Args& args) {
     std::printf("%s", result.best.schedule.to_gantt(derived.graph, 100).c_str());
   }
   return result.best.feasible ? 0 : 3;
+}
+
+/// One shard of a sharded search: recomputes the deterministic plan from
+/// the same inputs the orchestrator used and publishes this shard's
+/// results. Quiet on success (the orchestrator owns the report); errors
+/// go to stderr.
+int cmd_search_worker(const Args& args) {
+  if (args.shards < 1 || !args.shard_dir.has_value() || args.shard_index < 0 ||
+      args.shard_index >= args.shards) {
+    std::fprintf(stderr,
+                 "fppn_tool: search-worker requires --shards N, --shard-index I "
+                 "(0 <= I < N) and --shard-dir D\n");
+    return 2;
+  }
+  const auto parsed = load(args.file);
+  const auto derived = derive(parsed, args);
+  sched::ParallelSearchOptions opts = build_search_options(args);
+  std::optional<sched::ScheduleCache> cache;
+  if (args.cache_dir.has_value() && !args.no_cache) {
+    cache.emplace(*args.cache_dir);
+    opts.cache = &*cache;
+  }
+  const sched::ShardPlan plan =
+      sched::make_shard_plan(derived.graph, opts, args.shards);
+  (void)sched::evaluate_shard(derived.graph, opts, plan, args.shard_index,
+                              *args.shard_dir);
+  return 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -342,6 +633,7 @@ int cmd_roundtrip(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_argv0 = argc > 0 ? argv[0] : "fppn_tool";
   try {
     const Args args = parse_args(argc, argv);
     if (args.command == "check") {
@@ -352,6 +644,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "schedule") {
       return cmd_schedule(args);
+    }
+    if (args.command == "search-worker") {
+      return cmd_search_worker(args);
     }
     if (args.command == "simulate") {
       return cmd_simulate(args);
