@@ -25,4 +25,10 @@ void write_file_atomic(const std::string& path, const std::string& content);
 /// ScheduleCache and the sharded search.
 void ensure_directory(const std::string& directory, const std::string& context);
 
+/// Creates a fresh private directory under the system temp dir, named
+/// "<prefix>XXXXXX" (mkdtemp), and returns its path. Throws
+/// std::runtime_error on failure — callers' cleanup/catch paths see one
+/// exception contract instead of a process exit. Thread-safe.
+[[nodiscard]] std::string make_temp_directory(const std::string& prefix);
+
 }  // namespace fppn::io

@@ -1,0 +1,124 @@
+#include "io/cache_index.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "io/line_parser.hpp"
+
+namespace fppn::io {
+
+void CacheIndex::touch(const std::string& file) {
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [&](const CacheIndexEntry& e) { return e.file == file; });
+  if (it != entries.end()) {
+    it->sequence = next_sequence;
+  } else {
+    entries.push_back(CacheIndexEntry{next_sequence, file});
+  }
+  ++next_sequence;
+}
+
+bool CacheIndex::erase(const std::string& file) {
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [&](const CacheIndexEntry& e) { return e.file == file; });
+  if (it == entries.end()) {
+    return false;
+  }
+  entries.erase(it);
+  return true;
+}
+
+std::vector<CacheIndexEntry> CacheIndex::oldest_first() const {
+  std::vector<CacheIndexEntry> out = entries;
+  std::sort(out.begin(), out.end(),
+            [](const CacheIndexEntry& a, const CacheIndexEntry& b) {
+              if (a.sequence != b.sequence) {
+                return a.sequence < b.sequence;
+              }
+              return a.file < b.file;
+            });
+  return out;
+}
+
+std::string write_cache_index(const CacheIndex& index) {
+  std::ostringstream out;
+  out << "fppn-cache-index v" << kCacheIndexVersion << '\n';
+  out << "sequence " << index.next_sequence << '\n';
+  out << "entries " << index.entries.size() << '\n';
+  for (const CacheIndexEntry& e : index.entries) {
+    out << "entry " << e.sequence << ' ' << e.file << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+CacheIndex read_cache_index(std::istream& in) {
+  detail::LineParser parser(in);
+  constexpr const char* kEof = "unexpected end of cache index (no 'end' trailer?)";
+
+  {
+    const auto toks = parser.next_tokens(kEof);
+    if (toks.size() != 2 || toks[0] != "fppn-cache-index" ||
+        toks[1] != "v" + std::to_string(kCacheIndexVersion)) {
+      throw ParseError(parser.lineno(), "expected header 'fppn-cache-index v" +
+                                            std::to_string(kCacheIndexVersion) + "'");
+    }
+  }
+
+  CacheIndex index;
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "sequence");
+    if (toks[0] != "sequence") {
+      throw ParseError(parser.lineno(), "expected 'sequence'");
+    }
+    index.next_sequence = parser.parse_u64(toks[1]);
+  }
+  std::size_t count = 0;
+  {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 2, "entries");
+    if (toks[0] != "entries") {
+      throw ParseError(parser.lineno(), "expected 'entries'");
+    }
+    const std::int64_t n = parser.parse_i64(toks[1]);
+    if (n < 0) {
+      throw ParseError(parser.lineno(), "negative entry count");
+    }
+    count = static_cast<std::size_t>(n);
+  }
+
+  std::set<std::string> seen;
+  index.entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto toks = parser.next_tokens(kEof);
+    parser.expect_tokens(toks, 3, "entry");
+    if (toks[0] != "entry") {
+      throw ParseError(parser.lineno(), "expected 'entry'");
+    }
+    CacheIndexEntry e;
+    e.sequence = parser.parse_u64(toks[1]);
+    e.file = toks[2];
+    if (!seen.insert(e.file).second) {
+      throw ParseError(parser.lineno(), "duplicate index entry '" + e.file + "'");
+    }
+    index.entries.push_back(std::move(e));
+  }
+
+  {
+    const auto toks = parser.next_tokens(kEof);
+    if (toks.size() != 1 || toks[0] != "end") {
+      throw ParseError(parser.lineno(), "expected 'end'");
+    }
+  }
+  parser.reject_trailing_content();
+  return index;
+}
+
+CacheIndex read_cache_index_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_cache_index(in);
+}
+
+}  // namespace fppn::io

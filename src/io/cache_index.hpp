@@ -1,0 +1,79 @@
+// Versioned text serialization of the schedule-cache directory index —
+// the recency ledger behind sched::ScheduleCache's bounded (LRU-style)
+// eviction (see docs/FILE_FORMATS.md for the grammar and an annotated
+// example).
+//
+// The index maps every cache-entry file in a directory to a logical
+// sequence number: higher sequence = used more recently. Sequence numbers
+// come from a monotone per-index counter (never wall-clock time), so the
+// eviction order is reproducible and immune to clock skew between
+// processes sharing a directory. Line-oriented; starts with the
+// magic/version line "fppn-cache-index v1" and ends with "end"; trailing
+// non-blank content after "end" is a ParseError (truncation/concatenation
+// guard, same contract as schedule entries).
+//
+// The index is advisory, never authoritative: the entry files are the
+// cache's ground truth, and a missing, corrupt or stale index is rebuilt
+// from them (ordered by file modification time) — a damaged index must
+// never be a hard error, and never lose cached schedules.
+//
+// Deterministic: write_cache_index is a pure function of the index;
+// read(write(x)) reproduces every field bit-identically.
+// Thread safety: all functions are stateless and safe to call
+// concurrently; callers synchronize access to shared streams themselves.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/text_format.hpp"
+
+namespace fppn::io {
+
+/// Current index-format version, written as "fppn-cache-index v<N>".
+/// Readers reject every other version (the cache rebuilds a rejected
+/// index from the entry files).
+constexpr int kCacheIndexVersion = 1;
+
+/// Conventional index file name within a cache directory. Deliberately
+/// not "*.sched", so index rebuilds scanning for entry files skip it.
+constexpr const char* kCacheIndexFilename = "cache-index";
+
+/// One entry file and the logical time it was last stored or read.
+struct CacheIndexEntry {
+  std::uint64_t sequence = 0;  ///< higher = more recently used
+  std::string file;            ///< entry file name within the cache directory
+};
+
+/// The recency ledger of one cache directory.
+struct CacheIndex {
+  std::uint64_t next_sequence = 1;  ///< the sequence the next touch() hands out
+  std::vector<CacheIndexEntry> entries;
+
+  /// Marks `file` as the most recently used entry: assigns it
+  /// next_sequence and advances the counter. Adds the record when absent.
+  void touch(const std::string& file);
+
+  /// Removes the record for `file`, if any. Returns true when removed.
+  bool erase(const std::string& file);
+
+  /// Entries sorted oldest-first by (sequence, file name) — the eviction
+  /// order. The file-name tie-break keeps the order total even when racing
+  /// writers handed out duplicate sequences.
+  [[nodiscard]] std::vector<CacheIndexEntry> oldest_first() const;
+};
+
+/// Renders an index in format version kCacheIndexVersion. Never throws.
+[[nodiscard]] std::string write_cache_index(const CacheIndex& index);
+
+/// Parses one index and consumes the stream to its end. Throws ParseError
+/// (with a 1-based line number) on a wrong magic/version line, malformed
+/// or missing fields, an entry count that does not match the entry lines,
+/// a duplicate file name, a missing "end" trailer, or trailing non-blank
+/// content after "end".
+[[nodiscard]] CacheIndex read_cache_index(std::istream& in);
+[[nodiscard]] CacheIndex read_cache_index_string(const std::string& text);
+
+}  // namespace fppn::io

@@ -51,9 +51,15 @@ class LineParser {
     }
   }
 
-  /// Whole-token signed integer; throws ParseError otherwise.
+  /// Whole-token signed integer, exactly the documented grammar
+  /// `-?[0-9]+` — no writer emits a leading '+' (or anything else stoll
+  /// tolerates, like "0x"-prefixed digits), so readers must not accept
+  /// one; mirrors parse_u64's sign check. Throws ParseError otherwise.
   [[nodiscard]] std::int64_t parse_i64(const std::string& s) const {
     try {
+      if (!s.empty() && s[0] == '+') {
+        throw std::invalid_argument(s);
+      }
       std::size_t used = 0;
       const std::int64_t v = std::stoll(s, &used);
       if (used != s.size()) {

@@ -36,7 +36,11 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
   const std::size_t n = tg.job_count();
   LocalSearchResult best;
 
-  // Seed with the best plain heuristic.
+  // Seed with the best plain heuristic, then let any supplied start
+  // points (the warm-start hook) compete on the same strict-improvement
+  // terms: a start priority displaces the heuristic seed only when its
+  // score is strictly better, so equal-scoring warm starts keep the
+  // heuristic provenance (and the bit-identical cold result).
   for (const PriorityHeuristic h : all_heuristics()) {
     std::vector<JobId> order = schedule_priority(tg, h);
     StaticSchedule schedule = list_schedule(tg, order, opts.processors);
@@ -48,6 +52,18 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
       best.schedule = std::move(schedule);
       best.priority = std::move(order);
       best.start_heuristic = h;
+    }
+  }
+  for (std::size_t p = 0; p < opts.start_priorities.size(); ++p) {
+    std::vector<JobId> order = opts.start_priorities[p];
+    StaticSchedule schedule = list_schedule(tg, order, opts.processors);
+    const Score score = evaluate(tg, schedule);
+    if (score.better_than(Score{best.violations, best.makespan})) {
+      best.violations = score.violations;
+      best.makespan = score.makespan;
+      best.schedule = std::move(schedule);
+      best.priority = std::move(order);
+      best.start_priority_index = static_cast<int>(p);
     }
   }
   if (n < 2) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sched/list_scheduler.hpp"
 
@@ -19,6 +20,14 @@ struct LocalSearchOptions {
   int max_iterations = 2000;   ///< move evaluations per start point
   int restarts = 2;            ///< random restarts after the heuristic start
   std::uint64_t seed = 1;      ///< RNG seed (restart shuffles, move picks)
+  /// Extra SP start points evaluated alongside the plain heuristics when
+  /// seeding the search (the warm-start hook: sched::parallel_search
+  /// feeds priority orders recovered from cached feasible schedules in
+  /// here). Each must be a permutation of all jobs — list_schedule throws
+  /// std::invalid_argument otherwise. The search starts from the best of
+  /// heuristics ∪ start_priorities and only accepts improvements, so
+  /// adding start points can never make the result worse.
+  std::vector<std::vector<JobId>> start_priorities;
 };
 
 struct LocalSearchResult {
@@ -29,6 +38,10 @@ struct LocalSearchResult {
   bool feasible = false;
   int iterations_used = 0;
   PriorityHeuristic start_heuristic = PriorityHeuristic::kAlapEdf;
+  /// Index into LocalSearchOptions::start_priorities when one of the
+  /// supplied start points beat every heuristic at seeding time; -1 when
+  /// a plain heuristic won (start_heuristic names it).
+  int start_priority_index = -1;
 };
 
 /// Optimizes SP for `tg`. Never returns a schedule worse than the best

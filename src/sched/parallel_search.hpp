@@ -17,6 +17,17 @@
 // search evaluates zero candidates yet selects the bit-identical winner of
 // the cold run (regression-tested in parallel_search_test.cpp).
 //
+// With warm_start additionally enabled, the search ends with a warm-start
+// overlay (apply_cached_warm_start): cached feasible schedules for the
+// same fingerprint are fed into optimize_priority as start points through
+// the "cached-warm-start" strategy, and the best warm candidate replaces
+// the winner only when strictly better on (feasibility, violations,
+// makespan). A warm search therefore either matches the cold winner
+// bit-identically or beats it — never a different-but-equal winner, and
+// never worse. Warm-start results are not cached (their key could not
+// capture the cache contents they depend on), and "cached-warm-start" is
+// never enumerated as a plan candidate.
+//
 // This is the default scheduling path of fppn_tool and the benches.
 #pragma once
 
@@ -47,14 +58,24 @@ struct ParallelSearchOptions {
   /// Optional schedule cache (not owned; must outlive the call). Null
   /// disables caching. The same cache may serve concurrent searches.
   ScheduleCache* cache = nullptr;
+  /// Run the warm-start overlay after winner selection: cached feasible
+  /// schedules for this graph seed extra local-search candidates
+  /// ("cached-warm-start"), which replace the winner only when strictly
+  /// better — see apply_cached_warm_start. Requires `cache`; ignored
+  /// without one. Off by default because the overlay's outcome depends on
+  /// the cache *contents* (monotonically: match or beat, never worse).
+  bool warm_start = false;
 };
 
 struct ParallelSearchResult {
   StrategyResult best;             ///< winning candidate, fully evaluated
   std::uint64_t seed = 0;          ///< seed of the winning candidate
-  std::size_t candidates = 0;      ///< total candidates considered
+  std::size_t candidates = 0;      ///< total plan candidates considered
   std::size_t evaluated = 0;       ///< candidates actually run (cache misses)
   std::size_t cache_hits = 0;      ///< candidates answered by the cache
+  std::size_t warm_starts = 0;     ///< cached feasible schedules fed as starts
+  std::size_t warm_candidates = 0; ///< warm-start candidates evaluated
+  bool warm_start_won = false;     ///< overlay strictly beat the plan winner
   int workers_used = 1;
 };
 
@@ -76,7 +97,11 @@ struct SearchCandidate {
 /// Builds the deterministic candidate list for (opts, registry): one
 /// candidate per non-seedable strategy, opts.seeds_per_strategy per
 /// seedable one, in the order of opts.strategies (or sorted registry
-/// order when empty). Single source of truth for the candidate matrix:
+/// order when empty; "cached-warm-start" is excluded from that expansion
+/// — its result depends on cache contents, so it joins searches through
+/// the warm-start overlay, not the plan. Naming it in opts.strategies
+/// explicitly still works and behaves like plain local search).
+/// Single source of truth for the candidate matrix:
 /// parallel_search evaluates exactly this list and the sharded search
 /// (sched/sharded_search.hpp) partitions it. Throws std::invalid_argument
 /// for bad options / an empty list and UnknownStrategyError for unknown
@@ -122,9 +147,28 @@ struct CandidateEvaluation {
     const std::vector<SearchCandidate>& candidates,
     const StrategyRegistry& registry = StrategyRegistry::global());
 
+/// The warm-start overlay, shared by parallel_search and sharded_search:
+/// collects every cached feasible schedule for fingerprint(tg) from
+/// opts.cache, evaluates opts.seeds_per_strategy "cached-warm-start"
+/// candidates with those start points (serially, never cached, ranked
+/// among themselves by better_search_candidate), and replaces
+/// result.best/seed only when the best warm candidate is *strictly*
+/// better on the (feasibility, violations, makespan) score prefix — an
+/// equal-scoring warm candidate keeps the plan winner, so a warm rerun
+/// reports the bit-identical winner of the cold run unless it genuinely
+/// improved on it. Fills result.warm_starts/warm_candidates/
+/// warm_start_won. No-op when opts.warm_start is false, opts.cache is
+/// null, or the cache holds no feasible schedule for this graph.
+/// Deterministic for fixed (tg, opts, cache contents); rethrows strategy
+/// exceptions.
+void apply_cached_warm_start(const TaskGraph& tg, const ParallelSearchOptions& opts,
+                             ParallelSearchResult& result);
+
 /// Runs the search. Deterministic: for fixed (tg, opts, registry
 /// contents), the returned winner is bit-identical regardless of worker
-/// count, thread interleaving, or cache warmth. Throws
+/// count, thread interleaving, or cache warmth (with warm_start enabled,
+/// additionally a pure function of the cache contents — see
+/// apply_cached_warm_start). Throws
 /// std::invalid_argument when the registry/options yield no candidates,
 /// processors < 1, or seeds_per_strategy < 1; UnknownStrategyError for an
 /// unknown strategy name (before any work starts). Any exception thrown by

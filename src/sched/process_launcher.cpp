@@ -1,0 +1,78 @@
+#include "sched/process_launcher.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fppn {
+namespace sched {
+
+ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard) {
+  return [command_for_shard](const ShardPlan& plan) {
+    std::vector<pid_t> pids;
+    pids.reserve(static_cast<std::size_t>(plan.shards));
+    for (int s = 0; s < plan.shards; ++s) {
+      const std::vector<std::string> argv_strings = command_for_shard(s);
+      if (argv_strings.empty()) {
+        throw std::runtime_error("process_shard_launcher: empty command for shard " +
+                                 std::to_string(s));
+      }
+      std::vector<char*> argv;
+      argv.reserve(argv_strings.size() + 1);
+      for (const std::string& a : argv_strings) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        // Don't leave already-spawned workers orphaned and racing the
+        // shard-dir cleanup: stop and reap them before aborting.
+        for (const pid_t spawned : pids) {
+          ::kill(spawned, SIGTERM);
+        }
+        for (const pid_t spawned : pids) {
+          int status = 0;
+          ::waitpid(spawned, &status, 0);
+        }
+        throw std::runtime_error("cannot fork shard worker " + std::to_string(s));
+      }
+      if (pid == 0) {
+        ::execvp(argv[0], argv.data());
+        std::perror("fppn: exec shard worker");
+        std::_Exit(127);
+      }
+      pids.push_back(pid);
+    }
+    // Wait for EVERY worker and collect EVERY failure: reporting only the
+    // last failed shard would hide the others and leave unreaped children
+    // behind an early throw.
+    std::vector<std::string> failures;
+    for (std::size_t s = 0; s < pids.size(); ++s) {
+      int status = 0;
+      if (::waitpid(pids[s], &status, 0) < 0) {
+        failures.push_back("cannot wait for shard worker " + std::to_string(s));
+        continue;
+      }
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        failures.push_back(
+            "shard worker " + std::to_string(s) + " failed (" +
+            (WIFEXITED(status) ? "exit status " + std::to_string(WEXITSTATUS(status))
+                               : "killed by signal " + std::to_string(WTERMSIG(status))) +
+            ")");
+      }
+    }
+    if (!failures.empty()) {
+      std::string message = failures[0];
+      for (std::size_t i = 1; i < failures.size(); ++i) {
+        message += "; " + failures[i];
+      }
+      throw std::runtime_error(message);
+    }
+  };
+}
+
+}  // namespace sched
+}  // namespace fppn

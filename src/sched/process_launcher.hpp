@@ -1,0 +1,40 @@
+// Process-based ShardLauncher: fork/exec one worker process per shard,
+// concurrently, and wait for all of them — the launcher behind
+// `fppn_tool schedule --shards N` (which spawns `fppn_tool search-worker`
+// processes of itself), extracted so the wait/collect logic is testable
+// without going through the tool binary.
+//
+// Failure reporting: the launcher waits for EVERY worker before deciding
+// the outcome, and the error it throws names EVERY failed shard (exit
+// status or killing signal), not just the last one — with dozens of
+// shards, "worker 3 failed" hiding "workers 5, 7 and 9 also failed" turns
+// one debugging session into four. A fork failure stops and reaps the
+// already-spawned workers before throwing, so no orphan races the shard
+// directory cleanup.
+//
+// POSIX-only (fork/execvp/waitpid), like the tool it serves.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/sharded_search.hpp"
+
+namespace fppn {
+namespace sched {
+
+/// Builds the argv of one shard's worker process (argv[0] = executable,
+/// resolved via PATH when not absolute). Must return a non-empty vector.
+using ShardCommandBuilder = std::function<std::vector<std::string>(int shard_index)>;
+
+/// ShardLauncher that runs `command_for_shard(s)` for every shard of the
+/// plan as a separate process and waits for all of them. Throws
+/// std::runtime_error listing every shard whose worker did not exit 0
+/// (";"-joined, one clause per failure), or whose wait failed, after all
+/// workers have been reaped. Thread-compatible: each returned launcher is
+/// used by one orchestrator at a time.
+[[nodiscard]] ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard);
+
+}  // namespace sched
+}  // namespace fppn

@@ -1,7 +1,10 @@
 #include "sched/schedule_cache.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,10 +16,39 @@ namespace sched {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+constexpr const char* kEntrySuffix = ".sched";
+
+bool is_entry_file(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.size() > std::strlen(kEntrySuffix) &&
+         name.compare(name.size() - std::strlen(kEntrySuffix), std::string::npos,
+                      kEntrySuffix) == 0;
+}
+
+/// Entry file names in `directory`, name-sorted for deterministic
+/// iteration. Enumeration failures yield an empty list (the directory was
+/// validated at construction; a racing removal is not an error).
+std::vector<std::string> list_entry_files(const std::string& directory) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (is_entry_file(it->path())) {
+      files.push_back(it->path().filename().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
 std::string CacheKey::filename() const {
   std::ostringstream out;
   out << fingerprint_hex(fingerprint) << '-' << strategy << "-m" << processors
-      << "-seed" << seed << "-it" << max_iterations << "-r" << restarts << ".sched";
+      << "-seed" << seed << "-it" << max_iterations << "-r" << restarts << kEntrySuffix;
   return out.str();
 }
 
@@ -37,7 +69,8 @@ CacheKey make_cache_key(const TaskGraph& tg, const std::string& strategy,
   return make_cache_key(fingerprint(tg), strategy, opts);
 }
 
-ScheduleCache::ScheduleCache(const std::string& directory) : directory_(directory) {
+ScheduleCache::ScheduleCache(const std::string& directory, std::size_t max_entries)
+    : directory_(directory), max_entries_(max_entries) {
   io::ensure_directory(directory_, "schedule cache");
 }
 
@@ -49,18 +82,25 @@ std::optional<StrategyResult> ScheduleCache::lookup(const CacheKey& key,
     const auto it = memory_.find(key);
     if (it != memory_.end()) {
       entry = it->second;
+      if (entry->schedule.job_count() != tg.job_count()) {
+        // Fingerprint collision safety net: never hand back a schedule
+        // that cannot even index this graph's jobs.
+        ++stats_.disk_rejects;
+        memory_.erase(key);
+        entry.reset();
+      }
     } else if (!directory_.empty()) {
       entry = load_from_disk(key);
-      if (entry.has_value()) {
+      if (entry.has_value() && entry->schedule.job_count() != tg.job_count()) {
+        // Same collision safety net — rejected *before* the entry is
+        // promoted or its recency bumped, so a garbage entry file never
+        // ranks newest and outlives valid entries under eviction.
+        ++stats_.disk_rejects;
+        entry.reset();
+      } else if (entry.has_value()) {
         memory_.emplace(key, *entry);  // promote so the next probe is O(log n)
+        touch_index_locked(key.filename());
       }
-    }
-    if (entry.has_value() && entry->schedule.job_count() != tg.job_count()) {
-      // Fingerprint collision safety net: never hand back a schedule that
-      // cannot even index this graph's jobs.
-      ++stats_.disk_rejects;
-      memory_.erase(key);
-      entry.reset();
     }
     if (entry.has_value()) {
       ++stats_.hits;
@@ -106,6 +146,203 @@ void ScheduleCache::store(const CacheKey& key, const StrategyResult& result) {
   } catch (const std::runtime_error& e) {
     throw std::runtime_error(std::string("schedule cache: ") + e.what());
   }
+  const std::lock_guard<std::mutex> lock(mu_);
+  touch_index_locked(key.filename());
+}
+
+io::CacheIndex ScheduleCache::load_index_locked(bool* rebuilt) const {
+  if (rebuilt != nullptr) {
+    *rebuilt = false;
+  }
+  const fs::path index_path = fs::path(directory_) / io::kCacheIndexFilename;
+  {
+    std::ifstream in(index_path);
+    if (in) {
+      try {
+        return io::read_cache_index(in);
+      } catch (const io::ParseError&) {
+        // Damaged index: fall through to the rebuild — never a hard error.
+      }
+    }
+  }
+  if (rebuilt != nullptr) {
+    *rebuilt = true;
+  }
+  // Rebuild from the entry files, oldest modification first, so the
+  // reconstructed recency order approximates the lost one. Name order
+  // breaks mtime ties deterministically.
+  struct Stamped {
+    fs::file_time_type mtime;
+    std::string file;
+  };
+  std::vector<Stamped> files;
+  for (const std::string& file : list_entry_files(directory_)) {
+    std::error_code ec;
+    const fs::file_time_type mtime =
+        fs::last_write_time(fs::path(directory_) / file, ec);
+    files.push_back(Stamped{ec ? fs::file_time_type::min() : mtime, file});
+  }
+  std::stable_sort(files.begin(), files.end(), [](const Stamped& a, const Stamped& b) {
+    if (a.mtime != b.mtime) {
+      return a.mtime < b.mtime;
+    }
+    return a.file < b.file;
+  });
+  io::CacheIndex index;
+  for (const Stamped& f : files) {
+    index.touch(f.file);
+  }
+  return index;
+}
+
+void ScheduleCache::reconcile_index_locked(io::CacheIndex& index) const {
+  const std::vector<std::string> on_disk = list_entry_files(directory_);
+  // Drop records whose entry file is gone (evicted or removed by another
+  // process).
+  index.entries.erase(
+      std::remove_if(index.entries.begin(), index.entries.end(),
+                     [&](const io::CacheIndexEntry& e) {
+                       return !std::binary_search(on_disk.begin(), on_disk.end(),
+                                                  e.file);
+                     }),
+      index.entries.end());
+  // Adopt files the index has never seen (stored by a racing process whose
+  // index write lost): we cannot know their true recency, so rank them
+  // newest — evicting a just-written entry would be worse than keeping a
+  // slightly stale one.
+  std::set<std::string> known;
+  for (const io::CacheIndexEntry& e : index.entries) {
+    known.insert(e.file);
+  }
+  for (const std::string& file : on_disk) {
+    if (known.find(file) == known.end()) {
+      index.touch(file);
+    }
+  }
+}
+
+std::size_t ScheduleCache::evict_locked(io::CacheIndex& index, std::size_t bound) {
+  if (index.entries.size() <= bound) {
+    return 0;
+  }
+  std::size_t evicted = 0;
+  for (const io::CacheIndexEntry& victim : index.oldest_first()) {
+    if (index.entries.size() <= bound) {
+      break;
+    }
+    std::error_code ec;
+    fs::remove(fs::path(directory_) / victim.file, ec);  // already-gone is fine
+    index.erase(victim.file);
+    ++evicted;
+  }
+  stats_.evictions += evicted;
+  return evicted;
+}
+
+void ScheduleCache::save_index_locked(const io::CacheIndex& index) const {
+  const fs::path index_path = fs::path(directory_) / io::kCacheIndexFilename;
+  try {
+    io::write_file_atomic(index_path.string(), io::write_cache_index(index));
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string("schedule cache: ") + e.what());
+  }
+}
+
+void ScheduleCache::touch_index_locked(const std::string& file) {
+  if (max_entries_ == 0) {
+    // Unbounded caches skip index maintenance on the hot path entirely:
+    // gc() rebuilds recency from file modification times when a bound is
+    // ever wanted, and skipping saves a read-modify-write of the index
+    // per store/hit (all under the lock).
+    return;
+  }
+  io::CacheIndex index = load_index_locked(nullptr);
+  index.touch(file);
+  // Reconcile before bounding so the eviction pass sees entries written
+  // by racing processes — the bound holds over the actual directory
+  // contents, not just this process's view of them.
+  reconcile_index_locked(index);
+  (void)evict_locked(index, max_entries_);
+  try {
+    save_index_locked(index);
+  } catch (const std::runtime_error&) {
+    // The index is advisory and this is the hot path (every store and
+    // every promoted hit): an unwritable index — e.g. a read-only shared
+    // cache directory being consumed warm — must not fail lookups or
+    // stores. The bound still held (evictions above are plain removes),
+    // and gc() reports persistent index problems loudly.
+  }
+}
+
+CacheGcStats ScheduleCache::gc() {
+  CacheGcStats out;
+  if (directory_.empty()) {
+    return out;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  io::CacheIndex index = load_index_locked(&out.index_rebuilt);
+  reconcile_index_locked(index);
+  if (max_entries_ > 0) {
+    out.evicted = evict_locked(index, max_entries_);
+  }
+  out.kept = index.entries.size();
+  save_index_locked(index);
+  return out;
+}
+
+std::vector<StaticSchedule> ScheduleCache::feasible_schedules(
+    std::uint64_t graph_fingerprint, const TaskGraph& tg) {
+  std::vector<StaticSchedule> out;
+  if (!directory_.empty()) {
+    // The file name starts with the 16-hex-digit fingerprint, so the
+    // directory scan needs to parse only this graph's entries.
+    const std::string prefix = fingerprint_hex(graph_fingerprint) + "-";
+    for (const std::string& file : list_entry_files(directory_)) {
+      if (file.compare(0, prefix.size(), prefix) != 0) {
+        continue;
+      }
+      std::ifstream in(fs::path(directory_) / file);
+      if (!in) {
+        continue;  // evicted between listing and open — not an error
+      }
+      io::ScheduleEntry entry;
+      try {
+        entry = io::read_schedule_entry(in);
+      } catch (const io::ParseError&) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_rejects;
+        continue;
+      }
+      if (entry.fingerprint != graph_fingerprint ||
+          entry.schedule.job_count() != tg.job_count()) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_rejects;
+        continue;
+      }
+      if (entry.schedule.check_feasibility(tg).feasible()) {
+        out.push_back(std::move(entry.schedule));
+      }
+    }
+    return out;
+  }
+  // Memory-only tier: keys sort by fingerprint first, so the matching
+  // range is contiguous and already in deterministic key order.
+  std::vector<StaticSchedule> candidates;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = memory_.lower_bound(CacheKey{graph_fingerprint, "", 0, 0, 0, 0});
+         it != memory_.end() && it->first.fingerprint == graph_fingerprint; ++it) {
+      if (it->second.schedule.job_count() == tg.job_count()) {
+        candidates.push_back(it->second.schedule);
+      }
+    }
+  }
+  for (StaticSchedule& s : candidates) {  // feasibility check outside the lock
+    if (s.check_feasibility(tg).feasible()) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
 }
 
 std::optional<ScheduleCache::Entry> ScheduleCache::load_from_disk(const CacheKey& key) {

@@ -19,10 +19,29 @@
 // overwritten on the next store — a fingerprint collision can therefore
 // never smuggle a wrong-sized schedule into a search.
 //
-// Thread safety: lookup/store/stats are safe to call concurrently on one
-// ScheduleCache (internal mutex). Disk writes go through a temp file +
-// rename, so concurrent *processes* sharing a cache directory never
-// observe torn entries.
+// Lifecycle: a *bounded* (max_entries > 0) disk-backed cache maintains a
+// recency index (io/cache_index.hpp, "<dir>/cache-index") — every store
+// and every disk-promoted hit bumps the entry's logical sequence number,
+// then evicts the oldest entries (lowest sequence) until the directory
+// holds at most max_entries entry files, reconciling the index against
+// the actual directory contents first so entries written by racing
+// processes are seen (and bounded) too. Unbounded caches skip index
+// maintenance on the hot path; gc() rebuilds recency from file
+// modification times when needed. gc() runs the same reconcile+evict
+// pass on demand — the engine behind `fppn_tool cache-gc`. The index is
+// advisory: when missing or corrupt it is rebuilt from the entry files,
+// never a hard error, and never a reason to drop a valid entry; an index
+// that cannot be *written* (read-only shared directory) is silently left
+// stale by lookup/store — only gc() reports that loudly. The in-memory
+// tier is a per-process memo and is not evicted; eviction bounds the
+// *directory*.
+//
+// Thread safety: lookup/store/stats/gc/feasible_schedules are safe to
+// call concurrently on one ScheduleCache (internal mutex). Disk writes —
+// entries and the index — go through a temp file + rename, so concurrent
+// *processes* sharing a cache directory never observe torn files; racing
+// index updates can lose a recency bump, which the next reconcile pass
+// repairs (the bound itself always holds after any store or gc).
 #pragma once
 
 #include <cstdint>
@@ -30,9 +49,11 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include <map>
 
+#include "io/cache_index.hpp"
 #include "sched/strategy.hpp"
 #include "taskgraph/fingerprint.hpp"
 
@@ -80,6 +101,14 @@ struct CacheStats {
   std::size_t misses = 0;        ///< lookups not answered
   std::size_t stores = 0;        ///< entries written
   std::size_t disk_rejects = 0;  ///< disk entries dropped (corrupt/mismatched)
+  std::size_t evictions = 0;     ///< entry files removed by the size bound / gc
+};
+
+/// Outcome of one gc() pass over a disk-backed cache directory.
+struct CacheGcStats {
+  std::size_t kept = 0;       ///< entry files remaining after the pass
+  std::size_t evicted = 0;    ///< entry files removed by this pass
+  bool index_rebuilt = false; ///< the recency index was missing/corrupt
 };
 
 class ScheduleCache {
@@ -91,24 +120,54 @@ class ScheduleCache {
   /// directory when missing; throws std::runtime_error with the failing
   /// path when the parent does not exist, the path is not a directory, or
   /// it cannot be created — a bad cache path is an error, never a silent
-  /// permanent miss.
-  explicit ScheduleCache(const std::string& directory);
+  /// permanent miss. With max_entries > 0 the directory is size-bounded:
+  /// every store evicts down to max_entries entry files, oldest
+  /// (least-recently stored/read) first. max_entries = 0 means unbounded;
+  /// no index is maintained on the hot path (a later gc() rebuilds
+  /// recency from file modification times).
+  explicit ScheduleCache(const std::string& directory, std::size_t max_entries = 0);
 
   /// Returns the cached result for `key`, re-scored against `tg`
   /// (finalize_result), or nullopt on a miss. Memory is probed first,
-  /// then disk; a disk hit is promoted into memory. Entries whose job
-  /// count, processor count or key provenance fields do not match the
-  /// query are rejected (counted in CacheStats::disk_rejects) and treated
-  /// as misses. Throws only on allocation failure.
+  /// then disk; a disk hit is promoted into memory and (when bounded)
+  /// bumps the entry's recency in the index — rejected entries are
+  /// neither promoted nor touched. Entries whose job count, processor
+  /// count or key provenance fields do not match the query are rejected
+  /// (counted in CacheStats::disk_rejects) and treated as misses. Throws
+  /// only on allocation failure — an unwritable index is left stale, not
+  /// an error.
   [[nodiscard]] std::optional<StrategyResult> lookup(const CacheKey& key,
                                                      const TaskGraph& tg);
 
   /// Stores `result` under `key`, overwriting any previous entry, in
-  /// memory and (when disk-backed) on disk. Disk write failures throw
-  /// std::runtime_error with the failing path; the memory tier is updated
-  /// first, so the in-process cache stays usable even if the throw is
-  /// caught.
+  /// memory and (when disk-backed) on disk; a bounded cache then updates
+  /// the recency index and evicts down to max_entries. Entry write
+  /// failures throw std::runtime_error with the failing path (the memory
+  /// tier is updated first, so the in-process cache stays usable even if
+  /// the throw is caught); an unwritable index is left stale, not an
+  /// error.
   void store(const CacheKey& key, const StrategyResult& result);
+
+  /// Reconciles the recency index with the actual directory contents
+  /// (adopting entry files written by other processes, dropping records
+  /// of deleted files, rebuilding a missing/corrupt index from file
+  /// modification times) and, when the cache is bounded, evicts down to
+  /// max_entries — the engine behind `fppn_tool cache-gc`. No-op for
+  /// memory-only caches (returns all-zero stats). Throws
+  /// std::runtime_error only when the rewritten index cannot be
+  /// published.
+  CacheGcStats gc();
+
+  /// Every cached schedule for `graph_fingerprint` that is feasible for
+  /// `tg` (exact check_feasibility, same scoring as lookup) and can index
+  /// its jobs, in deterministic (entry file name / key) order — the
+  /// warm-start feed of sched::parallel_search. Disk-backed caches read
+  /// the directory (so schedules stored by other processes and earlier
+  /// runs are found); memory-only caches scan the memory tier. Corrupt
+  /// or mismatched disk entries are skipped (counted in disk_rejects),
+  /// never an error.
+  [[nodiscard]] std::vector<StaticSchedule> feasible_schedules(
+      std::uint64_t graph_fingerprint, const TaskGraph& tg);
 
   /// Counter snapshot (taken under the lock, so internally consistent).
   [[nodiscard]] CacheStats stats() const;
@@ -118,6 +177,9 @@ class ScheduleCache {
 
   /// Disk directory, empty for memory-only caches.
   [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+
+  /// Size bound on the disk directory; 0 = unbounded.
+  [[nodiscard]] std::size_t max_entries() const noexcept { return max_entries_; }
 
  private:
   struct Entry {
@@ -129,7 +191,27 @@ class ScheduleCache {
   /// for missing/corrupt/mismatched entries. Caller holds the lock.
   [[nodiscard]] std::optional<Entry> load_from_disk(const CacheKey& key);
 
+  /// Reads the index file; rebuilds it from the entry files (ordered by
+  /// modification time) when missing or corrupt. Caller holds the lock.
+  [[nodiscard]] io::CacheIndex load_index_locked(bool* rebuilt) const;
+
+  /// Adopts entry files absent from the index (name order, as newest) and
+  /// drops records whose file is gone. Caller holds the lock.
+  void reconcile_index_locked(io::CacheIndex& index) const;
+
+  /// Removes oldest entries (and their files) until the index holds at
+  /// most `bound` records. Caller holds the lock.
+  std::size_t evict_locked(io::CacheIndex& index, std::size_t bound);
+
+  /// Publishes the index atomically. Caller holds the lock.
+  void save_index_locked(const io::CacheIndex& index) const;
+
+  /// Bumps `file` in the on-disk index (load, touch, evict when bounded,
+  /// save). Caller holds the lock.
+  void touch_index_locked(const std::string& file);
+
   std::string directory_;
+  std::size_t max_entries_ = 0;
   mutable std::mutex mu_;
   std::map<CacheKey, Entry> memory_;
   CacheStats stats_;

@@ -250,7 +250,13 @@ ParallelSearchResult sharded_search(const TaskGraph& tg,
     }
     sharding.launcher(plan);
   }
-  return merge_shards(tg, opts, plan, sharding.shard_dir);
+  ParallelSearchResult result = merge_shards(tg, opts, plan, sharding.shard_dir);
+  // Warm-start overlay at the orchestrator, after the plan-pure merge:
+  // shard workers stay deterministic functions of the plan, and the
+  // overlay's strict-improvement gate keeps the merged winner unless a
+  // cached start genuinely beats it — same contract as parallel_search.
+  apply_cached_warm_start(tg, opts, result);
+  return result;
 }
 
 ShardLauncher inprocess_shard_launcher(const TaskGraph& tg,

@@ -125,8 +125,12 @@ struct ShardedSearchOptions {
 
 /// The orchestrator: plans, ensures the shard directory exists, runs the
 /// launcher (skipped when every shard manifest is already present — the
-/// multi-machine consume mode), and merges. Returns the bit-identical
-/// winner of parallel_search(tg, opts, registry) for any shard count.
+/// multi-machine consume mode), merges, and finally runs the warm-start
+/// overlay (sched::apply_cached_warm_start, a no-op unless
+/// opts.warm_start and opts.cache are set) — shard workers stay pure
+/// functions of the plan; only the orchestrator consults the cache for
+/// warm starts. Returns the bit-identical winner of
+/// parallel_search(tg, opts, registry) for any shard count.
 /// Throws std::invalid_argument for bad options, std::runtime_error for
 /// directory problems, missing shards with no launcher, or merge
 /// validation failures, plus anything the launcher throws.

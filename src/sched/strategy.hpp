@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sched/static_schedule.hpp"
 #include "taskgraph/task_graph.hpp"
@@ -25,6 +26,13 @@ struct StrategyOptions {
   std::uint64_t seed = 1;      ///< RNG seed, seedable strategies only
   int max_iterations = 2000;   ///< move budget, iterative strategies only
   int restarts = 2;            ///< restart count, iterative strategies only
+  /// Extra SP start points for warm-startable strategies (today:
+  /// "cached-warm-start", which forwards them to optimize_priority).
+  /// Ignored by every other strategy, and deliberately NOT part of the
+  /// cache key (sched/schedule_cache.hpp): results that depend on warm
+  /// starts must never be cached — see parallel_search's warm-start
+  /// overlay.
+  std::vector<std::vector<JobId>> warm_starts;
 };
 
 /// Outcome of one strategy invocation, with the schedule already evaluated

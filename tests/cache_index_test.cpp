@@ -1,0 +1,116 @@
+// Cache-index format: bit-identical round-trip, recency (touch/erase/
+// eviction order) semantics, and the strict parse contract — wrong
+// version, malformed fields, stricter signed-integer grammar, truncation
+// and trailing garbage are all ParseErrors (which the cache answers by
+// rebuilding the index, never by failing hard).
+#include "io/cache_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fppn {
+namespace {
+
+io::CacheIndex sample_index() {
+  io::CacheIndex index;
+  index.touch("aa-alap-edf-m2-seed1-it400-r1.sched");
+  index.touch("bb-local-search-m2-seed1-it400-r1.sched");
+  index.touch("aa-alap-edf-m2-seed1-it400-r1.sched");  // re-touch: now newest
+  return index;
+}
+
+TEST(CacheIndex, TouchAssignsMonotoneSequences) {
+  const io::CacheIndex index = sample_index();
+  ASSERT_EQ(index.entries.size(), 2u);
+  EXPECT_EQ(index.next_sequence, 4u);
+  // The re-touched entry moved to the newest sequence without duplicating.
+  const auto oldest = index.oldest_first();
+  EXPECT_EQ(oldest[0].file, "bb-local-search-m2-seed1-it400-r1.sched");
+  EXPECT_EQ(oldest[1].file, "aa-alap-edf-m2-seed1-it400-r1.sched");
+  EXPECT_LT(oldest[0].sequence, oldest[1].sequence);
+}
+
+TEST(CacheIndex, EraseRemovesRecords) {
+  io::CacheIndex index = sample_index();
+  EXPECT_TRUE(index.erase("bb-local-search-m2-seed1-it400-r1.sched"));
+  EXPECT_FALSE(index.erase("bb-local-search-m2-seed1-it400-r1.sched"));
+  EXPECT_EQ(index.entries.size(), 1u);
+}
+
+TEST(CacheIndex, OldestFirstBreaksSequenceTiesByName) {
+  // Racing writers can hand out duplicate sequences (a lost index update);
+  // the eviction order must stay total regardless.
+  io::CacheIndex index;
+  index.entries.push_back(io::CacheIndexEntry{7, "zz.sched"});
+  index.entries.push_back(io::CacheIndexEntry{7, "aa.sched"});
+  const auto oldest = index.oldest_first();
+  EXPECT_EQ(oldest[0].file, "aa.sched");
+  EXPECT_EQ(oldest[1].file, "zz.sched");
+}
+
+TEST(CacheIndex, RoundTripsBitIdentically) {
+  const io::CacheIndex index = sample_index();
+  const std::string text = io::write_cache_index(index);
+  const io::CacheIndex back = io::read_cache_index_string(text);
+  EXPECT_EQ(back.next_sequence, index.next_sequence);
+  ASSERT_EQ(back.entries.size(), index.entries.size());
+  for (std::size_t i = 0; i < index.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].sequence, index.entries[i].sequence);
+    EXPECT_EQ(back.entries[i].file, index.entries[i].file);
+  }
+  // Writing the parsed index reproduces the text exactly.
+  EXPECT_EQ(io::write_cache_index(back), text);
+}
+
+TEST(CacheIndex, EmptyIndexRoundTrips) {
+  const io::CacheIndex back = io::read_cache_index_string(io::write_cache_index({}));
+  EXPECT_EQ(back.next_sequence, 1u);
+  EXPECT_TRUE(back.entries.empty());
+}
+
+TEST(CacheIndex, RejectsVersionCorruptionAndTrailingGarbage) {
+  const std::string text = io::write_cache_index(sample_index());
+  {
+    std::string wrong = text;
+    wrong.replace(wrong.find("v1"), 2, "v9");
+    EXPECT_THROW((void)io::read_cache_index_string(wrong), io::ParseError);
+  }
+  {
+    // Truncation: drop the "end" trailer and the last entry line.
+    const std::string truncated = text.substr(0, text.rfind("entry"));
+    EXPECT_THROW((void)io::read_cache_index_string(truncated), io::ParseError);
+  }
+  {
+    // Count/line mismatch: claims 3 entries, lists 2.
+    std::string overcount = text;
+    overcount.replace(overcount.find("entries 2"), 9, "entries 3");
+    EXPECT_THROW((void)io::read_cache_index_string(overcount), io::ParseError);
+  }
+  EXPECT_THROW((void)io::read_cache_index_string(text + "junk\n"), io::ParseError);
+  EXPECT_NO_THROW((void)io::read_cache_index_string(text + "\n \n"));
+  EXPECT_THROW((void)io::read_cache_index_string("not an index\n"), io::ParseError);
+}
+
+TEST(CacheIndex, RejectsDuplicateFiles) {
+  std::string text = "fppn-cache-index v1\nsequence 3\nentries 2\n";
+  text += "entry 1 same.sched\nentry 2 same.sched\nend\n";
+  EXPECT_THROW((void)io::read_cache_index_string(text), io::ParseError);
+}
+
+TEST(CacheIndex, RejectsSignedIntegerExtensions) {
+  // The documented grammar is -?[0-9]+ for signed fields and [0-9]+ for
+  // unsigned ones: a leading '+' (tolerated by stoll/stoull) is a parse
+  // error everywhere.
+  EXPECT_THROW((void)io::read_cache_index_string(
+                   "fppn-cache-index v1\nsequence +3\nentries 0\nend\n"),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_cache_index_string(
+                   "fppn-cache-index v1\nsequence 3\nentries +0\nend\n"),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_cache_index_string(
+                   "fppn-cache-index v1\nsequence 3\nentries 1\n"
+                   "entry +1 a.sched\nend\n"),
+               io::ParseError);
+}
+
+}  // namespace
+}  // namespace fppn

@@ -3,6 +3,9 @@
 // validation.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <limits>
 #include <random>
 
@@ -305,6 +308,103 @@ TEST(ParallelSearch, BudgetChangeMissesTheCache) {
   opts.max_iterations = opts.max_iterations * 2;
   const auto rerun = sched::parallel_search(tg, opts);
   EXPECT_EQ(rerun.cache_hits, 0u);
+}
+
+TEST(ParallelSearch, CachedWarmStartIsNotAPlanCandidate) {
+  // "cached-warm-start" depends on cache contents, so the deterministic
+  // candidate matrix must never contain it implicitly — it joins through
+  // the overlay. Naming it explicitly still works (degenerates to plain
+  // local search).
+  sched::ParallelSearchOptions opts = base_options(2);
+  for (const sched::SearchCandidate& c : sched::enumerate_search_candidates(opts)) {
+    EXPECT_NE(c.strategy, "cached-warm-start");
+  }
+  opts.strategies = {"cached-warm-start"};
+  const auto explicit_candidates = sched::enumerate_search_candidates(opts);
+  EXPECT_EQ(explicit_candidates.size(), 3u);  // seedable: seeds_per_strategy
+  EXPECT_EQ(explicit_candidates[0].strategy, "cached-warm-start");
+}
+
+TEST(ParallelSearch, WarmStartOverlayMatchesOrBeatsTheColdWinner) {
+  // The acceptance contract of the warm-start overlay: against the same
+  // cache, a warm rerun either reports the bit-identical winner of the
+  // cold run or a strictly better schedule — never a different-but-equal
+  // winner and never a worse one.
+  for (const std::uint64_t graph_seed : {0ULL, 7ULL, 13ULL}) {
+    const TaskGraph tg = random_task_graph(5, 5, 160, graph_seed);
+    const auto plain = sched::parallel_search(tg, base_options(3));
+
+    sched::ScheduleCache cache;
+    sched::ParallelSearchOptions opts = base_options(3);
+    opts.cache = &cache;
+    opts.warm_start = true;
+    const auto cold = sched::parallel_search(tg, opts);
+    const auto warm = sched::parallel_search(tg, opts);
+
+    // Never worse than the plain (no-cache, no-overlay) winner.
+    for (const auto* run : {&cold, &warm}) {
+      EXPECT_GE(run->best.feasible, plain.best.feasible);
+      EXPECT_LE(run->best.deadline_violations, plain.best.deadline_violations);
+      if (run->best.feasible == plain.best.feasible &&
+          run->best.deadline_violations == plain.best.deadline_violations) {
+        EXPECT_LE(run->best.makespan, plain.best.makespan);
+      }
+      if (!run->warm_start_won) {
+        // Match: the plan winner survived the overlay bit-identically.
+        EXPECT_EQ(run->best.strategy, plain.best.strategy);
+        EXPECT_EQ(run->seed, plain.seed);
+        expect_identical_schedules(run->best.schedule, plain.best.schedule,
+                                   tg.job_count());
+      } else {
+        EXPECT_EQ(run->best.strategy, "cached-warm-start");
+      }
+    }
+    // Cold and warm see the same cache contents (warm-start results are
+    // never stored), so the two runs are bit-identical end to end.
+    EXPECT_EQ(warm.best.strategy, cold.best.strategy);
+    EXPECT_EQ(warm.seed, cold.seed);
+    EXPECT_EQ(warm.best.detail, cold.best.detail);
+    EXPECT_EQ(warm.warm_start_won, cold.warm_start_won);
+    EXPECT_EQ(warm.evaluated, 0u);
+    expect_identical_schedules(warm.best.schedule, cold.best.schedule, tg.job_count());
+  }
+}
+
+TEST(ParallelSearch, WarmVsColdBitIdenticalWinnerWithEvictionOn) {
+  // Acceptance criterion: with a size-bounded disk cache, a warm rerun
+  // still reports the identical winner of the cold cached run, and the
+  // directory never exceeds the bound.
+  const TaskGraph tg = random_task_graph(5, 5, 160, 7);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("fppn_warm_evict_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  const std::size_t bound = 12;  // >= the 10-candidate matrix
+
+  sched::ParallelSearchOptions opts = base_options(3);
+  opts.warm_start = true;
+  sched::ScheduleCache cold_cache(dir, bound);
+  opts.cache = &cold_cache;
+  const auto cold = sched::parallel_search(tg, opts);
+
+  sched::ScheduleCache warm_cache(dir, bound);
+  opts.cache = &warm_cache;
+  const auto warm = sched::parallel_search(tg, opts);
+
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    entries += e.path().extension() == ".sched" ? 1 : 0;
+  }
+  EXPECT_LE(entries, bound);
+  EXPECT_EQ(warm.evaluated, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.candidates);
+  EXPECT_EQ(warm.best.strategy, cold.best.strategy);
+  EXPECT_EQ(warm.seed, cold.seed);
+  EXPECT_EQ(warm.best.detail, cold.best.detail);
+  EXPECT_EQ(warm.best.makespan, cold.best.makespan);
+  expect_identical_schedules(warm.best.schedule, cold.best.schedule, tg.job_count());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ParallelSearch, RejectsBadOptions) {

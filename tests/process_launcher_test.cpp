@@ -1,0 +1,85 @@
+// Process shard launcher: every failed worker is reported in one error
+// (not just the last one), successes stay quiet, and signal deaths are
+// named as such.
+#include "sched/process_launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fppn {
+namespace {
+
+sched::ShardPlan plan_of(int shards) {
+  sched::ShardPlan plan;
+  plan.shards = shards;
+  return plan;
+}
+
+/// /bin/sh worker that exits with a per-shard status.
+sched::ShardCommandBuilder exiting_with(std::vector<int> codes) {
+  return [codes](int shard) -> std::vector<std::string> {
+    return {"/bin/sh", "-c", "exit " + std::to_string(codes[static_cast<std::size_t>(shard)])};
+  };
+}
+
+TEST(ProcessShardLauncher, AllWorkersSucceeding) {
+  const sched::ShardLauncher launcher =
+      sched::process_shard_launcher(exiting_with({0, 0, 0}));
+  EXPECT_NO_THROW(launcher(plan_of(3)));
+}
+
+TEST(ProcessShardLauncher, ReportsEveryFailedShardNotJustTheLast) {
+  // Shards 0 and 2 die with distinct statuses while shard 1 succeeds: the
+  // single error must name both failures — reporting only the last one
+  // (the pre-fix behavior) hides real failures behind whichever worker
+  // happened to be reaped last.
+  const sched::ShardLauncher launcher =
+      sched::process_shard_launcher(exiting_with({3, 0, 7}));
+  try {
+    launcher(plan_of(3));
+    FAIL() << "expected the launcher to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("shard worker 0 failed (exit status 3)"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("shard worker 2 failed (exit status 7)"), std::string::npos)
+        << message;
+    EXPECT_EQ(message.find("shard worker 1"), std::string::npos) << message;
+  }
+}
+
+TEST(ProcessShardLauncher, ReportsSignalDeaths) {
+  const sched::ShardLauncher launcher = sched::process_shard_launcher(
+      [](int shard) -> std::vector<std::string> {
+        if (shard == 0) {
+          return {"/bin/sh", "-c", "kill -KILL $$"};
+        }
+        return {"/bin/sh", "-c", "exit 0"};
+      });
+  try {
+    launcher(plan_of(2));
+    FAIL() << "expected the launcher to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("killed by signal"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProcessShardLauncher, ExecFailureSurfacesAsExit127) {
+  const sched::ShardLauncher launcher = sched::process_shard_launcher(
+      [](int) -> std::vector<std::string> {
+        return {"/nonexistent-binary-fppn-test"};
+      });
+  try {
+    launcher(plan_of(1));
+    FAIL() << "expected the launcher to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exit status 127"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace fppn

@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -338,6 +339,256 @@ TEST(ScheduleCache, CreatesLeafDirectory) {
   sched::ScheduleCache cache(leaf);
   EXPECT_TRUE(fs::is_directory(leaf));
   EXPECT_EQ(cache.directory(), leaf);
+}
+
+TEST(ScheduleFormat, RejectsLeadingPlusInSignedFields) {
+  // The documented grammar for signed integers is -?[0-9]+: a leading '+'
+  // (which raw stoll tolerates) is a parse error in every schedule-entry
+  // field, same as parse_u64's long-standing sign check.
+  const auto derived = fig1_graph();
+  io::ScheduleEntry entry;
+  entry.strategy = "alap-edf";
+  entry.processors = 2;
+  entry.schedule = evaluate(derived.graph, 2).schedule;
+  const std::string text = io::write_schedule_entry(entry);
+
+  const auto with = [&](const std::string& from, const std::string& to) {
+    std::string mutated = text;
+    mutated.replace(mutated.find(from), from.size(), to);
+    return mutated;
+  };
+  EXPECT_THROW((void)io::read_schedule_entry_string(with("processors 2", "processors +2")),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_schedule_entry_string(with("budget 0 0", "budget +0 0")),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_schedule_entry_string(with("seed 0", "seed +0")),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_schedule_entry_string(with("jobs 10", "jobs +10")),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_schedule_entry_string(with("place 0", "place +0")),
+               io::ParseError);
+}
+
+/// Entry file names (no index, no temp files) currently in `dir`.
+std::vector<std::string> entry_files(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.size() > 6 && name.compare(name.size() - 6, 6, ".sched") == 0) {
+      files.push_back(name);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+sched::CacheKey seeded_key(const sched::CacheKey& base, std::uint64_t seed) {
+  sched::CacheKey key = base;
+  key.seed = seed;
+  return key;
+}
+
+TEST(ScheduleCache, EvictionKeepsTheNewestEntries) {
+  const TempDir dir("evict");
+  const auto derived = fig1_graph();
+  const auto result = evaluate(derived.graph, 2);
+  const auto base = key_for(derived.graph, 2);
+
+  sched::ScheduleCache cache(dir.path(), 3);
+  EXPECT_EQ(cache.max_entries(), 3u);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cache.store(seeded_key(base, seed), result);
+  }
+  const std::vector<std::string> files = entry_files(dir.path());
+  ASSERT_EQ(files.size(), 3u);
+  // Oldest two (seeds 1, 2) evicted; newest three kept.
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    EXPECT_NE(std::find(files.begin(), files.end(),
+                        seeded_key(base, seed).filename()),
+              files.end())
+        << "seed " << seed;
+  }
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // The evicted entries are disk misses for a fresh process; the kept
+  // ones still hit.
+  sched::ScheduleCache reader(dir.path(), 3);
+  EXPECT_FALSE(reader.lookup(seeded_key(base, 1), derived.graph).has_value());
+  EXPECT_TRUE(reader.lookup(seeded_key(base, 5), derived.graph).has_value());
+}
+
+TEST(ScheduleCache, DiskHitRefreshesRecency) {
+  // LRU, not FIFO: reading an old entry from disk must protect it from
+  // the next eviction round.
+  const TempDir dir("lru");
+  const auto derived = fig1_graph();
+  const auto result = evaluate(derived.graph, 2);
+  const auto base = key_for(derived.graph, 2);
+  {
+    sched::ScheduleCache writer(dir.path(), 2);
+    writer.store(seeded_key(base, 1), result);
+    writer.store(seeded_key(base, 2), result);
+  }
+  sched::ScheduleCache cache(dir.path(), 2);
+  ASSERT_TRUE(cache.lookup(seeded_key(base, 1), derived.graph).has_value());
+  cache.store(seeded_key(base, 3), result);  // bound 2: evicts seed 2, not seed 1
+  const std::vector<std::string> files = entry_files(dir.path());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(std::find(files.begin(), files.end(), seeded_key(base, 1).filename()),
+            files.end());
+  EXPECT_NE(std::find(files.begin(), files.end(), seeded_key(base, 3).filename()),
+            files.end());
+}
+
+TEST(ScheduleCache, MissingIndexIsRebuiltFromEntryFiles) {
+  const TempDir dir("rebuild");
+  const auto derived = fig1_graph();
+  const auto base = key_for(derived.graph, 2);
+  {
+    sched::ScheduleCache writer(dir.path());
+    writer.store(seeded_key(base, 1), evaluate(derived.graph, 2));
+    writer.store(seeded_key(base, 2), evaluate(derived.graph, 2));
+  }
+  fs::remove(fs::path(dir.path()) / io::kCacheIndexFilename);
+
+  sched::ScheduleCache cache(dir.path());
+  const sched::CacheGcStats gc = cache.gc();
+  EXPECT_TRUE(gc.index_rebuilt);
+  EXPECT_EQ(gc.kept, 2u);
+  EXPECT_EQ(gc.evicted, 0u);
+  EXPECT_TRUE(fs::exists(fs::path(dir.path()) / io::kCacheIndexFilename));
+  // Entries survived the rebuild and still hit.
+  EXPECT_TRUE(cache.lookup(seeded_key(base, 1), derived.graph).has_value());
+}
+
+TEST(ScheduleCache, CorruptIndexIsRebuiltNotAnError) {
+  const TempDir dir("badindex");
+  const auto derived = fig1_graph();
+  const auto base = key_for(derived.graph, 2);
+  sched::ScheduleCache cache(dir.path(), 2);
+  cache.store(seeded_key(base, 1), evaluate(derived.graph, 2));
+  {
+    std::ofstream out(fs::path(dir.path()) / io::kCacheIndexFilename);
+    out << "not an index at all\n";
+  }
+  // The next store survives the damaged index (rebuild, then bound).
+  cache.store(seeded_key(base, 2), evaluate(derived.graph, 2));
+  EXPECT_EQ(entry_files(dir.path()).size(), 2u);
+  sched::ScheduleCache fresh(dir.path(), 2);
+  const sched::CacheGcStats gc = fresh.gc();
+  EXPECT_EQ(gc.kept, 2u);
+  EXPECT_TRUE(fresh.lookup(seeded_key(base, 2), derived.graph).has_value());
+}
+
+TEST(ScheduleCache, GcBoundsAPrepopulatedDirectoryWithoutIndex) {
+  // A cache directory from before the index existed (or shared from
+  // another machine) must gc cleanly: rebuild by file modification time,
+  // then evict down to the bound.
+  const TempDir dir("noindex");
+  const auto derived = fig1_graph();
+  const auto base = key_for(derived.graph, 2);
+  {
+    sched::ScheduleCache writer(dir.path());
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      writer.store(seeded_key(base, seed), evaluate(derived.graph, 2));
+    }
+  }
+  fs::remove(fs::path(dir.path()) / io::kCacheIndexFilename);
+  sched::ScheduleCache cache(dir.path(), 2);
+  const sched::CacheGcStats gc = cache.gc();
+  EXPECT_TRUE(gc.index_rebuilt);
+  EXPECT_EQ(gc.kept, 2u);
+  EXPECT_EQ(gc.evicted, 2u);
+  EXPECT_EQ(entry_files(dir.path()).size(), 2u);
+}
+
+TEST(ScheduleCache, EvictionAcrossRacingInstancesHoldsTheBound) {
+  // Several cache instances (standing in for separate processes) race
+  // stores of distinct keys into one bounded directory. Lost index
+  // updates are legal mid-race; the reconcile pass inside every store —
+  // and a final gc — must still hold the directory at the bound, with
+  // every surviving entry complete and parseable.
+  const TempDir dir("race_evict");
+  const auto derived = fig1_graph();
+  const auto result = evaluate(derived.graph, 2);
+  const auto base = key_for(derived.graph, 2);
+  constexpr std::size_t kBound = 5;
+
+  sched::ScheduleCache a(dir.path(), kBound);
+  sched::ScheduleCache b(dir.path(), kBound);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      sched::ScheduleCache& cache = (w % 2 == 0) ? a : b;
+      for (std::uint64_t i = 0; i < 10; ++i) {
+        cache.store(seeded_key(base, static_cast<std::uint64_t>(w) * 100 + i), result);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+
+  sched::ScheduleCache settle(dir.path(), kBound);
+  (void)settle.gc();
+  const std::vector<std::string> files = entry_files(dir.path());
+  EXPECT_LE(files.size(), kBound);
+  for (const std::string& file : files) {
+    std::ifstream in(fs::path(dir.path()) / file);
+    EXPECT_NO_THROW((void)io::read_schedule_entry(in)) << file;
+  }
+  // The cache keeps working after the race: a fresh store lands and is
+  // the newest entry.
+  settle.store(seeded_key(base, 999), result);
+  EXPECT_LE(entry_files(dir.path()).size(), kBound);
+  sched::ScheduleCache reader(dir.path(), kBound);
+  EXPECT_TRUE(reader.lookup(seeded_key(base, 999), derived.graph).has_value());
+}
+
+TEST(ScheduleCache, FeasibleSchedulesEnumeratesDiskEntries) {
+  const TempDir dir("feasible");
+  const auto derived = fig1_graph();
+  const std::uint64_t fp = fingerprint(derived.graph);
+  const auto base = key_for(derived.graph, 2);
+  {
+    sched::ScheduleCache writer(dir.path());
+    writer.store(seeded_key(base, 1), evaluate(derived.graph, 2));
+    writer.store(seeded_key(base, 2), evaluate(derived.graph, 2));
+    // Infeasible on one processor (10×25 ms of work in a 200 ms frame):
+    // enumerated but filtered out by the feasibility check.
+    auto m1 = key_for(derived.graph, 1);
+    m1.processors = 1;
+    writer.store(m1, evaluate(derived.graph, 1));
+    // A different fingerprint must not leak in.
+    auto foreign = seeded_key(base, 3);
+    foreign.fingerprint ^= 1;
+    writer.store(foreign, evaluate(derived.graph, 2));
+  }
+  sched::ScheduleCache cache(dir.path());
+  const auto schedules = cache.feasible_schedules(fp, derived.graph);
+  EXPECT_EQ(schedules.size(), 2u);
+  for (const StaticSchedule& s : schedules) {
+    EXPECT_TRUE(s.check_feasibility(derived.graph).feasible());
+  }
+  // Deterministic: repeated enumeration returns the same order.
+  const auto again = cache.feasible_schedules(fp, derived.graph);
+  ASSERT_EQ(again.size(), schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    for (std::size_t j = 0; j < derived.graph.job_count(); ++j) {
+      const JobId id(j);
+      EXPECT_EQ(again[i].placement(id).start, schedules[i].placement(id).start);
+    }
+  }
+}
+
+TEST(ScheduleCache, FeasibleSchedulesWorksInMemoryOnly) {
+  const auto derived = fig1_graph();
+  const std::uint64_t fp = fingerprint(derived.graph);
+  const auto base = key_for(derived.graph, 2);
+  sched::ScheduleCache cache;
+  EXPECT_TRUE(cache.feasible_schedules(fp, derived.graph).empty());
+  cache.store(seeded_key(base, 1), evaluate(derived.graph, 2));
+  EXPECT_EQ(cache.feasible_schedules(fp, derived.graph).size(), 1u);
+  EXPECT_TRUE(cache.feasible_schedules(fp ^ 1, derived.graph).empty());
 }
 
 }  // namespace

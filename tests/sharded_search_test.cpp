@@ -280,6 +280,63 @@ TEST(ShardedSearch, ColdAndWarmSharedCachePickTheSameWinner) {
   expect_same_winner(warm, single, tg.job_count());
 }
 
+TEST(ShardManifest, RejectsLeadingPlusInIntegerFields) {
+  // The documented grammar is -?[0-9]+ / [0-9]+: a leading '+' (tolerated
+  // by raw stoll) is a parse error in every manifest field.
+  io::ShardManifest manifest;
+  manifest.fingerprint = 7;
+  manifest.shard_index = 0;
+  manifest.shard_count = 2;
+  manifest.processors = 3;
+  manifest.candidates.push_back(io::ShardManifestEntry{"alap-edf", 1, "a.sched"});
+  const std::string text = io::write_shard_manifest(manifest);
+  const auto with = [&](const std::string& from, const std::string& to) {
+    std::string mutated = text;
+    mutated.replace(mutated.find(from), from.size(), to);
+    return mutated;
+  };
+  EXPECT_THROW((void)io::read_shard_manifest_string(with("shard 0 2", "shard +0 2")),
+               io::ParseError);
+  EXPECT_THROW(
+      (void)io::read_shard_manifest_string(with("processors 3", "processors +3")),
+      io::ParseError);
+  EXPECT_THROW((void)io::read_shard_manifest_string(with("budget 0 0", "budget +0 0")),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_shard_manifest_string(with("stats 0 0", "stats +0 0")),
+               io::ParseError);
+  EXPECT_THROW(
+      (void)io::read_shard_manifest_string(with("candidates 1", "candidates +1")),
+      io::ParseError);
+}
+
+TEST(ShardedSearch, WarmStartOverlayMatchesParallelSearch) {
+  // The overlay runs at the orchestrator after the plan-pure merge, so a
+  // sharded warm-start search must end on the bit-identical result of the
+  // in-process warm-start search over the same cache contents.
+  const TaskGraph tg = random_task_graph(4, 4, 160, 9);
+  const TempDir cache_dir("warm_cache");
+  const TempDir shard_dir("warm_shards");
+
+  sched::ParallelSearchOptions opts = base_options(3);
+  opts.warm_start = true;
+  sched::ScheduleCache inproc_cache(cache_dir.path());
+  opts.cache = &inproc_cache;
+  const auto inproc = sched::parallel_search(tg, opts);
+
+  sched::ScheduleCache shard_cache(cache_dir.path());
+  opts.cache = &shard_cache;
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = 2;
+  sharding.shard_dir = shard_dir.path();
+  sharding.launcher = sched::inprocess_shard_launcher(tg, opts, shard_dir.path());
+  const auto sharded = sched::sharded_search(tg, opts, sharding);
+
+  EXPECT_EQ(sharded.warm_starts, inproc.warm_starts);
+  EXPECT_EQ(sharded.warm_candidates, inproc.warm_candidates);
+  EXPECT_EQ(sharded.warm_start_won, inproc.warm_start_won);
+  expect_same_winner(sharded, inproc, tg.job_count());
+}
+
 TEST(ShardedSearch, ConsumesPrepopulatedShardDirectory) {
   // Multi-machine mode: every manifest is already on disk (produced by
   // "other machines"), so no launcher is needed — and none runs.

@@ -16,26 +16,30 @@
 //   fppn_tool taskgraph <file> [--dot] [--wcet C] [--unfold U]
 //   fppn_tool schedule  <file> -m N [--strategy NAME] [--optimize]
 //                       [--jobs W] [--seed S] [--wcet C] [--unfold U]
-//                       [--cache-dir D] [--no-cache]
+//                       [--cache-dir D] [--cache-max-entries N] [--no-cache]
 //                       [--shards N [--shard-dir D]] [--dot|--gantt]
 //   fppn_tool search-worker <file> -m N --shards N --shard-index I
 //                       --shard-dir D [schedule options]
 //   fppn_tool simulate  <file> -m N [--runtime NAME] [--frames F]
 //                       [--overhead F1,Fn] [--wcet C] [--seed S]
-//                       [--cache-dir D] [--no-cache]
+//                       [--cache-dir D] [--cache-max-entries N] [--no-cache]
+//   fppn_tool cache-gc  --cache-dir D [--cache-max-entries N]
 //   fppn_tool roundtrip <file>         # parse and re-emit the description
 //
 // --cache-dir enables the on-disk schedule cache (sched::ScheduleCache):
 // repeated searches over the same graph are answered from disk instead of
-// re-evaluated, with the bit-identical winner. A bad cache path is a hard
-// error (exit 1), never a silent miss. Shard worker processes share the
-// same cache directory, so sharded searches are warm-cache friendly too.
+// re-evaluated, with the bit-identical winner, and cached feasible
+// schedules warm-start the local search (strict-improvement overlay: a
+// warm rerun matches the cold winner or beats it, never anything else).
+// A bad cache path is a hard error (exit 1), never a silent miss. Shard
+// worker processes share the same cache directory, so sharded searches
+// are warm-cache friendly too. --cache-max-entries bounds the directory
+// (LRU-style eviction after every store); `cache-gc` runs the same
+// reconcile+evict pass on demand.
 //
 // Every numeric flag is parsed with a checked helper: a non-integer or
 // out-of-range value exits 2 with an actionable message — never a raw
 // `stoi`/`stoll` exception.
-#include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -50,9 +54,11 @@
 #include <string>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "io/text_format.hpp"
 #include "runtime/runtime.hpp"
 #include "sched/parallel_search.hpp"
+#include "sched/process_launcher.hpp"
 #include "sched/registry.hpp"
 #include "sched/sharded_search.hpp"
 #include "sim/gantt.hpp"
@@ -79,6 +85,7 @@ struct Args {
   int shards = 0;       ///< >0: split the schedule search across processes
   int shard_index = -1; ///< search-worker only: which shard this process owns
   std::uint64_t seed = 1;
+  std::size_t cache_max_entries = 0;  ///< 0 = unbounded cache directory
   std::optional<Duration> uniform_wcet;
   std::optional<std::string> strategy;
   std::optional<std::string> cache_dir;
@@ -96,6 +103,7 @@ void print_usage(std::FILE* out) {
                "usage: fppn_tool "
                "<check|taskgraph|schedule|search-worker|simulate|roundtrip> "
                "<file> [options]\n"
+               "       fppn_tool cache-gc --cache-dir D [--cache-max-entries N]\n"
                "options:\n"
                "  -m N             processor count (schedule/simulate)\n"
                "  --strategy NAME  scheduling strategy (schedule)\n"
@@ -115,6 +123,8 @@ void print_usage(std::FILE* out) {
                "  --seed S         RNG seed (search/sporadic scripts)\n"
                "  --cache-dir D    on-disk schedule cache (schedule/simulate);\n"
                "                   D is created when its parent exists, else error\n"
+               "  --cache-max-entries N  bound the cache directory to N entries\n"
+               "                   (LRU-style eviction; also the cache-gc bound)\n"
                "  --no-cache       disable the schedule cache even with --cache-dir\n"
                "  --dot | --gantt  graph/schedule rendering\n");
   std::fprintf(out, "strategies:\n");
@@ -217,8 +227,12 @@ Args parse_args(int argc, char** argv) {
   }
   Args a;
   a.command = argv[1];
-  a.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // cache-gc operates on a cache directory, not a network file.
+  const bool takes_file = a.command != "cache-gc";
+  if (takes_file) {
+    a.file = argv[2];
+  }
+  for (int i = takes_file ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -260,6 +274,9 @@ Args parse_args(int argc, char** argv) {
                     a.runtime);
     } else if (arg == "--cache-dir") {
       a.cache_dir = next();
+    } else if (arg == "--cache-max-entries") {
+      a.cache_max_entries = static_cast<std::size_t>(parse_int_flag(
+          "--cache-max-entries", next(), 1, std::numeric_limits<int>::max()));
     } else if (arg == "--no-cache") {
       a.no_cache = true;
     } else if (arg == "--optimize") {
@@ -335,6 +352,9 @@ sched::ParallelSearchOptions build_search_options(const Args& args) {
     opts.max_iterations = 400;
     opts.restarts = 1;
   }
+  // Warm-start whenever a cache is attached: the overlay only ever
+  // matches or strictly improves the winner, so it is always safe on.
+  opts.warm_start = true;
   return opts;
 }
 
@@ -345,14 +365,16 @@ sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& arg
   sched::ParallelSearchOptions opts = build_search_options(args);
   std::optional<sched::ScheduleCache> cache;
   if (args.cache_dir.has_value() && !args.no_cache) {
-    cache.emplace(*args.cache_dir);  // throws on a bad path: loud, not a silent miss
+    // Throws on a bad path: loud, not a silent miss.
+    cache.emplace(*args.cache_dir, args.cache_max_entries);
     opts.cache = &*cache;
   }
   const sched::ParallelSearchResult result = sched::parallel_search(tg, opts);
   if (cache.has_value()) {
     const sched::CacheStats stats = cache->stats();
-    std::printf("cache '%s': %zu hit(s), %zu miss(es), %zu store(s)\n",
-                cache->directory().c_str(), stats.hits, stats.misses, stats.stores);
+    std::printf("cache '%s': %zu hit(s), %zu miss(es), %zu store(s), %zu eviction(s)\n",
+                cache->directory().c_str(), stats.hits, stats.misses, stats.stores,
+                stats.evictions);
   }
   return result;
 }
@@ -397,94 +419,37 @@ std::vector<std::string> worker_argv(const Args& args, const std::string& shard_
   if (args.cache_dir.has_value() && !args.no_cache) {
     argv.push_back("--cache-dir");
     argv.push_back(*args.cache_dir);
+    if (args.cache_max_entries > 0) {
+      argv.push_back("--cache-max-entries");
+      argv.push_back(std::to_string(args.cache_max_entries));
+    }
   }
   return argv;
 }
 
-/// Launcher that fork/execs one `fppn_tool search-worker` process per
-/// shard, concurrently, and waits for all of them; any worker failure
-/// aborts the search with its exit status.
-sched::ShardLauncher process_shard_launcher(const Args& args,
-                                            const std::string& shard_dir) {
-  return [args, shard_dir](const sched::ShardPlan& plan) {
-    std::vector<pid_t> pids;
-    pids.reserve(static_cast<std::size_t>(plan.shards));
-    for (int s = 0; s < plan.shards; ++s) {
-      const std::vector<std::string> argv_strings = worker_argv(args, shard_dir, s);
-      std::vector<char*> argv;
-      argv.reserve(argv_strings.size() + 1);
-      for (const std::string& a : argv_strings) {
-        argv.push_back(const_cast<char*>(a.c_str()));
-      }
-      argv.push_back(nullptr);
-      const pid_t pid = ::fork();
-      if (pid < 0) {
-        // Don't leave already-spawned workers orphaned and racing the
-        // shard-dir cleanup: stop and reap them before aborting.
-        for (const pid_t spawned : pids) {
-          ::kill(spawned, SIGTERM);
-        }
-        for (const pid_t spawned : pids) {
-          int status = 0;
-          ::waitpid(spawned, &status, 0);
-        }
-        throw std::runtime_error("cannot fork shard worker " + std::to_string(s));
-      }
-      if (pid == 0) {
-        // execvp: the /proc/self/exe path is absolute, but the argv[0]
-        // fallback may be a bare PATH-looked-up name.
-        ::execvp(argv[0], argv.data());
-        std::perror("fppn_tool: exec shard worker");
-        std::_Exit(127);
-      }
-      pids.push_back(pid);
-    }
-    std::string failure;
-    for (std::size_t s = 0; s < pids.size(); ++s) {
-      int status = 0;
-      if (::waitpid(pids[s], &status, 0) < 0) {
-        failure = "cannot wait for shard worker " + std::to_string(s);
-        continue;
-      }
-      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-        failure = "shard worker " + std::to_string(s) + " failed (" +
-                  (WIFEXITED(status)
-                       ? "exit status " + std::to_string(WEXITSTATUS(status))
-                       : "killed by signal " + std::to_string(WTERMSIG(status))) +
-                  ")";
-      }
-    }
-    if (!failure.empty()) {
-      throw std::runtime_error(failure);
-    }
-  };
-}
-
-/// Fresh private shard directory under the system temp dir, for --shards
-/// runs without an explicit --shard-dir.
-std::string make_temp_shard_dir() {
-  std::string templ = (fs::temp_directory_path() / "fppn-shards-XXXXXX").string();
-  std::vector<char> buf(templ.begin(), templ.end());
-  buf.push_back('\0');
-  if (::mkdtemp(buf.data()) == nullptr) {
-    std::fprintf(stderr, "fppn_tool: cannot create temporary shard directory\n");
-    std::exit(1);
-  }
-  return std::string(buf.data());
-}
-
 /// The sharded scheduling path: spawn one search-worker process per shard
-/// (or consume a pre-populated --shard-dir) and merge. Same winner as
-/// search_schedule, bit for bit.
+/// through sched::process_shard_launcher (or consume a pre-populated
+/// --shard-dir) and merge. Same winner as search_schedule, bit for bit.
+/// Temp shard-dir creation throws (io::make_temp_directory), so every
+/// error path — including a failed directory — unwinds through the same
+/// cleanup/catch chain instead of exiting mid-flight.
 sched::ParallelSearchResult sharded_schedule(const TaskGraph& tg, const Args& args) {
   const bool private_dir = !args.shard_dir.has_value();
   const std::string shard_dir =
-      private_dir ? make_temp_shard_dir() : *args.shard_dir;
+      private_dir ? io::make_temp_directory("fppn-shards-") : *args.shard_dir;
   sched::ShardedSearchOptions sharding;
   sharding.shards = args.shards;
   sharding.shard_dir = shard_dir;
-  sharding.launcher = process_shard_launcher(args, shard_dir);
-  const sched::ParallelSearchOptions opts = build_search_options(args);
+  sharding.launcher = sched::process_shard_launcher(
+      [&args, shard_dir](int shard) { return worker_argv(args, shard_dir, shard); });
+  sched::ParallelSearchOptions opts = build_search_options(args);
+  // The orchestrator attaches the cache too: the warm-start overlay runs
+  // here, after the plan-pure merge (workers keep their own instances).
+  std::optional<sched::ScheduleCache> cache;
+  if (args.cache_dir.has_value() && !args.no_cache) {
+    cache.emplace(*args.cache_dir, args.cache_max_entries);
+    opts.cache = &*cache;
+  }
   try {
     const sched::ParallelSearchResult result = sched::sharded_search(tg, opts, sharding);
     if (private_dir) {
@@ -556,6 +521,11 @@ int cmd_schedule(const Args& args) {
       "winner: %s, seed %llu)\n",
       result.candidates, result.evaluated, result.cache_hits, workers_phrase.c_str(),
       result.best.strategy.c_str(), static_cast<unsigned long long>(result.seed));
+  if (result.warm_candidates > 0) {
+    std::printf("warm-start overlay: %zu cached start(s), %zu candidate(s)%s\n",
+                result.warm_starts, result.warm_candidates,
+                result.warm_start_won ? ", improved the plan winner" : "");
+  }
   if (!result.best.feasible) {
     const FeasibilityReport report =
         result.best.schedule.check_feasibility(derived.graph);
@@ -584,7 +554,7 @@ int cmd_search_worker(const Args& args) {
   sched::ParallelSearchOptions opts = build_search_options(args);
   std::optional<sched::ScheduleCache> cache;
   if (args.cache_dir.has_value() && !args.no_cache) {
-    cache.emplace(*args.cache_dir);
+    cache.emplace(*args.cache_dir, args.cache_max_entries);
     opts.cache = &*cache;
   }
   const sched::ShardPlan plan =
@@ -630,6 +600,24 @@ int cmd_roundtrip(const Args& args) {
   return 0;
 }
 
+/// Offline cache maintenance: reconcile the recency index with the entry
+/// files (rebuilding a missing/corrupt index) and, with
+/// --cache-max-entries, evict down to the bound — the CLI face of
+/// sched::ScheduleCache::gc().
+int cmd_cache_gc(const Args& args) {
+  if (!args.cache_dir.has_value()) {
+    std::fprintf(stderr, "fppn_tool: cache-gc requires --cache-dir D\n");
+    return 2;
+  }
+  sched::ScheduleCache cache(*args.cache_dir, args.cache_max_entries);
+  const sched::CacheGcStats gc = cache.gc();
+  std::printf("cache-gc '%s': %zu kept, %zu evicted%s%s\n", cache.directory().c_str(),
+              gc.kept, gc.evicted, gc.index_rebuilt ? ", index rebuilt" : "",
+              args.cache_max_entries == 0 ? " (no bound given: index maintenance only)"
+                                          : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -650,6 +638,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "simulate") {
       return cmd_simulate(args);
+    }
+    if (args.command == "cache-gc") {
+      return cmd_cache_gc(args);
     }
     if (args.command == "roundtrip") {
       return cmd_roundtrip(args);
