@@ -11,6 +11,8 @@
 #include "apps/fft.hpp"
 #include "apps/fig1.hpp"
 #include "apps/fms.hpp"
+#include "bench_graphs.hpp"
+#include "bench_json.hpp"
 #include "sched/parallel_search.hpp"
 #include "sched/registry.hpp"
 #include "taskgraph/analysis.hpp"
@@ -20,39 +22,7 @@ namespace {
 
 using namespace fppn;
 
-/// Random layered DAG: `layers` x `width` jobs, period/deadline `frame`,
-/// random WCETs and random forward edges.
-TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
-                            std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
-  std::uniform_int_distribution<int> fan(1, 3);
-  TaskGraph tg(Duration::ms(frame));
-  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
-  for (int l = 0; l < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      Job j;
-      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
-      j.arrival = Time::ms(0);
-      j.deadline = Time::ms(frame);
-      j.wcet = Duration::ms(wcet(rng));
-      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
-      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
-    }
-  }
-  std::uniform_int_distribution<int> pick(0, width - 1);
-  for (int l = 0; l + 1 < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      const int out = fan(rng);
-      for (int e = 0; e < out; ++e) {
-        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
-                    grid[static_cast<std::size_t>(l + 1)]
-                        [static_cast<std::size_t>(pick(rng))]);
-      }
-    }
-  }
-  return tg;
-}
+using benchgraphs::random_task_graph;
 
 sched::StrategyOptions quick_options(std::int64_t processors, std::uint64_t seed) {
   sched::StrategyOptions opts;
@@ -108,6 +78,7 @@ void print_report() {
 
   // Random graphs: feasibility rate over 100 seeds on tight frames, with
   // the parallel multi-strategy search as the last contender.
+  benchjson::Report json("heuristics");
   std::printf("\nrandom layered graphs (6x6 jobs, frame 180 ms, M=4), 100 seeds:\n");
   std::printf("%-22s %-16s %-14s\n", "strategy", "feasible-rate", "avg-makespan");
   for (const std::string& name : registry.names()) {
@@ -121,6 +92,8 @@ void print_report() {
     }
     std::printf("%-22s %-16s %-14.1f\n", name.c_str(),
                 (std::to_string(feasible) + "/100").c_str(), makespan_sum / 100.0);
+    json.metric(name + "_feasible_rate", feasible / 100.0);
+    json.metric(name + "_avg_makespan_ms", makespan_sum / 100.0);
   }
   {
     int feasible = 0;
@@ -139,7 +112,10 @@ void print_report() {
     }
     std::printf("%-22s %-16s %-14.1f\n", "parallel-search",
                 (std::to_string(feasible) + "/100").c_str(), makespan_sum / 100.0);
+    json.metric("parallel-search_feasible_rate", feasible / 100.0);
+    json.metric("parallel-search_avg_makespan_ms", makespan_sum / 100.0);
   }
+  json.write();
   std::printf("\n");
 }
 

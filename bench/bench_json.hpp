@@ -1,0 +1,85 @@
+// Tiny machine-readable bench output shared by every bench target: a flat
+// JSON object of numeric metrics and string labels written to
+// BENCH_<name>.json, so CI and scripts/run_benches.sh can collect results
+// without scraping stdout. No dependencies beyond the standard library.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fppn {
+namespace benchjson {
+
+/// Collects (key, value) pairs and writes BENCH_<name>.json into
+/// $FPPN_BENCH_JSON_DIR (the current directory when unset). Keys are
+/// emitted in insertion order; values are numbers or strings. Intended
+/// use: one Report per bench binary, written once at the end of main.
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    fields_.emplace_back(key, std::string(buf));
+  }
+
+  void metric(const std::string& key, long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  void label(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+
+  /// Writes the file; returns its path, or an empty string on I/O
+  /// failure (benches must not die because a result file could not be
+  /// written — the stdout report already happened).
+  std::string write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("FPPN_BENCH_JSON_DIR")) {
+      if (env[0] != '\0') {
+        dir = env;
+      }
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return {};
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", escaped(name_).c_str());
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(f, ",\n  \"%s\": %s", escaped(key).c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace benchjson
+}  // namespace fppn

@@ -1,0 +1,230 @@
+// The evaluation kernel's headline numbers: candidate-evaluations/sec of
+// sched::Evaluator vs. the reference list_schedule + feasibility pipeline
+// on a 256-job synthetic graph (the ISSUE-5 acceptance metric), plus a
+// fast-vs-reference winner-equality smoke on the paper's fig7 FMS example
+// that CI runs on every push (exit 1 on any divergence).
+//
+// Emits BENCH_local_search.json (bench_json.hpp). `--smoke` runs the
+// report + equality check only, skipping the google-benchmark loops.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+#include "apps/fms.hpp"
+#include "bench_graphs.hpp"
+#include "bench_json.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/local_search.hpp"
+#include "sched/parallel_search.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace {
+
+using namespace fppn;
+
+using benchgraphs::random_task_graph;
+
+sched::EvalScore reference_score(const TaskGraph& tg, const std::vector<JobId>& order,
+                                 std::int64_t processors) {
+  const StaticSchedule s = list_schedule(tg, order, processors);
+  sched::EvalScore score;
+  score.makespan = s.makespan(tg);
+  score.deadline_violations = s.count_violations(tg).deadline;
+  return score;
+}
+
+/// Evaluations/sec of one evaluation function over a rotating set of
+/// orders (a small pool so the measurement is not one memoized order).
+template <class Eval>
+double measure_evals_per_sec(const std::vector<std::vector<JobId>>& orders,
+                             std::size_t evaluations, Eval&& eval) {
+  using Clock = std::chrono::steady_clock;
+  // One warm-up pass (first kernel call sizes its scratch).
+  (void)eval(orders[0]);
+  const auto begin = Clock::now();
+  std::size_t checksum = 0;
+  for (std::size_t k = 0; k < evaluations; ++k) {
+    checksum += eval(orders[k % orders.size()]).deadline_violations;
+  }
+  const double seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+  benchmark::DoNotOptimize(checksum);
+  return seconds > 0.0 ? static_cast<double>(evaluations) / seconds : 0.0;
+}
+
+bool placements_equal(const StaticSchedule& a, const StaticSchedule& b) {
+  if (a.job_count() != b.job_count()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.job_count(); ++i) {
+    const JobId id(i);
+    if (a.is_placed(id) != b.is_placed(id)) {
+      return false;
+    }
+    if (a.is_placed(id) &&
+        (a.placement(id).processor != b.placement(id).processor ||
+         a.placement(id).start != b.placement(id).start)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Winner-equality smoke on fig7 (the FMS avionics application): the full
+/// parallel search with the kernel on vs. off must pick the bit-identical
+/// winner. Returns true on equality.
+bool fms_winner_equality(benchjson::Report& report) {
+  const auto app = apps::build_fms();
+  const auto derived = derive_task_graph(app.net, app.default_wcets());
+  sched::ParallelSearchOptions opts;
+  opts.processors = 1;
+  opts.workers = 2;
+  opts.seeds_per_strategy = 2;
+  opts.max_iterations = 400;
+  opts.restarts = 1;
+  opts.use_fast_evaluator = true;
+  const sched::ParallelSearchResult fast = sched::parallel_search(derived.graph, opts);
+  opts.use_fast_evaluator = false;
+  const sched::ParallelSearchResult reference =
+      sched::parallel_search(derived.graph, opts);
+  const bool equal = fast.best.strategy == reference.best.strategy &&
+                     fast.seed == reference.seed &&
+                     fast.best.makespan == reference.best.makespan &&
+                     fast.best.deadline_violations ==
+                         reference.best.deadline_violations &&
+                     fast.best.feasible == reference.best.feasible &&
+                     placements_equal(fast.best.schedule, reference.best.schedule);
+  std::printf("fig7 FMS winner equality (fast vs reference): %s\n",
+              equal ? "IDENTICAL" : "DIVERGED");
+  std::printf("  fast:      %s seed %llu makespan %s\n", fast.best.strategy.c_str(),
+              static_cast<unsigned long long>(fast.seed),
+              fast.best.makespan.to_string().c_str());
+  std::printf("  reference: %s seed %llu makespan %s\n",
+              reference.best.strategy.c_str(),
+              static_cast<unsigned long long>(reference.seed),
+              reference.best.makespan.to_string().c_str());
+  report.label("fms_winner", fast.best.strategy);
+  report.metric("fms_winner_equal", static_cast<long long>(equal ? 1 : 0));
+  return equal;
+}
+
+/// The headline report: kernel vs. reference evaluations/sec on a 256-job
+/// graph. Returns false when the two pipelines disagree on any score.
+bool print_report(benchjson::Report& report) {
+  const TaskGraph tg = random_task_graph(16, 16, 900, 7);  // 256 jobs
+  const std::int64_t processors = 4;
+  std::printf("=== evaluation kernel vs reference, %zu jobs, %zu edges, M=%lld ===\n\n",
+              tg.job_count(), tg.edge_count(), static_cast<long long>(processors));
+
+  // A pool of candidate orders: all four heuristics plus random moves of
+  // the first, mimicking the local search's neighborhood.
+  std::vector<std::vector<JobId>> orders;
+  for (const PriorityHeuristic h : all_heuristics()) {
+    orders.push_back(schedule_priority(tg, h));
+  }
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<std::size_t> pick(0, tg.job_count() - 1);
+  for (int k = 0; k < 12; ++k) {
+    std::vector<JobId> moved = orders[0];
+    std::swap(moved[pick(rng)], moved[pick(rng)]);
+    orders.push_back(std::move(moved));
+  }
+
+  sched::Evaluator kernel(tg, processors);
+  bool scores_agree = true;
+  for (const auto& order : orders) {
+    const sched::EvalScore fast = kernel.evaluate(order);
+    const sched::EvalScore ref = reference_score(tg, order, processors);
+    scores_agree = scores_agree &&
+                   fast.deadline_violations == ref.deadline_violations &&
+                   fast.makespan == ref.makespan;
+  }
+  std::printf("score agreement over %zu orders: %s\n", orders.size(),
+              scores_agree ? "IDENTICAL" : "DIVERGED");
+
+  const double kernel_rate = measure_evals_per_sec(
+      orders, 2000, [&](const std::vector<JobId>& o) { return kernel.evaluate(o); });
+  const double reference_rate = measure_evals_per_sec(
+      orders, 60,
+      [&](const std::vector<JobId>& o) { return reference_score(tg, o, processors); });
+  const double speedup = reference_rate > 0.0 ? kernel_rate / reference_rate : 0.0;
+  std::printf("kernel:    %12.0f evaluations/sec\n", kernel_rate);
+  std::printf("reference: %12.0f evaluations/sec\n", reference_rate);
+  std::printf("speedup:   %12.1fx (acceptance floor: 5x)\n\n", speedup);
+
+  report.metric("jobs", static_cast<long long>(tg.job_count()));
+  report.metric("edges", static_cast<long long>(tg.edge_count()));
+  report.metric("processors", static_cast<long long>(processors));
+  report.metric("kernel_evals_per_sec", kernel_rate);
+  report.metric("reference_evals_per_sec", reference_rate);
+  report.metric("speedup", speedup);
+  report.metric("scores_agree", static_cast<long long>(scores_agree ? 1 : 0));
+  return scores_agree;
+}
+
+void BM_KernelEvaluate(benchmark::State& state) {
+  const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(0)), 900, 7);
+  sched::Evaluator kernel(tg, 4);
+  const std::vector<JobId> order = schedule_priority(tg, PriorityHeuristic::kAlapEdf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.evaluate(order).deadline_violations);
+  }
+  state.SetLabel(std::to_string(tg.job_count()) + " jobs");
+}
+BENCHMARK(BM_KernelEvaluate)->Arg(8)->Arg(16);
+
+void BM_ReferenceEvaluate(benchmark::State& state) {
+  const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(0)), 900, 7);
+  const std::vector<JobId> order = schedule_priority(tg, PriorityHeuristic::kAlapEdf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_score(tg, order, 4).deadline_violations);
+  }
+  state.SetLabel(std::to_string(tg.job_count()) + " jobs");
+}
+BENCHMARK(BM_ReferenceEvaluate)->Arg(8)->Arg(16);
+
+void BM_OptimizePriority(benchmark::State& state) {
+  const TaskGraph tg = random_task_graph(10, 10, 500, 7);
+  LocalSearchOptions opts;
+  opts.processors = 4;
+  opts.max_iterations = 500;
+  opts.restarts = 1;
+  opts.use_fast_evaluator = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_priority(tg, opts).makespan);
+  }
+  state.SetLabel(opts.use_fast_evaluator ? "kernel" : "reference");
+}
+BENCHMARK(BM_OptimizePriority)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "local-search evaluation kernel: the same (violations, makespan)\n"
+      "scores and placements as the reference pipeline, measured side by\n"
+      "side. The search stack is only as fast as this inner loop.\n\n");
+  benchjson::Report report("local_search");
+  const bool scores_ok = print_report(report);
+  const bool winner_ok = fms_winner_equality(report);
+  const std::string json_path = report.write();
+  if (!json_path.empty()) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  if (!scores_ok || !winner_ok) {
+    std::fprintf(stderr, "FAIL: kernel diverged from the reference pipeline\n");
+    return 1;
+  }
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

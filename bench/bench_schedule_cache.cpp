@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <random>
 
+#include "bench_graphs.hpp"
 #include "apps/fig1.hpp"
 #include "apps/fms.hpp"
 #include "sched/parallel_search.hpp"
@@ -18,38 +19,7 @@ namespace {
 
 using namespace fppn;
 
-/// Random layered DAG, same construction as the heuristics bench.
-TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
-                            std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
-  std::uniform_int_distribution<int> fan(1, 3);
-  TaskGraph tg(Duration::ms(frame));
-  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
-  for (int l = 0; l < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      Job j;
-      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
-      j.arrival = Time::ms(0);
-      j.deadline = Time::ms(frame);
-      j.wcet = Duration::ms(wcet(rng));
-      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
-      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
-    }
-  }
-  std::uniform_int_distribution<int> pick(0, width - 1);
-  for (int l = 0; l + 1 < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      const int out = fan(rng);
-      for (int e = 0; e < out; ++e) {
-        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
-                    grid[static_cast<std::size_t>(l + 1)]
-                        [static_cast<std::size_t>(pick(rng))]);
-      }
-    }
-  }
-  return tg;
-}
+using benchgraphs::random_task_graph;
 
 sched::ParallelSearchOptions search_options() {
   sched::ParallelSearchOptions opts;

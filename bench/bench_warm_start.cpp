@@ -6,10 +6,13 @@
 // scratch, and (c) the cache-eviction bookkeeping added to each store.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <random>
 
 #include "apps/fig1.hpp"
+#include "bench_graphs.hpp"
+#include "bench_json.hpp"
 #include "sched/local_search.hpp"
 #include "sched/parallel_search.hpp"
 #include "sched/schedule_cache.hpp"
@@ -20,38 +23,7 @@ namespace {
 
 using namespace fppn;
 
-/// Random layered DAG, same construction as the heuristics bench.
-TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
-                            std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
-  std::uniform_int_distribution<int> fan(1, 3);
-  TaskGraph tg(Duration::ms(frame));
-  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
-  for (int l = 0; l < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      Job j;
-      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
-      j.arrival = Time::ms(0);
-      j.deadline = Time::ms(frame);
-      j.wcet = Duration::ms(wcet(rng));
-      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
-      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
-    }
-  }
-  std::uniform_int_distribution<int> pick(0, width - 1);
-  for (int l = 0; l + 1 < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      const int out = fan(rng);
-      for (int e = 0; e < out; ++e) {
-        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
-                    grid[static_cast<std::size_t>(l + 1)]
-                        [static_cast<std::size_t>(pick(rng))]);
-      }
-    }
-  }
-  return tg;
-}
+using benchgraphs::random_task_graph;
 
 sched::ParallelSearchOptions search_options() {
   sched::ParallelSearchOptions opts;
@@ -141,6 +113,30 @@ int main(int argc, char** argv) {
       "warm-start benchmarks: the overlay must stay cheap next to the\n"
       "candidate fan-out, and a seeded local search converges from the\n"
       "best known schedule instead of rediscovering it.\n\n");
+  {
+    // Machine-readable headline: cold vs. warm-seeded local search time.
+    using Clock = std::chrono::steady_clock;
+    const TaskGraph tg = random_task_graph(8, 8, 500, 11);
+    LocalSearchOptions opts;
+    opts.processors = 4;
+    opts.max_iterations = 1000;
+    opts.restarts = 1;
+    const auto cold_begin = Clock::now();
+    const LocalSearchResult cold = optimize_priority(tg, opts);
+    const double cold_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - cold_begin).count();
+    opts.start_priorities = {cold.priority};
+    const auto warm_begin = Clock::now();
+    const LocalSearchResult warm = optimize_priority(tg, opts);
+    const double warm_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - warm_begin).count();
+    benchjson::Report json("warm_start");
+    json.metric("jobs", static_cast<long long>(tg.job_count()));
+    json.metric("cold_search_ms", cold_ms);
+    json.metric("warm_search_ms", warm_ms);
+    json.metric("warm_makespan_ms", warm.makespan.to_double_ms());
+    json.write();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

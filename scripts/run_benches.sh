@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs every built bench target and collects the machine-readable
+# BENCH_*.json results (bench/bench_json.hpp) into one directory.
+#
+# Usage: scripts/run_benches.sh [build-dir] [out-dir] [--smoke]
+#   build-dir  where the bench_* executables live (default: build)
+#   out-dir    where the JSON results land (default: bench-results)
+#   --smoke    pass --smoke to benches that support it (bench_local_search:
+#              report + equality check only, no google-benchmark loops) and
+#              cap the rest with a tiny --benchmark_filter so the sweep
+#              finishes in seconds.
+set -euo pipefail
+
+smoke=""
+positional=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke="yes" ;;
+    *) positional+=("$arg") ;;
+  esac
+done
+build_dir="${positional[0]:-build}"
+out_dir="${positional[1]:-bench-results}"
+
+if ! ls "$build_dir"/bench_* >/dev/null 2>&1; then
+  echo "no bench targets in '$build_dir' (configure with FPPN_BUILD_BENCHES=ON" \
+       "and install google-benchmark)" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+export FPPN_BENCH_JSON_DIR="$out_dir"
+
+status=0
+for bench in "$build_dir"/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  if [ -n "$smoke" ] && [ "$name" = "bench_local_search" ]; then
+    "$bench" --smoke || status=$?
+  elif [ -n "$smoke" ]; then
+    # Run the binary's report sections; match no google-benchmark cases.
+    "$bench" --benchmark_filter='^$' || status=$?
+  else
+    "$bench" || status=$?
+  fi
+  echo
+done
+
+echo "results:"
+ls -l "$out_dir"/BENCH_*.json 2>/dev/null || echo "  (no JSON emitted)"
+exit "$status"

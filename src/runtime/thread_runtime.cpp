@@ -151,7 +151,7 @@ RunResult run_static_order_threads(const Network& net, const DerivedTaskGraph& d
     }
   }
   const Duration h = derived.hyperperiod;
-  const auto order = schedule.per_processor_order(tg);
+  const auto order = schedule.per_processor_order();
 
   WallClock clock(opts.micros_per_model_ms);
   SporadicMonitor monitor;

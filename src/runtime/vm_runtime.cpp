@@ -51,7 +51,7 @@ RunResult run_static_order_vm(const Network& net, const DerivedTaskGraph& derive
 
   // Static plan: previous job on the same processor / of the same process.
   std::vector<JobPlan> plan(n);
-  const auto order = schedule.per_processor_order(tg);
+  const auto order = schedule.per_processor_order();
   for (std::size_t m = 0; m < order.size(); ++m) {
     for (std::size_t pos = 0; pos < order[m].size(); ++pos) {
       JobPlan& jp = plan[order[m][pos].value()];

@@ -1,0 +1,253 @@
+#include "sched/evaluator.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace fppn {
+namespace sched {
+
+namespace {
+
+/// T + W for both timebases: int64 + int64 ticks, Time + Duration.
+inline std::int64_t add_wcet(std::int64_t t, std::int64_t w) { return t + w; }
+inline Time add_wcet(const Time& t, const Duration& w) { return t + w; }
+
+}  // namespace
+
+Evaluator::Evaluator(const TaskGraph& tg, std::int64_t processors)
+    : cg_(CompiledTaskGraph::compile(tg)), processors_(processors) {
+  if (processors < 1) {
+    throw std::invalid_argument("evaluator: processors must be >= 1");
+  }
+  if (!tg.is_acyclic()) {
+    throw std::invalid_argument("evaluator: task graph is cyclic");
+  }
+  const std::size_t n = cg_.job_count();
+  rank_.resize(n);
+  seen_.resize(n);
+  remaining_.resize(n);
+  placed_proc_.resize(n);
+  ready_heap_.reserve(n);
+  free_procs_.reserve(static_cast<std::size_t>(processors));
+  const std::size_t m = static_cast<std::size_t>(processors);
+  if (cg_.has_ticks()) {
+    ready_tick_.resize(n);
+    start_tick_.resize(n);
+    busy_tick_.reserve(m);
+    pending_tick_.reserve(n);
+  } else {
+    ready_time_.resize(n);
+    start_time_.resize(n);
+    busy_time_.reserve(m);
+    pending_time_.reserve(n);
+  }
+}
+
+void Evaluator::load_rank(const std::vector<JobId>& priority) {
+  const std::size_t n = cg_.job_count();
+  if (priority.size() != n) {
+    throw std::invalid_argument("evaluator: SP order must cover every job");
+  }
+  std::fill(seen_.begin(), seen_.end(), std::uint8_t{0});
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t i = priority[r].value();
+    if (i >= n || seen_[i] != 0) {
+      throw std::invalid_argument("evaluator: SP order is not a permutation");
+    }
+    seen_[i] = 1;
+    rank_[i] = static_cast<std::uint32_t>(r);
+  }
+}
+
+/// The event-driven list-scheduling simulation. Decision rule identical to
+/// the reference list_schedule: at every instant t, repeatedly start the
+/// lowest-rank ready job on the smallest-index free processor; when
+/// nothing can start, advance t to the next event (a processor release, a
+/// pending readiness, or a source arrival). Returns the deadline-violation
+/// count; `makespan` receives the latest finish (zero when n == 0).
+template <class T, class W>
+std::size_t Evaluator::run(const std::vector<T>& arrival, const std::vector<T>& deadline,
+                           const std::vector<W>& wcet, std::vector<T>& ready_at,
+                           std::vector<std::pair<T, std::uint32_t>>& busy,
+                           std::vector<std::pair<T, std::uint32_t>>& pending,
+                           std::vector<T>& start, T& makespan, bool record) {
+  using BusyEntry = std::pair<T, std::uint32_t>;
+  const std::size_t n = cg_.job_count();
+  const auto& pred_offsets = cg_.pred_offsets();
+  const auto& succ_offsets = cg_.succ_offsets();
+  const auto& succ_ids = cg_.succ_ids();
+  const auto& sources = cg_.sources_by_arrival();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining_[i] = pred_offsets[i + 1] - pred_offsets[i];
+    ready_at[i] = arrival[i];
+  }
+  ready_heap_.clear();
+  free_procs_.clear();
+  pending.clear();
+  busy.clear();
+  // Every processor becomes free at time zero, exactly like the
+  // reference's proc_free initialization.
+  for (std::uint32_t m = 0; m < static_cast<std::uint32_t>(processors_); ++m) {
+    busy.emplace_back(T{}, m);
+  }
+  // Already a valid min-heap: equal keys, ascending indices.
+
+  std::size_t violations = 0;
+  T last_finish{};
+  std::size_t started = 0;
+  std::size_t src_ptr = 0;
+  T t{};
+
+  while (started < n) {
+    // Integrate every event at or before t.
+    while (!busy.empty() && !(t < busy.front().first)) {
+      free_procs_.push_back(busy.front().second);
+      std::push_heap(free_procs_.begin(), free_procs_.end(),
+                     std::greater<std::uint32_t>());
+      std::pop_heap(busy.begin(), busy.end(), std::greater<BusyEntry>());
+      busy.pop_back();
+    }
+    while (!pending.empty() && !(t < pending.front().first)) {
+      const std::uint32_t job = pending.front().second;
+      ready_heap_.push_back((static_cast<std::uint64_t>(rank_[job]) << 32) | job);
+      std::push_heap(ready_heap_.begin(), ready_heap_.end(),
+                     std::greater<std::uint64_t>());
+      std::pop_heap(pending.begin(), pending.end(), std::greater<BusyEntry>());
+      pending.pop_back();
+    }
+    while (src_ptr < sources.size() && !(t < arrival[sources[src_ptr]])) {
+      const std::uint32_t job = sources[src_ptr++];
+      ready_heap_.push_back((static_cast<std::uint64_t>(rank_[job]) << 32) | job);
+      std::push_heap(ready_heap_.begin(), ready_heap_.end(),
+                     std::greater<std::uint64_t>());
+    }
+
+    // Start decisions at t: lowest rank pairs with the smallest free
+    // processor index, repeated until one side runs dry.
+    while (!ready_heap_.empty() && !free_procs_.empty()) {
+      const std::uint32_t job = static_cast<std::uint32_t>(ready_heap_.front());
+      std::pop_heap(ready_heap_.begin(), ready_heap_.end(),
+                    std::greater<std::uint64_t>());
+      ready_heap_.pop_back();
+      const std::uint32_t proc = free_procs_.front();
+      std::pop_heap(free_procs_.begin(), free_procs_.end(),
+                    std::greater<std::uint32_t>());
+      free_procs_.pop_back();
+
+      const T finish = add_wcet(t, wcet[job]);
+      if (deadline[job] < finish) {
+        ++violations;
+      }
+      if (last_finish < finish) {
+        last_finish = finish;
+      }
+      if (record) {
+        start[job] = t;
+        placed_proc_[job] = proc;
+      }
+      // A zero-WCET job completes at the instant it starts: its processor
+      // is free again and its successors become ready *within* this
+      // decision round, exactly like the reference's rescan at the same
+      // t. Everything with a strictly future key goes through the heaps.
+      if (!(t < finish)) {  // zero WCET: finish == t
+        free_procs_.push_back(proc);
+        std::push_heap(free_procs_.begin(), free_procs_.end(),
+                       std::greater<std::uint32_t>());
+      } else {
+        busy.emplace_back(finish, proc);
+        std::push_heap(busy.begin(), busy.end(), std::greater<BusyEntry>());
+      }
+      ++started;
+      for (std::uint32_t e = succ_offsets[job]; e < succ_offsets[job + 1]; ++e) {
+        const std::uint32_t s = succ_ids[e];
+        if (ready_at[s] < finish) {
+          ready_at[s] = finish;
+        }
+        if (--remaining_[s] == 0) {
+          if (t < ready_at[s]) {
+            pending.emplace_back(ready_at[s], s);
+            std::push_heap(pending.begin(), pending.end(), std::greater<BusyEntry>());
+          } else {
+            ready_heap_.push_back((static_cast<std::uint64_t>(rank_[s]) << 32) | s);
+            std::push_heap(ready_heap_.begin(), ready_heap_.end(),
+                           std::greater<std::uint64_t>());
+          }
+        }
+      }
+    }
+    if (started == n) {
+      break;
+    }
+    // Advance to the next event strictly after t.
+    bool have_next = false;
+    T next{};
+    const auto consider = [&](const T& cand) {
+      if (!have_next || cand < next) {
+        next = cand;
+        have_next = true;
+      }
+    };
+    if (!busy.empty()) {
+      consider(busy.front().first);
+    }
+    if (!pending.empty()) {
+      consider(pending.front().first);
+    }
+    if (src_ptr < sources.size()) {
+      consider(arrival[sources[src_ptr]]);
+    }
+    if (!have_next) {
+      throw std::logic_error("evaluator: stalled with no future event");
+    }
+    t = next;
+  }
+  makespan = last_finish;
+  return violations;
+}
+
+EvalScore Evaluator::evaluate(const std::vector<JobId>& priority) {
+  load_rank(priority);
+  EvalScore score;
+  if (cg_.has_ticks()) {
+    std::int64_t makespan = 0;
+    score.deadline_violations =
+        run(cg_.arrival_ticks(), cg_.deadline_ticks(), cg_.wcet_ticks(), ready_tick_,
+            busy_tick_, pending_tick_, start_tick_, makespan, false);
+    score.makespan = cg_.time_from_ticks(makespan);
+  } else {
+    Time makespan;
+    score.deadline_violations =
+        run(cg_.arrivals(), cg_.deadlines(), cg_.wcets(), ready_time_, busy_time_,
+            pending_time_, start_time_, makespan, false);
+    score.makespan = makespan;
+  }
+  return score;
+}
+
+StaticSchedule Evaluator::materialize(const std::vector<JobId>& priority) {
+  load_rank(priority);
+  const std::size_t n = cg_.job_count();
+  StaticSchedule schedule(n, processors_);
+  if (cg_.has_ticks()) {
+    std::int64_t makespan = 0;
+    (void)run(cg_.arrival_ticks(), cg_.deadline_ticks(), cg_.wcet_ticks(), ready_tick_,
+              busy_tick_, pending_tick_, start_tick_, makespan, true);
+    for (std::size_t i = 0; i < n; ++i) {
+      schedule.place(JobId(i), ProcessorId(placed_proc_[i]),
+                     cg_.time_from_ticks(start_tick_[i]));
+    }
+  } else {
+    Time makespan;
+    (void)run(cg_.arrivals(), cg_.deadlines(), cg_.wcets(), ready_time_, busy_time_,
+              pending_time_, start_time_, makespan, true);
+    for (std::size_t i = 0; i < n; ++i) {
+      schedule.place(JobId(i), ProcessorId(placed_proc_[i]), start_time_[i]);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace sched
+}  // namespace fppn

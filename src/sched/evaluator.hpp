@@ -1,0 +1,119 @@
+// sched::Evaluator — the allocation-free O((n+E) log n) schedule-evaluation
+// kernel behind the SP local search (§III-B's inner loop, made fast).
+//
+// The naive path evaluates a candidate SP order by running list_schedule
+// (O(n²) ready/next-event scans, a freshly allocated StaticSchedule) and
+// scoring it through check_feasibility (violation records with formatted
+// detail strings) — thousands of times per search. The Evaluator replaces
+// that with an event-driven simulation over a CompiledTaskGraph flat view
+// (taskgraph/compiled_graph.hpp):
+//
+//   - a rank-keyed min-heap of ready jobs and a min-heap of free
+//     processor indices replace the O(n) highest-priority-ready scan,
+//   - a (free-time, processor) min-heap plus a pending-ready heap replace
+//     the O(n) next-event scan,
+//   - on the int64 tick timebase every comparison is integer; when ticks
+//     would overflow the kernel falls back to exact Rational arithmetic,
+//   - evaluate() computes (deadline violations, makespan) during the
+//     simulation — no StaticSchedule, no FeasibilityReport, no strings —
+//     and materialize() rebuilds the full schedule only for incumbents,
+//   - every buffer is owned by the Evaluator and reused across calls, so
+//     the steady-state inner loop performs no heap allocation.
+//
+// Determinism contract: for any valid SP order, evaluate()/materialize()
+// produce the bit-identical score and placements the reference
+// list_schedule + check_feasibility pipeline produces — same decision
+// instants, same rank tie-breaks, same smallest-index processor choice —
+// on either timebase (regression-proved by the randomized differential
+// suite in tests/evaluator_test.cpp). Search winners are therefore
+// identical with the kernel on or off, cold and warm, 1-process and
+// sharded.
+//
+// Thread safety: an Evaluator is mutable scratch — one per search worker,
+// never shared concurrently. Construction is read-only on the task graph.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sched/static_schedule.hpp"
+#include "taskgraph/compiled_graph.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+namespace sched {
+
+/// The local-search objective of one candidate evaluation, lexicographic:
+/// fewer deadline violations first, then smaller makespan.
+struct EvalScore {
+  std::size_t deadline_violations = 0;
+  Time makespan;
+
+  [[nodiscard]] bool better_than(const EvalScore& other) const {
+    if (deadline_violations != other.deadline_violations) {
+      return deadline_violations < other.deadline_violations;
+    }
+    return makespan < other.makespan;
+  }
+};
+
+class Evaluator {
+ public:
+  /// Compiles `tg` and sizes all scratch. Throws std::invalid_argument
+  /// when processors < 1 or the graph is cyclic (the same conditions the
+  /// reference list_schedule rejects, checked once here instead of per
+  /// evaluation).
+  Evaluator(const TaskGraph& tg, std::int64_t processors);
+
+  /// Scores one SP order without building a schedule. Allocation-free
+  /// after the first call. Throws std::invalid_argument when `priority`
+  /// is not a permutation of all jobs.
+  [[nodiscard]] EvalScore evaluate(const std::vector<JobId>& priority);
+
+  /// Runs the same simulation and materializes the full StaticSchedule —
+  /// bit-identical to list_schedule(tg, priority, processors). For
+  /// incumbents only; this path allocates the schedule it returns.
+  [[nodiscard]] StaticSchedule materialize(const std::vector<JobId>& priority);
+
+  /// True when the int64 tick fast path is active; false means the exact
+  /// Rational fallback (results are bit-identical either way).
+  [[nodiscard]] bool uses_ticks() const noexcept { return cg_.has_ticks(); }
+
+  [[nodiscard]] const CompiledTaskGraph& compiled() const noexcept { return cg_; }
+  [[nodiscard]] std::int64_t processor_count() const noexcept { return processors_; }
+
+ private:
+  void load_rank(const std::vector<JobId>& priority);
+
+  template <class T, class W>
+  std::size_t run(const std::vector<T>& arrival, const std::vector<T>& deadline,
+                  const std::vector<W>& wcet, std::vector<T>& ready_at,
+                  std::vector<std::pair<T, std::uint32_t>>& busy,
+                  std::vector<std::pair<T, std::uint32_t>>& pending,
+                  std::vector<T>& start, T& makespan, bool record);
+
+  CompiledTaskGraph cg_;
+  std::int64_t processors_ = 1;
+
+  // Scratch, reused across evaluations.
+  std::vector<std::uint32_t> rank_;       ///< rank_[job] = SP position
+  std::vector<std::uint8_t> seen_;        ///< permutation validation
+  std::vector<std::uint32_t> remaining_;  ///< unfinished predecessor counts
+  std::vector<std::uint64_t> ready_heap_; ///< (rank << 32 | job) min-heap
+  std::vector<std::uint32_t> free_procs_; ///< free processor-index min-heap
+  std::vector<std::uint32_t> placed_proc_;
+  // Tick timebase scratch.
+  std::vector<std::int64_t> ready_tick_;
+  std::vector<std::pair<std::int64_t, std::uint32_t>> busy_tick_;
+  std::vector<std::pair<std::int64_t, std::uint32_t>> pending_tick_;
+  std::vector<std::int64_t> start_tick_;
+  // Rational fallback scratch.
+  std::vector<Time> ready_time_;
+  std::vector<std::pair<Time, std::uint32_t>> busy_time_;
+  std::vector<std::pair<Time, std::uint32_t>> pending_time_;
+  std::vector<Time> start_time_;
+};
+
+}  // namespace sched
+}  // namespace fppn

@@ -1,31 +1,22 @@
 #include "sched/local_search.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <random>
+
+#include "sched/evaluator.hpp"
 
 namespace fppn {
 namespace {
 
-struct Score {
-  std::size_t violations = 0;
-  Time makespan;
+using sched::EvalScore;
 
-  [[nodiscard]] bool better_than(const Score& other) const {
-    if (violations != other.violations) {
-      return violations < other.violations;
-    }
-    return makespan < other.makespan;
-  }
-};
-
-Score evaluate(const TaskGraph& tg, const StaticSchedule& schedule) {
-  Score s;
+/// Reference scorer — the semantics the kernel reproduces bit-identically:
+/// full list schedule, then the counts-only feasibility pass.
+EvalScore reference_score(const TaskGraph& tg, const StaticSchedule& schedule) {
+  EvalScore s;
   s.makespan = schedule.makespan(tg);
-  for (const Violation& v : schedule.check_feasibility(tg).violations) {
-    if (v.kind == ViolationKind::kDeadline) {
-      ++s.violations;
-    }
-  }
+  s.deadline_violations = schedule.count_violations(tg).deadline;
   return s;
 }
 
@@ -36,6 +27,30 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
   const std::size_t n = tg.job_count();
   LocalSearchResult best;
 
+  // The kernel owns all simulation scratch and is reused for every
+  // candidate this search evaluates — the steady-state inner loop below
+  // performs no heap allocation.
+  std::optional<sched::Evaluator> kernel;
+  if (opts.use_fast_evaluator) {
+    kernel.emplace(tg, opts.processors);
+  }
+  const auto score_of = [&](const std::vector<JobId>& order) {
+    if (kernel.has_value()) {
+      return kernel->evaluate(order);
+    }
+    return reference_score(tg, list_schedule(tg, order, opts.processors));
+  };
+  const auto materialize = [&](const std::vector<JobId>& order) {
+    return kernel.has_value() ? kernel->materialize(order)
+                              : list_schedule(tg, order, opts.processors);
+  };
+  EvalScore best_score;
+  const auto adopt = [&](const EvalScore& score) {
+    best_score = score;
+    best.violations = score.deadline_violations;
+    best.makespan = score.makespan;
+  };
+
   // Seed with the best plain heuristic, then let any supplied start
   // points (the warm-start hook) compete on the same strict-improvement
   // terms: a start priority displaces the heuristic seed only when its
@@ -43,30 +58,23 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
   // heuristic provenance (and the bit-identical cold result).
   for (const PriorityHeuristic h : all_heuristics()) {
     std::vector<JobId> order = schedule_priority(tg, h);
-    StaticSchedule schedule = list_schedule(tg, order, opts.processors);
-    const Score score = evaluate(tg, schedule);
-    if (best.priority.empty() ||
-        score.better_than(Score{best.violations, best.makespan})) {
-      best.violations = score.violations;
-      best.makespan = score.makespan;
-      best.schedule = std::move(schedule);
+    const EvalScore score = score_of(order);
+    if (best.priority.empty() || score.better_than(best_score)) {
+      adopt(score);
       best.priority = std::move(order);
       best.start_heuristic = h;
     }
   }
   for (std::size_t p = 0; p < opts.start_priorities.size(); ++p) {
-    std::vector<JobId> order = opts.start_priorities[p];
-    StaticSchedule schedule = list_schedule(tg, order, opts.processors);
-    const Score score = evaluate(tg, schedule);
-    if (score.better_than(Score{best.violations, best.makespan})) {
-      best.violations = score.violations;
-      best.makespan = score.makespan;
-      best.schedule = std::move(schedule);
-      best.priority = std::move(order);
+    const EvalScore score = score_of(opts.start_priorities[p]);
+    if (score.better_than(best_score)) {
+      adopt(score);
+      best.priority = opts.start_priorities[p];
       best.start_priority_index = static_cast<int>(p);
     }
   }
   if (n < 2) {
+    best.schedule = materialize(best.priority);
     best.feasible = best.violations == 0;
     return best;
   }
@@ -82,50 +90,57 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
         std::swap(current[pick(rng)], current[pick(rng)]);
       }
     }
-    Score current_score =
-        evaluate(tg, list_schedule(tg, current, opts.processors));
+    EvalScore current_score = score_of(current);
 
     int stale = 0;
-    for (int it = 0; it < opts.max_iterations && stale < 200; ++it) {
+    for (int it = 0; it < opts.max_iterations && stale < opts.stale_limit; ++it) {
       ++best.iterations_used;
-      std::vector<JobId> candidate = current;
       // Move: either swap two positions or pull a job earlier (both are
       // useful — pulls fix late chains, swaps fix local inversions).
+      // Applied in place on the reusable buffer and undone on rejection —
+      // no per-candidate copy.
       const std::size_t i = pick(rng);
       std::size_t j = pick(rng);
       if (i == j) {
         j = (j + 1) % n;
       }
-      if ((rng() & 1U) == 0U) {
-        std::swap(candidate[i], candidate[j]);
+      const std::size_t lo = std::min(i, j);
+      const std::size_t hi = std::max(i, j);
+      const bool swap_move = (rng() & 1U) == 0U;
+      if (swap_move) {
+        std::swap(current[i], current[j]);
       } else {
-        const JobId moved = candidate[std::max(i, j)];
-        candidate.erase(candidate.begin() +
-                        static_cast<std::ptrdiff_t>(std::max(i, j)));
-        candidate.insert(candidate.begin() +
-                             static_cast<std::ptrdiff_t>(std::min(i, j)),
-                         moved);
+        // current[hi] moves to position lo; [lo, hi) shifts right.
+        std::rotate(current.begin() + static_cast<std::ptrdiff_t>(lo),
+                    current.begin() + static_cast<std::ptrdiff_t>(hi),
+                    current.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
       }
-      StaticSchedule schedule = list_schedule(tg, candidate, opts.processors);
-      const Score score = evaluate(tg, schedule);
+      const EvalScore score = score_of(current);
       if (score.better_than(current_score)) {
-        current = candidate;
         current_score = score;
         stale = 0;
-        if (score.better_than(Score{best.violations, best.makespan})) {
-          best.violations = score.violations;
-          best.makespan = score.makespan;
-          best.schedule = std::move(schedule);
+        if (score.better_than(best_score)) {
+          adopt(score);
           best.priority = current;
         }
       } else {
         ++stale;
+        if (swap_move) {
+          std::swap(current[i], current[j]);
+        } else {
+          std::rotate(current.begin() + static_cast<std::ptrdiff_t>(lo),
+                      current.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                      current.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+        }
       }
       if (best.violations == 0 && restart == opts.restarts) {
         break;  // feasible and no more restarts pending: good enough
       }
     }
   }
+  // The schedule is materialized once, for the winner only — score-only
+  // evaluations above never build a StaticSchedule.
+  best.schedule = materialize(best.priority);
   best.feasible = best.violations == 0;
   return best;
 }

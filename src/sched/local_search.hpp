@@ -20,6 +20,17 @@ struct LocalSearchOptions {
   int max_iterations = 2000;   ///< move evaluations per start point
   int restarts = 2;            ///< random restarts after the heuristic start
   std::uint64_t seed = 1;      ///< RNG seed (restart shuffles, move picks)
+  /// Consecutive non-improving moves before a start point is abandoned
+  /// (previously a hard-coded 200). The default keeps the historical
+  /// behavior bit-identically.
+  int stale_limit = 200;
+  /// Evaluate candidates through the sched::Evaluator kernel
+  /// (sched/evaluator.hpp) instead of the naive list_schedule +
+  /// check_feasibility pipeline. Scores, placements and the returned
+  /// result are bit-identical either way (the kernel's determinism
+  /// contract); the flag exists so tests and benches can run the
+  /// reference path side by side. Not part of any cache key.
+  bool use_fast_evaluator = true;
   /// Extra SP start points evaluated alongside the plain heuristics when
   /// seeding the search (the warm-start hook: sched::parallel_search
   /// feeds priority orders recovered from cached feasible schedules in

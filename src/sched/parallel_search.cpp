@@ -58,6 +58,7 @@ StrategyOptions strategy_options_for(const ParallelSearchOptions& opts,
   sopts.seed = candidate.seed;
   sopts.max_iterations = opts.max_iterations;
   sopts.restarts = opts.restarts;
+  sopts.use_fast_evaluator = opts.use_fast_evaluator;
   return sopts;
 }
 
@@ -236,6 +237,7 @@ void apply_cached_warm_start(const TaskGraph& tg, const ParallelSearchOptions& o
     sopts.seed = opts.base_seed + static_cast<std::uint64_t>(s);
     sopts.max_iterations = opts.max_iterations;
     sopts.restarts = opts.restarts;
+    sopts.use_fast_evaluator = opts.use_fast_evaluator;
     sopts.warm_starts = starts;
     StrategyResult warm = warm_strategy.schedule(tg, sopts);
     warm.strategy = warm_strategy.name();

@@ -65,6 +65,13 @@ struct ParallelSearchOptions {
   /// without one. Off by default because the overlay's outcome depends on
   /// the cache *contents* (monotonically: match or beat, never worse).
   bool warm_start = false;
+  /// Forwarded to every candidate's StrategyOptions: evaluate iterative
+  /// strategies through the sched::Evaluator kernel. Winners are
+  /// bit-identical with the flag on or off (the kernel's determinism
+  /// contract, regression-tested in evaluator_test.cpp); the reference
+  /// path exists for differential tests and benches. Not part of any
+  /// cache key.
+  bool use_fast_evaluator = true;
 };
 
 struct ParallelSearchResult {

@@ -148,7 +148,7 @@ PartitionedResult partition_and_schedule(const TaskGraph& tg,
 
   result.schedule = partitioned_list_schedule(
       tg, result.assignment, schedule_priority(tg, heuristic), processors);
-  result.feasible = result.schedule.check_feasibility(tg).feasible();
+  result.feasible = result.schedule.count_violations(tg).feasible();
   return result;
 }
 

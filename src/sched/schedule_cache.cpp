@@ -319,7 +319,7 @@ std::vector<StaticSchedule> ScheduleCache::feasible_schedules(
         ++stats_.disk_rejects;
         continue;
       }
-      if (entry.schedule.check_feasibility(tg).feasible()) {
+      if (entry.schedule.count_violations(tg).feasible()) {
         out.push_back(std::move(entry.schedule));
       }
     }
@@ -338,7 +338,7 @@ std::vector<StaticSchedule> ScheduleCache::feasible_schedules(
     }
   }
   for (StaticSchedule& s : candidates) {  // feasibility check outside the lock
-    if (s.check_feasibility(tg).feasible()) {
+    if (s.count_violations(tg).feasible()) {
       out.push_back(std::move(s));
     }
   }

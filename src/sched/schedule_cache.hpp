@@ -159,7 +159,7 @@ class ScheduleCache {
   CacheGcStats gc();
 
   /// Every cached schedule for `graph_fingerprint` that is feasible for
-  /// `tg` (exact check_feasibility, same scoring as lookup) and can index
+  /// `tg` (exact counts-only feasibility, same scoring as lookup) and can index
   /// its jobs, in deterministic (entry file name / key) order — the
   /// warm-start feed of sched::parallel_search. Disk-backed caches read
   /// the directory (so schedules stored by other processes and earlier

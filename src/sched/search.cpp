@@ -2,35 +2,21 @@
 
 namespace fppn {
 
-namespace {
-
-std::size_t deadline_violation_count(const FeasibilityReport& report) {
-  std::size_t count = 0;
-  for (const Violation& v : report.violations) {
-    if (v.kind == ViolationKind::kDeadline) {
-      ++count;
-    }
-  }
-  return count;
-}
-
-}  // namespace
-
 ScheduleAttempt best_schedule(const TaskGraph& tg, std::int64_t processors) {
   std::optional<ScheduleAttempt> best;
   std::size_t best_violations = 0;
   for (const PriorityHeuristic h : all_heuristics()) {
     StaticSchedule s = list_schedule(tg, h, processors);
-    const FeasibilityReport report = s.check_feasibility(tg);
+    const ViolationCounts counts = s.count_violations(tg);
     ScheduleAttempt attempt;
     attempt.heuristic = h;
-    attempt.feasible = report.feasible();
+    attempt.feasible = counts.feasible();
     attempt.makespan = s.makespan(tg);
     attempt.schedule = std::move(s);
     if (attempt.feasible) {
       return attempt;
     }
-    const std::size_t violations = deadline_violation_count(report);
+    const std::size_t violations = counts.deadline;
     if (!best.has_value() || violations < best_violations) {
       best_violations = violations;
       best = std::move(attempt);

@@ -22,6 +22,22 @@ std::string to_string(ViolationKind k) {
   return "?";
 }
 
+std::string Violation::detail(const TaskGraph& tg) const {
+  switch (kind) {
+    case ViolationKind::kUnscheduled:
+      return {};
+    case ViolationKind::kArrival:
+      return "starts " + when.to_string() + " < A=" + tg.job(job).arrival.to_string();
+    case ViolationKind::kDeadline:
+      return "ends " + when.to_string() + " > D=" + tg.job(job).deadline.to_string();
+    case ViolationKind::kPrecedence:
+      return "pred ends " + when.to_string() + " > succ starts " + bound.to_string();
+    case ViolationKind::kMutex:
+      return "overlap on processor " + std::to_string(processor);
+  }
+  return {};
+}
+
 std::string FeasibilityReport::to_string(const TaskGraph& tg) const {
   if (feasible()) {
     return "feasible";
@@ -33,8 +49,9 @@ std::string FeasibilityReport::to_string(const TaskGraph& tg) const {
     if (v.other.has_value()) {
       os << " vs " << tg.job(*v.other).name;
     }
-    if (!v.detail.empty()) {
-      os << ": " << v.detail;
+    const std::string d = v.detail(tg);
+    if (!d.empty()) {
+      os << ": " << d;
     }
   }
   return os.str();
@@ -69,9 +86,7 @@ const Placement& StaticSchedule::placement(JobId job) const {
   return *placements_[job.value()];
 }
 
-std::vector<std::vector<JobId>> StaticSchedule::per_processor_order(
-    const TaskGraph& tg) const {
-  (void)tg;
+std::vector<std::vector<JobId>> StaticSchedule::per_processor_order() const {
   std::vector<std::vector<JobId>> order(static_cast<std::size_t>(processors_));
   for (std::size_t i = 0; i < placements_.size(); ++i) {
     if (placements_[i].has_value()) {
@@ -111,58 +126,103 @@ std::vector<Duration> StaticSchedule::busy_time(const TaskGraph& tg) const {
   return busy;
 }
 
-FeasibilityReport StaticSchedule::check_feasibility(const TaskGraph& tg) const {
-  FeasibilityReport report;
+template <class OnViolation>
+void StaticSchedule::walk_violations(const TaskGraph& tg, OnViolation&& on) const {
   const std::size_t n = tg.job_count();
   for (std::size_t i = 0; i < n; ++i) {
     const JobId id(i);
     if (!is_placed(id)) {
-      report.violations.push_back(
-          Violation{ViolationKind::kUnscheduled, id, std::nullopt, {}});
+      on(Violation{ViolationKind::kUnscheduled, id, std::nullopt, {}, {}, -1});
       continue;
     }
     const Job& j = tg.job(id);
     const Time s = start(id);
     const Time e = end(id, tg);
     if (s < j.arrival) {
-      report.violations.push_back(Violation{ViolationKind::kArrival, id, std::nullopt,
-                                            "starts " + s.to_string() + " < A=" +
-                                                j.arrival.to_string()});
+      Violation v{ViolationKind::kArrival, id, std::nullopt, {}, {}, -1};
+      v.when = s;
+      on(std::move(v));
     }
     if (e > j.deadline) {
-      report.violations.push_back(Violation{ViolationKind::kDeadline, id, std::nullopt,
-                                            "ends " + e.to_string() + " > D=" +
-                                                j.deadline.to_string()});
+      Violation v{ViolationKind::kDeadline, id, std::nullopt, {}, {}, -1};
+      v.when = e;
+      on(std::move(v));
     }
   }
-  // Precedence: e_i <= s_j for every edge.
-  for (const auto& [u, v] : tg.precedence().edges()) {
-    const JobId a(u.value());
-    const JobId b(v.value());
-    if (!is_placed(a) || !is_placed(b)) {
+  // Precedence: e_i <= s_j for every edge, in (from, insertion) order —
+  // the same order Digraph::edges() documents, via the adjacency mirrors.
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobId a(i);
+    if (!is_placed(a)) {
       continue;  // already reported as unscheduled
     }
-    if (end(a, tg) > start(b)) {
-      report.violations.push_back(
-          Violation{ViolationKind::kPrecedence, a, b,
-                    "pred ends " + end(a, tg).to_string() + " > succ starts " +
-                        start(b).to_string()});
-    }
-  }
-  // Mutual exclusion per processor.
-  for (const auto& jobs : per_processor_order(tg)) {
-    for (std::size_t i = 1; i < jobs.size(); ++i) {
-      const JobId prev = jobs[i - 1];
-      const JobId cur = jobs[i];
-      if (end(prev, tg) > start(cur)) {
-        report.violations.push_back(
-            Violation{ViolationKind::kMutex, prev, cur,
-                      "overlap on processor " +
-                          std::to_string(placement(prev).processor.value())});
+    const Time e = end(a, tg);
+    for (const JobId b : tg.successors(a)) {
+      if (!is_placed(b)) {
+        continue;
+      }
+      if (e > start(b)) {
+        Violation v{ViolationKind::kPrecedence, a, b, {}, {}, -1};
+        v.when = e;
+        v.bound = start(b);
+        on(std::move(v));
       }
     }
   }
+  // Mutual exclusion: adjacent pairs in one flat (processor, start, job)
+  // sort — the identical pairs, in the identical order, that the
+  // per_processor_order-based scan would visit, without its
+  // per-processor vectors.
+  std::vector<std::uint32_t> placed;
+  placed.reserve(placements_.size());
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].has_value()) {
+      placed.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(placed.begin(), placed.end(), [this](std::uint32_t a, std::uint32_t b) {
+    const Placement& pa = *placements_[a];
+    const Placement& pb = *placements_[b];
+    if (pa.processor.value() != pb.processor.value()) {
+      return pa.processor.value() < pb.processor.value();
+    }
+    if (pa.start != pb.start) {
+      return pa.start < pb.start;
+    }
+    return a < b;
+  });
+  for (std::size_t i = 1; i < placed.size(); ++i) {
+    const JobId prev(placed[i - 1]);
+    const JobId cur(placed[i]);
+    if (placement(prev).processor == placement(cur).processor &&
+        end(prev, tg) > start(cur)) {
+      Violation v{ViolationKind::kMutex, prev, cur, {}, {}, -1};
+      v.processor = static_cast<std::int64_t>(placement(prev).processor.value());
+      on(std::move(v));
+    }
+  }
+}
+
+FeasibilityReport StaticSchedule::check_feasibility(const TaskGraph& tg) const {
+  FeasibilityReport report;
+  walk_violations(tg, [&report](Violation&& v) {
+    report.violations.push_back(std::move(v));
+  });
   return report;
+}
+
+ViolationCounts StaticSchedule::count_violations(const TaskGraph& tg) const {
+  ViolationCounts counts;
+  walk_violations(tg, [&counts](Violation&& v) {
+    switch (v.kind) {
+      case ViolationKind::kUnscheduled: ++counts.unscheduled; break;
+      case ViolationKind::kArrival: ++counts.arrival; break;
+      case ViolationKind::kDeadline: ++counts.deadline; break;
+      case ViolationKind::kPrecedence: ++counts.precedence; break;
+      case ViolationKind::kMutex: ++counts.mutex; break;
+    }
+  });
+  return counts;
 }
 
 std::string StaticSchedule::to_gantt(const TaskGraph& tg, std::size_t cols) const {
@@ -175,7 +235,7 @@ std::string StaticSchedule::to_gantt(const TaskGraph& tg, std::size_t cols) cons
   const auto col_of = [&](const Time& t) {
     return static_cast<std::size_t>(t.to_double_ms() / total * static_cast<double>(cols));
   };
-  const auto order = per_processor_order(tg);
+  const auto order = per_processor_order();
   for (std::size_t m = 0; m < order.size(); ++m) {
     std::string row(cols + 1, '.');
     for (const JobId id : order[m]) {

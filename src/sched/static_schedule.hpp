@@ -47,7 +47,18 @@ struct Violation {
   ViolationKind kind;
   JobId job;                      ///< offending job
   std::optional<JobId> other;     ///< partner for precedence/mutex
-  std::string detail;
+  // Facts behind the message, stored instead of an eagerly formatted
+  // string (rational-to-string conversion is pure waste for callers that
+  // only count violations): the offending time — the start for kArrival,
+  // the end for kDeadline/kPrecedence — the crossed bound for
+  // kPrecedence (the successor's start), and the processor for kMutex.
+  Time when;
+  Time bound;
+  std::int64_t processor = -1;
+
+  /// The human-readable explanation, built on demand ("ends 70 > D=60"
+  /// style). Deterministic; never throws.
+  [[nodiscard]] std::string detail(const TaskGraph& tg) const;
 };
 
 struct FeasibilityReport {
@@ -55,6 +66,21 @@ struct FeasibilityReport {
 
   [[nodiscard]] bool feasible() const noexcept { return violations.empty(); }
   [[nodiscard]] std::string to_string(const TaskGraph& tg) const;
+};
+
+/// Per-kind violation tallies — check_feasibility's counts without its
+/// report (see StaticSchedule::count_violations).
+struct ViolationCounts {
+  std::size_t unscheduled = 0;
+  std::size_t arrival = 0;
+  std::size_t deadline = 0;
+  std::size_t precedence = 0;
+  std::size_t mutex = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return unscheduled + arrival + deadline + precedence + mutex;
+  }
+  [[nodiscard]] bool feasible() const noexcept { return total() == 0; }
 };
 
 class StaticSchedule {
@@ -84,8 +110,7 @@ class StaticSchedule {
   /// Jobs per processor, sorted by (start time, job id) — the static
   /// order the online policy (§IV) executes. Deterministic total order;
   /// never throws.
-  [[nodiscard]] std::vector<std::vector<JobId>> per_processor_order(
-      const TaskGraph& tg) const;
+  [[nodiscard]] std::vector<std::vector<JobId>> per_processor_order() const;
 
   /// Latest completion time over all *placed* jobs (Time() when none).
   [[nodiscard]] Time makespan(const TaskGraph& tg) const;
@@ -99,10 +124,28 @@ class StaticSchedule {
   /// mutex per processor); never throws.
   [[nodiscard]] FeasibilityReport check_feasibility(const TaskGraph& tg) const;
 
+  /// Counts-only fast mode of check_feasibility: the identical per-kind
+  /// violation tallies with no report, no Violation records and no
+  /// per-processor vector-of-vectors — the mutex pass sorts one flat
+  /// index array instead. The choice for callers that only need scores
+  /// (finalize_result, the local search's reference path). Deterministic;
+  /// never throws.
+  [[nodiscard]] ViolationCounts count_violations(const TaskGraph& tg) const;
+
   /// ASCII Gantt chart (Fig. 4 style), `cols` characters wide.
   [[nodiscard]] std::string to_gantt(const TaskGraph& tg, std::size_t cols = 100) const;
 
  private:
+  /// Single source of truth for Def. 3.2's rules: walks every violation
+  /// in the documented deterministic order (per-job checks in job order,
+  /// then precedence in edge order, then mutex per processor) and hands
+  /// each fully-populated Violation to `on`. check_feasibility and
+  /// count_violations are thin adapters over this walk, so the two can
+  /// never disagree on what counts as a violation. Defined in the .cpp
+  /// (both instantiations live there).
+  template <class OnViolation>
+  void walk_violations(const TaskGraph& tg, OnViolation&& on) const;
+
   std::vector<std::optional<Placement>> placements_;
   std::int64_t processors_ = 0;
 };

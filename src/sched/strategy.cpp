@@ -14,14 +14,11 @@ namespace sched {
 
 void finalize_result(const TaskGraph& tg, StrategyResult& result) {
   result.makespan = result.schedule.makespan(tg);
-  const FeasibilityReport report = result.schedule.check_feasibility(tg);
-  result.feasible = report.feasible();
-  result.deadline_violations = 0;
-  for (const Violation& v : report.violations) {
-    if (v.kind == ViolationKind::kDeadline) {
-      ++result.deadline_violations;
-    }
-  }
+  // Counts-only feasibility: identical numbers to check_feasibility,
+  // none of its violation records or detail strings.
+  const ViolationCounts counts = result.schedule.count_violations(tg);
+  result.feasible = counts.feasible();
+  result.deadline_violations = counts.deadline;
 }
 
 namespace {
@@ -68,6 +65,7 @@ class LocalSearchStrategy final : public SchedulerStrategy {
     ls.seed = opts.seed;
     ls.max_iterations = opts.max_iterations;
     ls.restarts = opts.restarts;
+    ls.use_fast_evaluator = opts.use_fast_evaluator;
     LocalSearchResult ls_result = optimize_priority(tg, ls);
 
     StrategyResult result;

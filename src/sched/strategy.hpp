@@ -33,6 +33,11 @@ struct StrategyOptions {
   /// starts must never be cached — see parallel_search's warm-start
   /// overlay.
   std::vector<std::vector<JobId>> warm_starts;
+  /// Evaluate through the sched::Evaluator kernel (iterative strategies
+  /// only). Results are bit-identical with the flag on or off — it exists
+  /// so tests/benches can pit the kernel against the reference pipeline —
+  /// and is therefore NOT part of the cache key.
+  bool use_fast_evaluator = true;
 };
 
 /// Outcome of one strategy invocation, with the schedule already evaluated

@@ -50,6 +50,7 @@ StrategyResult CachedWarmStartStrategy::schedule(const TaskGraph& tg,
   ls.seed = opts.seed;
   ls.max_iterations = opts.max_iterations;
   ls.restarts = opts.restarts;
+  ls.use_fast_evaluator = opts.use_fast_evaluator;
   ls.start_priorities = opts.warm_starts;
   LocalSearchResult ls_result = optimize_priority(tg, ls);
 

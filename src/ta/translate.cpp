@@ -21,7 +21,7 @@ TranslationResult translate_schedule(const TaskGraph& tg,
     out.network.set_var("skip_" + std::to_string(s.value()), 1);
   }
 
-  const auto order = schedule.per_processor_order(tg);
+  const auto order = schedule.per_processor_order();
   for (std::size_t m = 0; m < order.size(); ++m) {
     TimedAutomaton a("sched_M" + std::to_string(m + 1));
     a.add_clock("g");  // absolute frame time, never reset

@@ -1,0 +1,138 @@
+#include "taskgraph/compiled_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+namespace fppn {
+
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/// lcm(l, den) with overflow detection; returns false when it no longer
+/// fits in int64.
+bool lcm_into(std::int64_t& l, std::int64_t den) {
+  const std::int64_t g = std::gcd(l, den);
+  const std::int64_t reduced = l / g;
+  if (reduced > kMax / den) {
+    return false;
+  }
+  l = reduced * den;
+  return true;
+}
+
+/// value.num() * (l / value.den()), or nullopt on overflow. Exact: den
+/// divides l by construction.
+std::optional<std::int64_t> to_ticks(const Rational& value, std::int64_t l) {
+  const std::int64_t scale = l / value.den();
+  const __int128 wide = static_cast<__int128>(value.num()) * scale;
+  if (wide > kMax || wide < -static_cast<__int128>(kMax) - 1) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(wide);
+}
+
+}  // namespace
+
+CompiledTaskGraph CompiledTaskGraph::compile(const TaskGraph& tg) {
+  CompiledTaskGraph out;
+  const std::size_t n = tg.job_count();
+  out.n_ = n;
+
+  out.arrival_.reserve(n);
+  out.deadline_.reserve(n);
+  out.wcet_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Job& j = tg.job(JobId(i));
+    out.arrival_.push_back(j.arrival);
+    out.deadline_.push_back(j.deadline);
+    out.wcet_.push_back(j.wcet);
+  }
+
+  // CSR adjacency, in the task graph's deterministic per-job edge order.
+  out.pred_offsets_.assign(n + 1, 0);
+  out.succ_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.pred_offsets_[i + 1] =
+        out.pred_offsets_[i] +
+        static_cast<std::uint32_t>(tg.predecessors(JobId(i)).size());
+    out.succ_offsets_[i + 1] =
+        out.succ_offsets_[i] +
+        static_cast<std::uint32_t>(tg.successors(JobId(i)).size());
+  }
+  out.pred_ids_.reserve(out.pred_offsets_[n]);
+  out.succ_ids_.reserve(out.succ_offsets_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const JobId p : tg.predecessors(JobId(i))) {
+      out.pred_ids_.push_back(static_cast<std::uint32_t>(p.value()));
+    }
+    for (const JobId s : tg.successors(JobId(i))) {
+      out.succ_ids_.push_back(static_cast<std::uint32_t>(s.value()));
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.pred_offsets_[i + 1] == out.pred_offsets_[i]) {
+      out.sources_by_arrival_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(out.sources_by_arrival_.begin(), out.sources_by_arrival_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (out.arrival_[a] != out.arrival_[b]) {
+                return out.arrival_[a] < out.arrival_[b];
+              }
+              return a < b;
+            });
+
+  // Tick timebase: common denominator of every rational in the graph,
+  // with checked arithmetic throughout. Any overflow — in the lcm, in a
+  // scaled value, or in the worst-case simulated makespan
+  // (max arrival + total WCET) — disables ticks and leaves the exact
+  // Rational arrays as the evaluator's timebase.
+  std::int64_t l = 1;
+  bool ok = true;
+  for (std::size_t i = 0; i < n && ok; ++i) {
+    ok = lcm_into(l, out.arrival_[i].value().den()) &&
+         lcm_into(l, out.deadline_[i].value().den()) &&
+         lcm_into(l, out.wcet_[i].value().den());
+  }
+  if (ok) {
+    out.arrival_tick_.reserve(n);
+    out.deadline_tick_.reserve(n);
+    out.wcet_tick_.reserve(n);
+    __int128 total_wcet = 0;
+    __int128 max_arrival = 0;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      const auto a = to_ticks(out.arrival_[i].value(), l);
+      const auto d = to_ticks(out.deadline_[i].value(), l);
+      const auto c = to_ticks(out.wcet_[i].value(), l);
+      if (!a || !d || !c) {
+        ok = false;
+        break;
+      }
+      out.arrival_tick_.push_back(*a);
+      out.deadline_tick_.push_back(*d);
+      out.wcet_tick_.push_back(*c);
+      total_wcet += *c;
+      max_arrival = std::max<__int128>(max_arrival, *a);
+    }
+    ok = ok && max_arrival + total_wcet <= kMax;
+  }
+  if (ok) {
+    out.has_ticks_ = true;
+    out.ticks_per_ms_ = l;
+  } else {
+    out.arrival_tick_.clear();
+    out.deadline_tick_.clear();
+    out.wcet_tick_.clear();
+  }
+  return out;
+}
+
+Time CompiledTaskGraph::time_from_ticks(std::int64_t ticks) const {
+  return Time(Rational(ticks, ticks_per_ms_));
+}
+
+}  // namespace fppn

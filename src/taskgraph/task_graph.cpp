@@ -1,5 +1,6 @@
 #include "taskgraph/task_graph.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,15 +17,29 @@ JobId TaskGraph::add_job(Job job) {
   }
   jobs_.push_back(std::move(job));
   prec_.add_node();
+  preds_.emplace_back();
+  succs_.emplace_back();
   return JobId(jobs_.size() - 1);
 }
 
 bool TaskGraph::add_edge(JobId from, JobId to) {
-  return prec_.add_edge(NodeId(from.value()), NodeId(to.value()));
+  if (!prec_.add_edge(NodeId(from.value()), NodeId(to.value()))) {
+    return false;
+  }
+  succs_[from.value()].push_back(to);
+  preds_[to.value()].push_back(from);
+  return true;
 }
 
 bool TaskGraph::remove_edge(JobId from, JobId to) {
-  return prec_.remove_edge(NodeId(from.value()), NodeId(to.value()));
+  if (!prec_.remove_edge(NodeId(from.value()), NodeId(to.value()))) {
+    return false;
+  }
+  auto& out = succs_[from.value()];
+  out.erase(std::find(out.begin(), out.end(), to));
+  auto& in = preds_[to.value()];
+  in.erase(std::find(in.begin(), in.end(), from));
+  return true;
 }
 
 bool TaskGraph::has_edge(JobId from, JobId to) const {
@@ -45,25 +60,44 @@ Job& TaskGraph::job(JobId id) {
   return jobs_[id.value()];
 }
 
-std::vector<JobId> TaskGraph::predecessors(JobId id) const {
-  std::vector<JobId> out;
-  for (const NodeId n : prec_.predecessors(NodeId(id.value()))) {
-    out.emplace_back(n.value());
+void TaskGraph::check_job(JobId id) const {
+  if (!id.is_valid() || id.value() >= jobs_.size()) {
+    throw std::invalid_argument("task graph: job id out of range");
   }
-  return out;
 }
 
-std::vector<JobId> TaskGraph::successors(JobId id) const {
-  std::vector<JobId> out;
-  for (const NodeId n : prec_.successors(NodeId(id.value()))) {
-    out.emplace_back(n.value());
+const std::vector<JobId>& TaskGraph::predecessors(JobId id) const {
+  check_job(id);
+  return preds_[id.value()];
+}
+
+const std::vector<JobId>& TaskGraph::successors(JobId id) const {
+  check_job(id);
+  return succs_[id.value()];
+}
+
+void TaskGraph::rebuild_adjacency() {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    preds_[i].clear();
+    succs_[i].clear();
+    for (const NodeId n : prec_.predecessors(NodeId(i))) {
+      preds_[i].emplace_back(n.value());
+    }
+    for (const NodeId n : prec_.successors(NodeId(i))) {
+      succs_[i].emplace_back(n.value());
+    }
   }
-  return out;
 }
 
 bool TaskGraph::is_acyclic() const { return fppn::is_acyclic(prec_); }
 
-std::size_t TaskGraph::transitive_reduce() { return transitive_reduction(prec_); }
+std::size_t TaskGraph::transitive_reduce() {
+  const std::size_t removed = transitive_reduction(prec_);
+  if (removed > 0) {
+    rebuild_adjacency();
+  }
+  return removed;
+}
 
 std::optional<JobId> TaskGraph::find(const std::string& name) const {
   for (std::size_t i = 0; i < jobs_.size(); ++i) {

@@ -54,9 +54,12 @@ class TaskGraph {
   [[nodiscard]] Job& job(JobId id);
   [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
 
-  /// Pred(i) and Succ(i) of §III-B.
-  [[nodiscard]] std::vector<JobId> predecessors(JobId id) const;
-  [[nodiscard]] std::vector<JobId> successors(JobId id) const;
+  /// Pred(i) and Succ(i) of §III-B. Returned by reference into adjacency
+  /// mirrors kept in sync with the precedence digraph — no per-call
+  /// allocation (the schedule-evaluation hot path iterates these for every
+  /// candidate). The reference is invalidated by any mutation of the graph.
+  [[nodiscard]] const std::vector<JobId>& predecessors(JobId id) const;
+  [[nodiscard]] const std::vector<JobId>& successors(JobId id) const;
 
   [[nodiscard]] const Digraph& precedence() const noexcept { return prec_; }
 
@@ -87,8 +90,16 @@ class TaskGraph {
   [[nodiscard]] std::string to_table() const;
 
  private:
+  void check_job(JobId id) const;
+  void rebuild_adjacency();
+
   std::vector<Job> jobs_;
   Digraph prec_;
+  // JobId-typed mirrors of prec_'s adjacency, same deterministic order
+  // (insertion order per endpoint), so predecessors()/successors() can
+  // return references instead of allocating copies.
+  std::vector<std::vector<JobId>> preds_;
+  std::vector<std::vector<JobId>> succs_;
   Duration hyperperiod_;
 };
 

@@ -1,0 +1,446 @@
+// The evaluation kernel's determinism contract: for any valid SP order,
+// sched::Evaluator produces the bit-identical score and placements of the
+// reference list_schedule + feasibility pipeline — across random graphs
+// (fractional WCETs, staggered arrivals, varied processor counts), on the
+// int64 tick timebase and on the Rational overflow fallback, and all the
+// way up the search stack (optimize_priority, parallel_search,
+// sharded_search: fast vs. reference winners are identical, cold and
+// warm, 1-process and sharded).
+#include "sched/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <random>
+
+#include "sched/list_scheduler.hpp"
+#include "sched/local_search.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/schedule_cache.hpp"
+#include "sched/sharded_search.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("fppn_evaluator_test_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Job make_job(const std::string& name, Time arrival, Time deadline, Duration wcet,
+             std::size_t process) {
+  Job j;
+  j.process = ProcessId{process};
+  j.arrival = arrival;
+  j.deadline = deadline;
+  j.wcet = wcet;
+  j.name = name;
+  return j;
+}
+
+/// Random layered DAG with staggered arrivals and fractional WCETs —
+/// deliberately broader than the bench generator so the differential
+/// suite covers exact-rational corner cases (denominators 1..7, ties at
+/// decision instants, idle gaps, infeasible frames).
+TaskGraph random_task_graph(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> layers_pick(2, 6);
+  std::uniform_int_distribution<int> width_pick(2, 5);
+  std::uniform_int_distribution<std::int64_t> wcet_num(3, 40);
+  std::uniform_int_distribution<std::int64_t> den_pick(1, 7);
+  std::uniform_int_distribution<std::int64_t> arrival_pick(0, 60);
+  std::uniform_int_distribution<std::int64_t> slack_pick(40, 160);
+  std::uniform_int_distribution<int> fan(1, 3);
+  const int layers = layers_pick(rng);
+  const int width = width_pick(rng);
+  TaskGraph tg(Duration::ms(400));
+  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      const Time arrival = Time(Rational(arrival_pick(rng), den_pick(rng)));
+      const Time deadline = arrival + Duration(Rational(slack_pick(rng), den_pick(rng)));
+      const Duration wcet = Duration(Rational(wcet_num(rng), den_pick(rng)));
+      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(
+          make_job("J" + std::to_string(l) + "_" + std::to_string(w), arrival,
+                   deadline, wcet, static_cast<std::size_t>(l * width + w))));
+    }
+  }
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      const int out = fan(rng);
+      for (int e = 0; e < out; ++e) {
+        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
+                    grid[static_cast<std::size_t>(l + 1)]
+                        [static_cast<std::size_t>(pick(rng))]);
+      }
+    }
+  }
+  return tg;
+}
+
+std::vector<JobId> random_permutation(std::size_t n, std::mt19937_64& rng) {
+  std::vector<JobId> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order.push_back(JobId(i));
+  }
+  std::shuffle(order.begin(), order.end(), rng);
+  return order;
+}
+
+void expect_identical_placements(const StaticSchedule& a, const StaticSchedule& b,
+                                 const std::string& context) {
+  ASSERT_EQ(a.job_count(), b.job_count()) << context;
+  for (std::size_t i = 0; i < a.job_count(); ++i) {
+    const JobId id(i);
+    ASSERT_EQ(a.is_placed(id), b.is_placed(id)) << context << " job " << i;
+    if (!a.is_placed(id)) {
+      continue;
+    }
+    EXPECT_EQ(a.placement(id).processor.value(), b.placement(id).processor.value())
+        << context << " job " << i;
+    EXPECT_EQ(a.placement(id).start, b.placement(id).start) << context << " job " << i;
+  }
+}
+
+/// Scores `order` through the reference pipeline the kernel replaces.
+sched::EvalScore reference_score(const TaskGraph& tg, const std::vector<JobId>& order,
+                                 std::int64_t processors) {
+  const StaticSchedule s = list_schedule(tg, order, processors);
+  sched::EvalScore score;
+  score.makespan = s.makespan(tg);
+  score.deadline_violations = s.count_violations(tg).deadline;
+  return score;
+}
+
+void expect_kernel_matches_reference(const TaskGraph& tg, std::int64_t processors,
+                                     const std::vector<JobId>& order,
+                                     sched::Evaluator& kernel,
+                                     const std::string& context) {
+  const sched::EvalScore fast = kernel.evaluate(order);
+  const sched::EvalScore ref = reference_score(tg, order, processors);
+  EXPECT_EQ(fast.deadline_violations, ref.deadline_violations) << context;
+  EXPECT_EQ(fast.makespan, ref.makespan) << context;
+  expect_identical_placements(kernel.materialize(order),
+                              list_schedule(tg, order, processors), context);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential suite: 220 graphs x processors x orders, all
+// bit-identical to the reference.
+TEST(EvaluatorDifferential, RandomGraphsScoreAndPlacementsBitIdentical) {
+  std::size_t tick_graphs = 0;
+  for (std::uint64_t g = 0; g < 220; ++g) {
+    const TaskGraph tg = random_task_graph(g);
+    const std::int64_t processors = 1 + static_cast<std::int64_t>(g % 4);
+    sched::Evaluator kernel(tg, processors);
+    tick_graphs += kernel.uses_ticks() ? 1 : 0;
+    std::mt19937_64 rng(g * 7919 + 1);
+    const std::string context =
+        "graph " + std::to_string(g) + " M=" + std::to_string(processors);
+    // One heuristic order (rotating through all four) + two random ones.
+    const PriorityHeuristic h = all_heuristics()[g % all_heuristics().size()];
+    expect_kernel_matches_reference(tg, processors, schedule_priority(tg, h), kernel,
+                                    context + " heuristic");
+    for (int k = 0; k < 2; ++k) {
+      expect_kernel_matches_reference(tg, processors,
+                                      random_permutation(tg.job_count(), rng), kernel,
+                                      context + " random " + std::to_string(k));
+    }
+  }
+  // Fractional-but-small denominators must stay on the fast tick path.
+  EXPECT_EQ(tick_graphs, 220u);
+}
+
+TEST(EvaluatorDifferential, ZeroWcetJobsMatchReference) {
+  // Zero-WCET jobs release their processor and their successors at the
+  // same instant they start — the trickiest event ordering in the kernel.
+  TaskGraph tg(Duration::ms(100));
+  const JobId a = tg.add_job(make_job("a", Time::ms(0), Time::ms(100), Duration::ms(0), 0));
+  const JobId b = tg.add_job(make_job("b", Time::ms(0), Time::ms(100), Duration::ms(7), 1));
+  const JobId c = tg.add_job(make_job("c", Time::ms(0), Time::ms(100), Duration::ms(0), 2));
+  const JobId d = tg.add_job(make_job("d", Time::ms(3), Time::ms(9), Duration::ms(5), 3));
+  tg.add_edge(a, c);
+  tg.add_edge(c, d);
+  sched::Evaluator kernel(tg, 2);
+  std::mt19937_64 rng(11);
+  for (int k = 0; k < 20; ++k) {
+    expect_kernel_matches_reference(tg, 2, random_permutation(tg.job_count(), rng),
+                                    kernel, "zero-wcet " + std::to_string(k));
+  }
+  (void)b;
+}
+
+// ---------------------------------------------------------------------------
+// Tick-overflow cases: the kernel must fall back to exact Rational
+// arithmetic and still match the reference bit for bit.
+TEST(Evaluator, LcmOverflowFallsBackToRationals) {
+  // Denominators are three large primes: their lcm overflows int64, so no
+  // common tick size exists.
+  TaskGraph tg(Duration::ms(1000));
+  tg.add_job(make_job("p1", Time::ms(0), Time::ms(1000),
+                      Duration(Rational(7, 1000000007)), 0));
+  tg.add_job(make_job("p2", Time::ms(0), Time::ms(1000),
+                      Duration(Rational(11, 998244353)), 1));
+  tg.add_job(make_job("p3", Time::ms(0), Time::ms(1000),
+                      Duration(Rational(13, 999999937)), 2));
+  sched::Evaluator kernel(tg, 2);
+  EXPECT_FALSE(kernel.uses_ticks());
+  std::mt19937_64 rng(3);
+  for (int k = 0; k < 10; ++k) {
+    expect_kernel_matches_reference(tg, 2, random_permutation(tg.job_count(), rng),
+                                    kernel, "lcm overflow " + std::to_string(k));
+  }
+}
+
+TEST(Evaluator, WorstCaseMakespanOverflowFallsBackToRationals) {
+  // Every individual value fits in int64 ticks, but max arrival + total
+  // WCET does not — the kernel must refuse ticks rather than overflow
+  // mid-simulation.
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max() / 2;
+  TaskGraph tg;
+  tg.add_job(make_job("late", Time(Rational(huge)), Time(Rational(huge) + Rational(2)),
+                      Duration(Rational(2)), 0));
+  tg.add_job(make_job("long", Time::ms(0), Time(Rational(huge)),
+                      Duration(Rational(huge)), 1));
+  sched::Evaluator kernel(tg, 1);
+  EXPECT_FALSE(kernel.uses_ticks());
+  std::vector<JobId> order{JobId(0), JobId(1)};
+  expect_kernel_matches_reference(tg, 1, order, kernel, "makespan overflow");
+  std::vector<JobId> reversed{JobId(1), JobId(0)};
+  expect_kernel_matches_reference(tg, 1, reversed, kernel, "makespan overflow rev");
+}
+
+TEST(Evaluator, FractionalDenominatorsStayExactOnTicks) {
+  // 1/3 + 1/6 style boundaries: ticks must reproduce the exact rational
+  // comparison, not a rounded one. lcm(3, 6, 4) = 12 ticks/ms.
+  TaskGraph tg(Duration::ms(10));
+  const JobId a =
+      tg.add_job(make_job("a", Time::ms(0), Time(Rational(1, 2)),
+                          Duration(Rational(1, 3)), 0));
+  const JobId b =
+      tg.add_job(make_job("b", Time::ms(0), Time(Rational(1, 2)),
+                          Duration(Rational(1, 6)), 1));
+  const JobId c =
+      tg.add_job(make_job("c", Time(Rational(1, 4)), Time(Rational(3, 4)),
+                          Duration(Rational(1, 4)), 2));
+  tg.add_edge(a, c);
+  sched::Evaluator kernel(tg, 1);
+  EXPECT_TRUE(kernel.uses_ticks());
+  const std::vector<JobId> order{a, b, c};
+  const sched::EvalScore score = kernel.evaluate(order);
+  // a: [0, 1/3), b: [1/3, 1/2), c: starts max(1/3, 1/4) on the only
+  // processor after b -> [1/2, 3/4]: exactly on its deadline, no miss.
+  EXPECT_EQ(score.deadline_violations, 0u);
+  EXPECT_EQ(score.makespan, Time(Rational(3, 4)));
+  expect_kernel_matches_reference(tg, 1, order, kernel, "fractional ticks");
+}
+
+// ---------------------------------------------------------------------------
+// Contract edges.
+TEST(Evaluator, RejectsBadInputsLikeTheReference) {
+  TaskGraph tg(Duration::ms(100));
+  const JobId a = tg.add_job(make_job("a", Time::ms(0), Time::ms(50), Duration::ms(5), 0));
+  const JobId b = tg.add_job(make_job("b", Time::ms(0), Time::ms(50), Duration::ms(5), 1));
+  EXPECT_THROW(sched::Evaluator(tg, 0), std::invalid_argument);
+  sched::Evaluator kernel(tg, 1);
+  EXPECT_THROW((void)kernel.evaluate({a}), std::invalid_argument);
+  EXPECT_THROW((void)kernel.evaluate({a, a}), std::invalid_argument);
+  EXPECT_THROW((void)kernel.evaluate({}), std::invalid_argument);
+
+  TaskGraph cyclic(Duration::ms(100));
+  const JobId u =
+      cyclic.add_job(make_job("u", Time::ms(0), Time::ms(50), Duration::ms(5), 0));
+  const JobId v =
+      cyclic.add_job(make_job("v", Time::ms(0), Time::ms(50), Duration::ms(5), 1));
+  cyclic.add_edge(u, v);
+  cyclic.add_edge(v, u);
+  EXPECT_THROW(sched::Evaluator(cyclic, 2), std::invalid_argument);
+  (void)b;
+}
+
+TEST(Evaluator, TrivialGraphs) {
+  TaskGraph empty;
+  sched::Evaluator kernel(empty, 3);
+  const sched::EvalScore score = kernel.evaluate({});
+  EXPECT_EQ(score.deadline_violations, 0u);
+  EXPECT_EQ(score.makespan, Time());
+  const StaticSchedule s = kernel.materialize({});
+  EXPECT_EQ(s.job_count(), 0u);
+  EXPECT_EQ(s.processor_count(), 3);
+
+  TaskGraph one(Duration::ms(50));
+  const JobId solo =
+      one.add_job(make_job("solo", Time::ms(5), Time::ms(50), Duration::ms(10), 0));
+  sched::Evaluator kernel1(one, 2);
+  const sched::EvalScore s1 = kernel1.evaluate({solo});
+  EXPECT_EQ(s1.deadline_violations, 0u);
+  EXPECT_EQ(s1.makespan, Time::ms(15));
+  expect_identical_placements(kernel1.materialize({solo}), list_schedule(one, {solo}, 2),
+                              "single job");
+}
+
+TEST(Evaluator, ScratchReuseAcrossManyEvaluationsStaysExact) {
+  // The same Evaluator instance is hammered with alternating orders; any
+  // stale scratch state would show up as a diverging score.
+  const TaskGraph tg = random_task_graph(42);
+  sched::Evaluator kernel(tg, 2);
+  std::mt19937_64 rng(42);
+  std::vector<std::vector<JobId>> orders;
+  for (int k = 0; k < 8; ++k) {
+    orders.push_back(random_permutation(tg.job_count(), rng));
+  }
+  std::vector<sched::EvalScore> first;
+  for (const auto& order : orders) {
+    first.push_back(kernel.evaluate(order));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t k = 0; k < orders.size(); ++k) {
+      const sched::EvalScore again = kernel.evaluate(orders[k]);
+      EXPECT_EQ(again.deadline_violations, first[k].deadline_violations);
+      EXPECT_EQ(again.makespan, first[k].makespan);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The search stack: fast vs. reference winners are bit-identical at every
+// level the kernel feeds.
+TEST(EvaluatorSearch, OptimizePriorityFastVsReferenceBitIdentical) {
+  for (std::uint64_t g = 0; g < 12; ++g) {
+    const TaskGraph tg = random_task_graph(g * 31 + 5);
+    for (const std::uint64_t seed : {1ULL, 9ULL}) {
+      LocalSearchOptions opts;
+      opts.processors = 1 + static_cast<std::int64_t>(g % 3);
+      opts.max_iterations = 150;
+      opts.restarts = 1;
+      opts.seed = seed;
+      opts.use_fast_evaluator = true;
+      const LocalSearchResult fast = optimize_priority(tg, opts);
+      opts.use_fast_evaluator = false;
+      const LocalSearchResult ref = optimize_priority(tg, opts);
+      const std::string context = "graph " + std::to_string(g) + " seed " +
+                                  std::to_string(seed);
+      EXPECT_EQ(fast.priority, ref.priority) << context;
+      EXPECT_EQ(fast.violations, ref.violations) << context;
+      EXPECT_EQ(fast.makespan, ref.makespan) << context;
+      EXPECT_EQ(fast.feasible, ref.feasible) << context;
+      EXPECT_EQ(fast.iterations_used, ref.iterations_used) << context;
+      EXPECT_EQ(fast.start_heuristic, ref.start_heuristic) << context;
+      expect_identical_placements(fast.schedule, ref.schedule, context);
+    }
+  }
+}
+
+TEST(EvaluatorSearch, WarmStartPointsBehaveIdenticallyFastVsReference) {
+  const TaskGraph tg = random_task_graph(77);
+  LocalSearchOptions opts;
+  opts.processors = 2;
+  opts.max_iterations = 120;
+  opts.restarts = 1;
+  const LocalSearchResult cold = optimize_priority(tg, opts);
+  opts.start_priorities = {cold.priority};
+  opts.use_fast_evaluator = true;
+  const LocalSearchResult fast = optimize_priority(tg, opts);
+  opts.use_fast_evaluator = false;
+  const LocalSearchResult ref = optimize_priority(tg, opts);
+  EXPECT_EQ(fast.priority, ref.priority);
+  EXPECT_EQ(fast.makespan, ref.makespan);
+  EXPECT_EQ(fast.violations, ref.violations);
+  EXPECT_EQ(fast.start_priority_index, ref.start_priority_index);
+  expect_identical_placements(fast.schedule, ref.schedule, "warm starts");
+}
+
+sched::ParallelSearchOptions search_options(std::int64_t processors) {
+  sched::ParallelSearchOptions opts;
+  opts.processors = processors;
+  opts.workers = 2;
+  opts.seeds_per_strategy = 2;
+  opts.max_iterations = 120;
+  opts.restarts = 1;
+  return opts;
+}
+
+void expect_identical_winner(const sched::ParallelSearchResult& a,
+                             const sched::ParallelSearchResult& b,
+                             const std::string& context) {
+  EXPECT_EQ(a.best.strategy, b.best.strategy) << context;
+  EXPECT_EQ(a.seed, b.seed) << context;
+  EXPECT_EQ(a.best.makespan, b.best.makespan) << context;
+  EXPECT_EQ(a.best.feasible, b.best.feasible) << context;
+  EXPECT_EQ(a.best.deadline_violations, b.best.deadline_violations) << context;
+  expect_identical_placements(a.best.schedule, b.best.schedule, context);
+}
+
+TEST(EvaluatorSearch, ParallelSearchWinnerIdenticalFastVsReference) {
+  const TaskGraph tg = random_task_graph(101);
+  sched::ParallelSearchOptions opts = search_options(2);
+  opts.use_fast_evaluator = true;
+  const sched::ParallelSearchResult fast = sched::parallel_search(tg, opts);
+  opts.use_fast_evaluator = false;
+  const sched::ParallelSearchResult ref = sched::parallel_search(tg, opts);
+  expect_identical_winner(fast, ref, "parallel fast-vs-reference");
+}
+
+TEST(EvaluatorSearch, WarmSearchWithKernelMatchesColdReferenceWinnerOrBeatsIt) {
+  // Cold with the reference pipeline, then warm (cache + overlay) with
+  // the kernel: the extended determinism contract — cache warmth and the
+  // evaluator choice together still yield the match-or-beat outcome, and
+  // for this instance the warm winner must match outright.
+  const TaskGraph tg = random_task_graph(55);
+  TempDir dir("warm_kernel");
+  sched::ScheduleCache cache(dir.path());
+  sched::ParallelSearchOptions opts = search_options(2);
+  opts.cache = &cache;
+  opts.warm_start = true;
+  opts.use_fast_evaluator = false;
+  const sched::ParallelSearchResult cold = sched::parallel_search(tg, opts);
+  opts.use_fast_evaluator = true;
+  const sched::ParallelSearchResult warm = sched::parallel_search(tg, opts);
+  EXPECT_EQ(warm.evaluated, 0u) << "second run must be answered by the cache";
+  if (!warm.warm_start_won) {
+    expect_identical_winner(warm, cold, "warm kernel vs cold reference");
+  } else {
+    EXPECT_TRUE(warm.best.feasible || warm.best.deadline_violations <=
+                                          cold.best.deadline_violations);
+  }
+}
+
+TEST(EvaluatorSearch, ShardedSearchWithKernelMatchesReferenceInProcess) {
+  const TaskGraph tg = random_task_graph(202);
+  sched::ParallelSearchOptions opts = search_options(2);
+  opts.use_fast_evaluator = false;
+  const sched::ParallelSearchResult ref = sched::parallel_search(tg, opts);
+
+  opts.use_fast_evaluator = true;
+  TempDir dir("sharded_kernel");
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = 3;
+  sharding.shard_dir = dir.path();
+  sharding.launcher = sched::inprocess_shard_launcher(tg, opts, dir.path());
+  const sched::ParallelSearchResult sharded = sched::sharded_search(tg, opts, sharding);
+  expect_identical_winner(sharded, ref, "sharded kernel vs in-process reference");
+}
+
+}  // namespace
+}  // namespace fppn

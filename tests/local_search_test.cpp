@@ -170,6 +170,40 @@ TEST(LocalSearch, MalformedStartPriorityThrows) {
   EXPECT_THROW((void)optimize_priority(derived.graph, opts), std::invalid_argument);
 }
 
+TEST(LocalSearch, DefaultStaleLimitKeepsHistoricalBehavior) {
+  // stale_limit replaces a hard-coded 200; an explicit 200 must walk the
+  // bit-identical trajectory of the default.
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  LocalSearchOptions opts;
+  opts.processors = 2;
+  opts.seed = 13;
+  const LocalSearchResult implicit = optimize_priority(derived.graph, opts);
+  opts.stale_limit = 200;
+  const LocalSearchResult explicit_200 = optimize_priority(derived.graph, opts);
+  EXPECT_EQ(implicit.priority, explicit_200.priority);
+  EXPECT_EQ(implicit.makespan, explicit_200.makespan);
+  EXPECT_EQ(implicit.iterations_used, explicit_200.iterations_used);
+}
+
+TEST(LocalSearch, TighterStaleLimitCutsIterationsNotCorrectness) {
+  const auto app = apps::build_fms();
+  const auto derived = derive_task_graph(app.net, app.default_wcets());
+  LocalSearchOptions opts;
+  opts.processors = 1;
+  opts.max_iterations = 2000;
+  opts.restarts = 0;
+  const LocalSearchResult roomy = optimize_priority(derived.graph, opts);
+  opts.stale_limit = 5;
+  const LocalSearchResult tight = optimize_priority(derived.graph, opts);
+  EXPECT_LE(tight.iterations_used, roomy.iterations_used);
+  // The search still starts from the best heuristic, so a tight limit
+  // can bound improvement, never correctness.
+  const StaticSchedule replay =
+      list_schedule(derived.graph, tight.priority, opts.processors);
+  EXPECT_EQ(replay.makespan(derived.graph), tight.makespan);
+}
+
 TEST(LocalSearch, TrivialGraphs) {
   TaskGraph empty;
   const LocalSearchResult r0 = optimize_priority(empty, {});
