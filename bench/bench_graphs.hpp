@@ -45,5 +45,48 @@ inline TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
   return tg;
 }
 
+/// A periodic pipelined process network in the paper's model: `processes`
+/// periodic processes each releasing one job per frame, `frames` frames.
+/// Job f of process p arrives at f*period and must finish by the next
+/// release (deadline (f+1)*period). Edges: a sparse random forward DAG
+/// over the processes within every frame (the pipeline's data flow) plus
+/// each process's FIFO edge from its frame-f job to its frame-(f+1) job.
+inline TaskGraph periodic_pipeline_graph(int processes, int frames,
+                                         std::int64_t period, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
+  std::uniform_int_distribution<int> fan(0, 2);
+  TaskGraph tg(Duration::ms(period * frames));
+  std::vector<std::vector<JobId>> jobs(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    for (int p = 0; p < processes; ++p) {
+      Job j;
+      j.process = ProcessId{static_cast<std::size_t>(p)};
+      j.arrival = Time::ms(period * f);
+      j.deadline = Time::ms(period * (f + 1));
+      j.wcet = Duration::ms(wcet(rng));
+      j.name = "P" + std::to_string(p) + "_f" + std::to_string(f);
+      jobs[static_cast<std::size_t>(f)].push_back(tg.add_job(j));
+    }
+  }
+  for (int f = 0; f < frames; ++f) {
+    for (int p = 0; p < processes; ++p) {
+      const int out = fan(rng);
+      for (int e = 0; e < out && p + 1 < processes; ++e) {
+        std::uniform_int_distribution<int> succ(p + 1, processes - 1);
+        tg.add_edge(jobs[static_cast<std::size_t>(f)][static_cast<std::size_t>(p)],
+                    jobs[static_cast<std::size_t>(f)]
+                        [static_cast<std::size_t>(succ(rng))]);
+      }
+      if (f + 1 < frames) {
+        tg.add_edge(jobs[static_cast<std::size_t>(f)][static_cast<std::size_t>(p)],
+                    jobs[static_cast<std::size_t>(f + 1)]
+                        [static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+  return tg;
+}
+
 }  // namespace benchgraphs
 }  // namespace fppn

@@ -20,6 +20,50 @@
 //   - every buffer is owned by the Evaluator and reused across calls, so
 //     the steady-state inner loop performs no heap allocation.
 //
+// Incremental evaluation (the local-search move loop):
+//
+//   evaluate_baseline() runs the full simulation and snapshots the
+//   complete simulation state (time, event heaps, ready set, readiness
+//   times, started set) every `checkpoint_stride()` starts — O(√n)
+//   checkpoints by default, owned by the evaluator and reused without
+//   reallocation. evaluate_move(order, lo, hi, kind) then scores a
+//   swap/rotate perturbation of the baseline order by
+//
+//     - resuming from the latest checkpoint at or before the exact first
+//       pop the move can influence, computed from per-start decision logs
+//       recorded with the baseline: the promoted job (new rank lo) steals
+//       its first baseline pop at or after its ready-entry whose chosen
+//       rank is >= lo, and a swap's demoted job loses its own pop iff the
+//       runner-up there outranked its new position. Every earlier
+//       decision replays verbatim (a rotation's shifted window keeps its
+//       relative order), so the restored state is exactly what a
+//       from-scratch run would reach,
+//     - once every moved job has started, comparing the live state
+//       against the baseline checkpoint at the same started-count; on an
+//       exact match the two simulations are confluent and the memoized
+//       suffix (violation count + suffix max finish) is spliced in
+//       without simulating the tail. Confluence is an absorbing state, so
+//       probing only at checkpoint boundaries loses nothing. On periodic
+//       workloads the machine drains at frame boundaries, which bounds
+//       how far a perturbation can propagate — most moves splice within
+//       a frame or two of the divergence.
+//
+//   Both shortcuts are exact, never heuristic: resumption replays the
+//   identical decision sequence (all heap keys are unique, so pops are
+//   layout-independent), and the splice is gated on a full state
+//   comparison, not a hash. evaluate_move therefore returns the
+//   bit-identical score a from-scratch evaluate() of the same order
+//   produces — regression-proved move-by-move by the incremental
+//   differential suite in tests/evaluator_test.cpp.
+//
+// Partition-constrained mode (the "partitioned-wfd" strategy): the
+// three-argument constructor pins every job to one processor (its
+// process's assigned bin). The simulation then keeps one rank-keyed ready
+// heap per processor and starts, at every instant, the globally
+// lowest-rank job whose own processor is free — bit-identical to the
+// reference partitioned_list_schedule's O(n²) rescan. Checkpoints are a
+// global-mode feature; partition mode supports evaluate()/materialize().
+//
 // Determinism contract: for any valid SP order, evaluate()/materialize()
 // produce the bit-identical score and placements the reference
 // list_schedule + check_feasibility pipeline produces — same decision
@@ -58,6 +102,81 @@ struct EvalScore {
   }
 };
 
+/// How a move perturbed the baseline order: kSwap exchanged the jobs at
+/// positions lo and hi; kRotate moved the job at position hi to position
+/// lo, shifting [lo, hi) one position later (std::rotate(b+lo, b+hi,
+/// b+hi+1)). evaluate_move verifies the claim against the stored baseline
+/// order and uses it to bound which jobs' relative priorities changed:
+/// the two swapped jobs, or just the pulled job — a rotation preserves
+/// the shifted window's internal and external relative order.
+enum class MoveKind : std::uint8_t { kSwap, kRotate };
+
+/// Counters for the incremental layer; informational only (never part of
+/// any determinism contract).
+struct EvalStats {
+  std::uint64_t full_evals = 0;         ///< from-scratch runs (incl. baselines)
+  std::uint64_t incremental_evals = 0;  ///< evaluate_move calls
+  std::uint64_t resumed_evals = 0;      ///< ... that restarted from a checkpoint
+  std::uint64_t spliced_evals = 0;      ///< ... that early-exited into the suffix
+  std::uint64_t starts_simulated = 0;   ///< job starts actually replayed
+};
+
+namespace eval_detail {
+
+/// One baseline snapshot: the complete simulation state immediately after
+/// the `started`-th job start (successor propagation included). At that
+/// instant every heap key is strictly greater than `t` except free
+/// processors, so resuming at the top of the event loop is exact.
+template <class T>
+struct EvalCheckpoint {
+  std::size_t started = 0;
+  std::size_t src_ptr = 0;
+  std::size_t violations = 0;
+  T t{};
+  T last_finish{};
+  // Memoized suffix aggregates (filled after the baseline run completes).
+  std::size_t suffix_violations = 0;
+  T suffix_max_finish{};
+  // Snapshots (job ids / raw heap arrays; ready jobs stored rank-free so
+  // they can be re-keyed under the perturbed order).
+  std::vector<std::uint8_t> started_flags;
+  std::vector<T> ready_at;
+  std::vector<std::uint32_t> remaining;
+  std::vector<std::uint32_t> ready_jobs;
+  std::vector<std::pair<T, std::uint32_t>> busy;
+  std::vector<std::pair<T, std::uint32_t>> pending;
+  std::vector<std::uint32_t> free_procs;
+};
+
+/// std::type_identity backport: keeps the checkpoint-store parameter of
+/// Evaluator::run out of template deduction so call sites can pass
+/// nullptr.
+template <class T>
+struct type_identity {
+  using type = T;
+};
+
+/// The checkpoint store for one timebase. `ck` slots are preallocated and
+/// reused across baselines — allocation-free in steady state.
+template <class T>
+struct BaselineStore {
+  bool valid = false;
+  std::size_t stride = 0;
+  std::size_t count = 0;
+  std::size_t total_violations = 0;
+  T total_makespan{};
+  std::vector<EvalCheckpoint<T>> ck;
+  std::vector<T> finish_log;  ///< finish time of the k-th started job
+  // Per-start decision logs, used to compute the exact first pop a move
+  // can influence (the resume bound for evaluate_move).
+  std::vector<std::uint32_t> chosen_rank;     ///< rank started at pop k
+  std::vector<std::uint32_t> second_rank;     ///< next-best ready rank at pop k
+  std::vector<std::uint32_t> entry_idx;       ///< pop count when job became ready
+  std::vector<std::uint32_t> start_idx;       ///< pop index that started job
+};
+
+}  // namespace eval_detail
+
 class Evaluator {
  public:
   /// Compiles `tg` and sizes all scratch. Throws std::invalid_argument
@@ -66,53 +185,149 @@ class Evaluator {
   /// evaluation).
   Evaluator(const TaskGraph& tg, std::int64_t processors);
 
+  /// Partition-constrained evaluator: job i is pinned to
+  /// `assignment[tg.job(i).process]`. Throws std::invalid_argument under
+  /// the same conditions as the reference partitioned_list_schedule (a
+  /// job whose process has no in-range assignment), with the same message
+  /// — checked eagerly here instead of at schedule time.
+  Evaluator(const TaskGraph& tg, std::int64_t processors,
+            const std::vector<ProcessorId>& assignment);
+
   /// Scores one SP order without building a schedule. Allocation-free
   /// after the first call. Throws std::invalid_argument when `priority`
   /// is not a permutation of all jobs.
   [[nodiscard]] EvalScore evaluate(const std::vector<JobId>& priority);
 
   /// Runs the same simulation and materializes the full StaticSchedule —
-  /// bit-identical to list_schedule(tg, priority, processors). For
-  /// incumbents only; this path allocates the schedule it returns.
+  /// bit-identical to list_schedule(tg, priority, processors) (or, in
+  /// partition mode, partitioned_list_schedule). For incumbents only;
+  /// this path allocates the schedule it returns.
   [[nodiscard]] StaticSchedule materialize(const std::vector<JobId>& priority);
+
+  /// Full evaluation that also (re)builds the checkpoint store, making
+  /// `priority` the incremental baseline. Call on the incumbent order at
+  /// the start of a climb and after every accepted move. Score is
+  /// bit-identical to evaluate(). Global mode only (throws
+  /// std::logic_error in partition mode).
+  [[nodiscard]] EvalScore evaluate_baseline(const std::vector<JobId>& priority);
+
+  /// Scores a perturbation of the current baseline order. `priority` must
+  /// be exactly the claimed perturbation of the baseline (see MoveKind);
+  /// this is verified and a mismatch throws std::invalid_argument.
+  /// Resumes from the latest compatible checkpoint and splices the
+  /// memoized suffix on confluence; the result is bit-identical to
+  /// evaluate(priority). Falls back to a full run (still exact) when no
+  /// baseline is set or no checkpoint is compatible. Does not modify the
+  /// baseline.
+  [[nodiscard]] EvalScore evaluate_move(const std::vector<JobId>& priority,
+                                        std::size_t lo, std::size_t hi,
+                                        MoveKind kind);
+
+  /// Drops the incremental baseline (checkpoints are retained as
+  /// capacity, not content).
+  void invalidate_baseline();
+
+  /// Checkpoint stride in job starts; 0 restores the default (~√n).
+  /// Changing the stride invalidates the baseline.
+  void set_checkpoint_stride(std::size_t stride);
+  [[nodiscard]] std::size_t checkpoint_stride() const noexcept { return stride_; }
+
+  [[nodiscard]] const EvalStats& stats() const noexcept { return stats_; }
 
   /// True when the int64 tick fast path is active; false means the exact
   /// Rational fallback (results are bit-identical either way).
   [[nodiscard]] bool uses_ticks() const noexcept { return cg_.has_ticks(); }
 
+  /// True for the partition-constrained constructor.
+  [[nodiscard]] bool partition_mode() const noexcept { return partition_mode_; }
+
   [[nodiscard]] const CompiledTaskGraph& compiled() const noexcept { return cg_; }
   [[nodiscard]] std::int64_t processor_count() const noexcept { return processors_; }
 
  private:
+  void init_scratch();
+  void reserve_checkpoints();
   void load_rank(const std::vector<JobId>& priority);
+  // Verifies that `priority` is exactly the claimed perturbation of the
+  // stored baseline order (which, the baseline being a validated
+  // permutation, also proves `priority` is one) and loads rank_ in the
+  // same pass.
+  void load_rank_for_move(const std::vector<JobId>& priority, std::size_t lo,
+                          std::size_t hi, MoveKind kind);
+
+  template <class T>
+  void finalize_baseline(eval_detail::BaselineStore<T>& base, std::size_t violations,
+                         const T& makespan);
+
+  // Timebase-keyed scratch selection for the confluence compare.
+  std::vector<std::pair<std::int64_t, std::uint32_t>>& pair_scratch(std::int64_t) {
+    return cmp_pairs_tick_;
+  }
+  std::vector<std::pair<Time, std::uint32_t>>& pair_scratch(const Time&) {
+    return cmp_pairs_time_;
+  }
 
   template <class T, class W>
   std::size_t run(const std::vector<T>& arrival, const std::vector<T>& deadline,
                   const std::vector<W>& wcet, std::vector<T>& ready_at,
                   std::vector<std::pair<T, std::uint32_t>>& busy,
                   std::vector<std::pair<T, std::uint32_t>>& pending,
-                  std::vector<T>& start, T& makespan, bool record);
+                  std::vector<T>& start, T& makespan, bool record,
+                  typename eval_detail::type_identity<eval_detail::BaselineStore<T>>::type* capture);
+
+  template <class T, class W>
+  std::size_t run_partitioned(const std::vector<T>& arrival,
+                              const std::vector<T>& deadline,
+                              const std::vector<W>& wcet, std::vector<T>& ready_at,
+                              std::vector<std::pair<T, std::uint32_t>>& busy,
+                              std::vector<std::pair<T, std::uint32_t>>& pending,
+                              std::vector<T>& start, T& makespan, bool record);
+
+  template <class T, class W>
+  EvalScore run_move(const std::vector<T>& arrival, const std::vector<T>& deadline,
+                     const std::vector<W>& wcet, std::vector<T>& ready_at,
+                     std::vector<std::pair<T, std::uint32_t>>& busy,
+                     std::vector<std::pair<T, std::uint32_t>>& pending,
+                     const eval_detail::BaselineStore<T>& base, std::size_t lo,
+                     std::size_t hi, MoveKind kind);
+
+  template <class T>
+  EvalScore finish_score(std::size_t violations, const T& makespan) const;
 
   CompiledTaskGraph cg_;
   std::int64_t processors_ = 1;
+  bool partition_mode_ = false;
+  std::size_t stride_ = 1;
+  EvalStats stats_;
 
   // Scratch, reused across evaluations.
   std::vector<std::uint32_t> rank_;       ///< rank_[job] = SP position
+  std::vector<std::uint32_t> base_order_; ///< baseline order (move verification)
   std::vector<std::uint8_t> seen_;        ///< permutation validation
   std::vector<std::uint32_t> remaining_;  ///< unfinished predecessor counts
+  std::vector<std::uint8_t> started_;     ///< started flags (confluence check)
   std::vector<std::uint64_t> ready_heap_; ///< (rank << 32 | job) min-heap
   std::vector<std::uint32_t> free_procs_; ///< free processor-index min-heap
   std::vector<std::uint32_t> placed_proc_;
+  std::vector<std::uint32_t> cmp_a_, cmp_b_;  ///< confluence-compare scratch
+  std::vector<std::pair<std::int64_t, std::uint32_t>> cmp_pairs_tick_;
+  std::vector<std::pair<Time, std::uint32_t>> cmp_pairs_time_;
+  // Partition-mode scratch.
+  std::vector<std::uint32_t> job_proc_;       ///< job -> pinned processor
+  std::vector<std::vector<std::uint64_t>> proc_ready_;  ///< per-proc ready heaps
+  std::vector<std::uint8_t> proc_free_flag_;
   // Tick timebase scratch.
   std::vector<std::int64_t> ready_tick_;
   std::vector<std::pair<std::int64_t, std::uint32_t>> busy_tick_;
   std::vector<std::pair<std::int64_t, std::uint32_t>> pending_tick_;
   std::vector<std::int64_t> start_tick_;
+  eval_detail::BaselineStore<std::int64_t> base_tick_;
   // Rational fallback scratch.
   std::vector<Time> ready_time_;
   std::vector<std::pair<Time, std::uint32_t>> busy_time_;
   std::vector<std::pair<Time, std::uint32_t>> pending_time_;
   std::vector<Time> start_time_;
+  eval_detail::BaselineStore<Time> base_time_;
 };
 
 }  // namespace sched

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "sched/evaluator.hpp"
+#include "sched/visited_set.hpp"
 
 namespace fppn {
 namespace {
@@ -34,11 +35,26 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
   if (opts.use_fast_evaluator) {
     kernel.emplace(tg, opts.processors);
   }
+  const bool incremental = opts.use_fast_evaluator && opts.use_incremental;
+  sched::VisitedSet* const visited =
+      opts.use_fast_evaluator ? opts.visited_set : nullptr;
   const auto score_of = [&](const std::vector<JobId>& order) {
     if (kernel.has_value()) {
       return kernel->evaluate(order);
     }
     return reference_score(tg, list_schedule(tg, order, opts.processors));
+  };
+  // Exact scorer that also (re)builds the kernel's checkpoint store so
+  // `order` becomes the incremental baseline. Used on every climb start
+  // and every accepted move; bit-identical to score_of.
+  const auto score_as_baseline = [&](const std::vector<JobId>& order) {
+    return incremental ? kernel->evaluate_baseline(order) : score_of(order);
+  };
+  // Publish a freshly computed exact score to the shared visited-set.
+  const auto publish = [&](const std::vector<JobId>& order, const EvalScore& score) {
+    if (visited != nullptr) {
+      visited->insert(visited->hash_order(order), score);
+    }
   };
   const auto materialize = [&](const std::vector<JobId>& order) {
     return kernel.has_value() ? kernel->materialize(order)
@@ -59,6 +75,7 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
   for (const PriorityHeuristic h : all_heuristics()) {
     std::vector<JobId> order = schedule_priority(tg, h);
     const EvalScore score = score_of(order);
+    publish(order, score);
     if (best.priority.empty() || score.better_than(best_score)) {
       adopt(score);
       best.priority = std::move(order);
@@ -67,15 +84,25 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
   }
   for (std::size_t p = 0; p < opts.start_priorities.size(); ++p) {
     const EvalScore score = score_of(opts.start_priorities[p]);
+    publish(opts.start_priorities[p], score);
     if (score.better_than(best_score)) {
       adopt(score);
       best.priority = opts.start_priorities[p];
       best.start_priority_index = static_cast<int>(p);
     }
   }
+  const auto fill_counters = [&]() {
+    if (kernel.has_value()) {
+      const sched::EvalStats& st = kernel->stats();
+      best.full_evals = st.full_evals;
+      best.incremental_evals = st.incremental_evals;
+      best.spliced_evals = st.spliced_evals;
+    }
+  };
   if (n < 2) {
     best.schedule = materialize(best.priority);
     best.feasible = best.violations == 0;
+    fill_counters();
     return best;
   }
 
@@ -90,15 +117,21 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
         std::swap(current[pick(rng)], current[pick(rng)]);
       }
     }
-    EvalScore current_score = score_of(current);
+    EvalScore current_score = score_as_baseline(current);
+    publish(current, current_score);
 
     int stale = 0;
     for (int it = 0; it < opts.max_iterations && stale < opts.stale_limit; ++it) {
       ++best.iterations_used;
-      // Move: either swap two positions or pull a job earlier (both are
-      // useful — pulls fix late chains, swaps fix local inversions).
-      // Applied in place on the reusable buffer and undone on rejection —
-      // no per-candidate copy.
+      // Move: pull a job earlier (insertion) three times out of four,
+      // swap two positions otherwise. Insertion is the workhorse
+      // neighborhood for permutation scheduling — it fixes late chains
+      // with a minimal perturbation, and its divergence window under the
+      // incremental kernel is just the pulled job's frame, so these moves
+      // also re-score cheapest. Swaps stay in the mix to fix local
+      // inversions insertion cannot express in one step. Applied in place
+      // on the reusable buffer and undone on rejection — no per-candidate
+      // copy.
       const std::size_t i = pick(rng);
       std::size_t j = pick(rng);
       if (i == j) {
@@ -106,7 +139,7 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
       }
       const std::size_t lo = std::min(i, j);
       const std::size_t hi = std::max(i, j);
-      const bool swap_move = (rng() & 1U) == 0U;
+      const bool swap_move = (rng() & 3U) == 0U;
       if (swap_move) {
         std::swap(current[i], current[j]);
       } else {
@@ -115,8 +148,42 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
                     current.begin() + static_cast<std::ptrdiff_t>(hi),
                     current.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
       }
-      const EvalScore score = score_of(current);
-      if (score.better_than(current_score)) {
+      // Score the move: visited-set hit (skips the simulation entirely),
+      // else the incremental kernel resumed from the last compatible
+      // checkpoint, else a from-scratch evaluation. All three produce
+      // the bit-identical score for this order.
+      EvalScore score;
+      bool from_visited = false;
+      std::uint64_t order_hash = 0;
+      if (visited != nullptr) {
+        order_hash = visited->hash_order(current);
+        from_visited = visited->lookup(order_hash, score);
+      }
+      if (from_visited) {
+        ++best.visited_skips;
+      } else {
+        score = incremental
+                    ? kernel->evaluate_move(
+                          current, lo, hi,
+                          swap_move ? sched::MoveKind::kSwap : sched::MoveKind::kRotate)
+                    : score_of(current);
+        if (visited != nullptr) {
+          visited->insert(order_hash, score);
+        }
+      }
+      bool accept = score.better_than(current_score);
+      bool rebaselined = false;
+      if (accept && (from_visited || incremental)) {
+        // The incumbent path is always exact: a memoized score may only
+        // steer rejections, so a would-be acceptance from the visited-set
+        // is re-verified by an exact evaluation of the exact order (which
+        // also rebuilds the checkpoint baseline for the new incumbent —
+        // the incremental path needs that refresh on every acceptance).
+        score = score_as_baseline(current);
+        rebaselined = true;
+        accept = score.better_than(current_score);
+      }
+      if (accept) {
         current_score = score;
         stale = 0;
         if (score.better_than(best_score)) {
@@ -132,6 +199,12 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
                       current.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
                       current.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
         }
+        if (rebaselined) {
+          // A hash-collision acceptance that failed re-verification moved
+          // the checkpoint baseline to the rejected order; point it back
+          // at the (restored) incumbent.
+          (void)score_as_baseline(current);
+        }
       }
       if (best.violations == 0 && restart == opts.restarts) {
         break;  // feasible and no more restarts pending: good enough
@@ -142,6 +215,7 @@ LocalSearchResult optimize_priority(const TaskGraph& tg,
   // evaluations above never build a StaticSchedule.
   best.schedule = materialize(best.priority);
   best.feasible = best.violations == 0;
+  fill_counters();
   return best;
 }
 

@@ -15,6 +15,10 @@
 
 namespace fppn {
 
+namespace sched {
+class VisitedSet;
+}  // namespace sched
+
 struct LocalSearchOptions {
   std::int64_t processors = 2;
   int max_iterations = 2000;   ///< move evaluations per start point
@@ -31,6 +35,22 @@ struct LocalSearchOptions {
   /// contract); the flag exists so tests and benches can run the
   /// reference path side by side. Not part of any cache key.
   bool use_fast_evaluator = true;
+  /// Score moves through the kernel's checkpointed incremental API
+  /// (evaluate_baseline + evaluate_move) instead of a from-scratch
+  /// evaluation per move. Scores and trajectories are bit-identical
+  /// either way (the incremental layer is exact by construction); the
+  /// flag exists for differential tests and as an escape hatch. Only
+  /// meaningful when use_fast_evaluator is set. Not part of any cache
+  /// key.
+  bool use_incremental = true;
+  /// Optional shared visited-set (sched/visited_set.hpp): memoized
+  /// scores of already-seen orders skip re-evaluation. Hits may only
+  /// steer rejections; a would-be acceptance is re-verified exactly, so
+  /// the trajectory, winner and iterations_used are bit-identical with
+  /// the set attached or not. The caller owns the set (parallel_search
+  /// shares one across its workers). Ignored when use_fast_evaluator is
+  /// false. Not part of any cache key.
+  sched::VisitedSet* visited_set = nullptr;
   /// Extra SP start points evaluated alongside the plain heuristics when
   /// seeding the search (the warm-start hook: sched::parallel_search
   /// feeds priority orders recovered from cached feasible schedules in
@@ -53,6 +73,13 @@ struct LocalSearchResult {
   /// supplied start points beat every heuristic at seeding time; -1 when
   /// a plain heuristic won (start_heuristic names it).
   int start_priority_index = -1;
+  // Evaluation accounting (informational; deliberately excluded from
+  // every determinism contract — visited_skips depends on cross-worker
+  // interleaving when the visited-set is shared).
+  std::uint64_t full_evals = 0;         ///< from-scratch simulations
+  std::uint64_t incremental_evals = 0;  ///< checkpoint-resumed move scores
+  std::uint64_t spliced_evals = 0;      ///< moves that spliced the memoized suffix
+  std::uint64_t visited_skips = 0;      ///< evaluations skipped via the visited-set
 };
 
 /// Optimizes SP for `tg`. Never returns a schedule worse than the best

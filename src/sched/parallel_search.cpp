@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sched/visited_set.hpp"
 #include "sched/warm_start.hpp"
 
 namespace fppn {
@@ -59,6 +60,10 @@ StrategyOptions strategy_options_for(const ParallelSearchOptions& opts,
   sopts.max_iterations = opts.max_iterations;
   sopts.restarts = opts.restarts;
   sopts.use_fast_evaluator = opts.use_fast_evaluator;
+  sopts.use_incremental = opts.use_incremental;
+  // Deliberately NOT the visited-set pointer: these options double as the
+  // cache-key basis, and the set is per-evaluation-wave scratch that
+  // evaluate_candidates attaches itself.
   return sopts;
 }
 
@@ -125,6 +130,20 @@ CandidateEvaluation evaluate_candidates(const TaskGraph& tg,
                     : static_cast<int>(std::max(1U, std::thread::hardware_concurrency()));
   workers = std::min<int>(workers, static_cast<int>(std::max<std::size_t>(pending.size(), 1)));
 
+  // One visited-set shared by every worker of this wave: a local-search
+  // worker that reaches an SP order any other worker already scored skips
+  // the simulation. Sized for the worst case (every candidate explores its
+  // full move budget); seeded from the graph fingerprint so the hash is a
+  // pure function of the job orders, not of this process.
+  std::optional<VisitedSet> visited;
+  if (opts.use_visited_set && opts.use_fast_evaluator && !pending.empty()) {
+    const std::uint64_t orders_per_candidate =
+        static_cast<std::uint64_t>(std::max(opts.max_iterations, 0)) *
+            (static_cast<std::uint64_t>(std::max(opts.restarts, 0)) + 1) +
+        8;
+    visited.emplace(fingerprint(tg), orders_per_candidate * pending.size());
+  }
+
   // Each slot is written by exactly one worker; callers rank over the
   // index-ordered vector after the join, so the outcome cannot depend on
   // thread interleaving.
@@ -134,7 +153,9 @@ CandidateEvaluation evaluate_candidates(const TaskGraph& tg,
 
   const auto run_candidate = [&](std::size_t index) {
     const SearchCandidate& c = candidates[index];
-    results[index] = registry.create(c.strategy)->schedule(tg, strategy_options_for(opts, c));
+    StrategyOptions sopts = strategy_options_for(opts, c);
+    sopts.visited_set = visited.has_value() ? &*visited : nullptr;
+    results[index] = registry.create(c.strategy)->schedule(tg, sopts);
     // Rank by the candidate's registry key, not the strategy's
     // self-reported name(): cache hits and sharded-merge results rebuild
     // the name from the key, and a strategy registered under a different
@@ -193,6 +214,12 @@ CandidateEvaluation evaluate_candidates(const TaskGraph& tg,
   out.evaluated = pending.size();
   out.cache_hits = cache_hits;
   out.workers_used = workers;
+  for (const std::size_t i : pending) {
+    out.evals_full += out.results[i].full_evals;
+    out.evals_incremental += out.results[i].incremental_evals;
+    out.evals_spliced += out.results[i].spliced_evals;
+    out.visited_skips += out.results[i].visited_skips;
+  }
   return out;
 }
 
@@ -238,6 +265,9 @@ void apply_cached_warm_start(const TaskGraph& tg, const ParallelSearchOptions& o
     sopts.max_iterations = opts.max_iterations;
     sopts.restarts = opts.restarts;
     sopts.use_fast_evaluator = opts.use_fast_evaluator;
+    sopts.use_incremental = opts.use_incremental;
+    // No visited-set: the overlay is serial and small, and its score
+    // accounting should stay attributable to the overlay alone.
     sopts.warm_starts = starts;
     StrategyResult warm = warm_strategy.schedule(tg, sopts);
     warm.strategy = warm_strategy.name();
@@ -281,6 +311,10 @@ ParallelSearchResult parallel_search(const TaskGraph& tg,
   out.evaluated = eval.evaluated;
   out.cache_hits = eval.cache_hits;
   out.workers_used = eval.workers_used;
+  out.evals_full = eval.evals_full;
+  out.evals_incremental = eval.evals_incremental;
+  out.evals_spliced = eval.evals_spliced;
+  out.visited_skips = eval.visited_skips;
   apply_cached_warm_start(tg, opts, out);
   return out;
 }

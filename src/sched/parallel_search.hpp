@@ -72,6 +72,19 @@ struct ParallelSearchOptions {
   /// path exists for differential tests and benches. Not part of any
   /// cache key.
   bool use_fast_evaluator = true;
+  /// Forwarded to every candidate: score local-search moves through the
+  /// kernel's checkpointed incremental API. Bit-identical winners either
+  /// way; escape hatch for differential tests (`--no-incremental` in
+  /// fppn_tool). Not part of any cache key.
+  bool use_incremental = true;
+  /// Share one sched::VisitedSet across the candidate workers of each
+  /// evaluation wave: exact scores of already-seen SP orders are memoized
+  /// so concurrent searches skip duplicate simulations. Hits only steer
+  /// rejections (would-be acceptances are re-verified exactly), so
+  /// winners, placements and iterations are bit-identical with the set on
+  /// or off — regression-tested in evaluator_test.cpp. Ignored without
+  /// use_fast_evaluator. Not part of any cache key.
+  bool use_visited_set = true;
 };
 
 struct ParallelSearchResult {
@@ -84,6 +97,13 @@ struct ParallelSearchResult {
   std::size_t warm_candidates = 0; ///< warm-start candidates evaluated
   bool warm_start_won = false;     ///< overlay strictly beat the plan winner
   int workers_used = 1;
+  // Aggregated evaluation accounting over every candidate run this search
+  // (cache hits contribute nothing — they ran no simulation). Informational
+  // only; excluded from every determinism contract.
+  std::uint64_t evals_full = 0;         ///< from-scratch simulations
+  std::uint64_t evals_incremental = 0;  ///< checkpoint-resumed move scores
+  std::uint64_t evals_spliced = 0;      ///< moves spliced into a memoized suffix
+  std::uint64_t visited_skips = 0;      ///< evaluations skipped via the visited-set
 };
 
 /// One (strategy, seed) cell of the search's candidate matrix. The pair is
@@ -141,6 +161,11 @@ struct CandidateEvaluation {
   std::size_t evaluated = 0;   ///< candidates actually run (cache misses)
   std::size_t cache_hits = 0;  ///< candidates answered by opts.cache
   int workers_used = 1;
+  // Summed per-candidate evaluation counters (freshly run candidates only).
+  std::uint64_t evals_full = 0;
+  std::uint64_t evals_incremental = 0;
+  std::uint64_t evals_spliced = 0;
+  std::uint64_t visited_skips = 0;
 };
 
 /// Evaluates `candidates` on a worker pool (opts.workers threads, cache

@@ -104,12 +104,10 @@ StaticSchedule partitioned_list_schedule(const TaskGraph& tg,
   return schedule;
 }
 
-PartitionedResult partition_and_schedule(const TaskGraph& tg,
-                                         std::size_t process_count,
-                                         std::int64_t processors,
-                                         PriorityHeuristic heuristic) {
-  PartitionedResult result;
-  result.assignment.assign(process_count, ProcessorId());
+std::vector<ProcessorId> wfd_assignment(const TaskGraph& tg,
+                                        std::size_t process_count,
+                                        std::int64_t processors) {
+  std::vector<ProcessorId> assignment(process_count, ProcessorId());
   if (processors < 1) {
     throw std::invalid_argument("partitioning needs at least one processor");
   }
@@ -142,14 +140,54 @@ PartitionedResult partition_and_schedule(const TaskGraph& tg,
         lightest = m;
       }
     }
-    result.assignment[p] = ProcessorId(lightest);
+    assignment[p] = ProcessorId(lightest);
     bin[lightest] += demand[p];
   }
+  return assignment;
+}
 
-  result.schedule = partitioned_list_schedule(
-      tg, result.assignment, schedule_priority(tg, heuristic), processors);
+PartitionedResult partition_and_schedule(const TaskGraph& tg,
+                                         std::size_t process_count,
+                                         std::int64_t processors,
+                                         PriorityHeuristic heuristic,
+                                         bool use_kernel) {
+  PartitionedResult result;
+  result.assignment = wfd_assignment(tg, process_count, processors);
+  if (use_kernel) {
+    sched::Evaluator kernel(tg, processors, result.assignment);
+    result.schedule = kernel.materialize(schedule_priority(tg, heuristic));
+  } else {
+    result.schedule = partitioned_list_schedule(
+        tg, result.assignment, schedule_priority(tg, heuristic), processors);
+  }
   result.feasible = result.schedule.count_violations(tg).feasible();
   return result;
+}
+
+PartitionedScheduler::PartitionedScheduler(const TaskGraph& tg,
+                                           std::size_t process_count,
+                                           std::int64_t processors, bool use_kernel)
+    : processors_(processors),
+      assignment_(wfd_assignment(tg, process_count, processors)) {
+  if (use_kernel) {
+    kernel_.emplace(tg, processors, assignment_);
+  } else {
+    tg_ = &tg;
+  }
+}
+
+StaticSchedule PartitionedScheduler::schedule_order(const std::vector<JobId>& priority) {
+  if (kernel_.has_value()) {
+    return kernel_->materialize(priority);
+  }
+  return partitioned_list_schedule(*tg_, assignment_, priority, processors_);
+}
+
+sched::EvalScore PartitionedScheduler::evaluate_order(const std::vector<JobId>& priority) {
+  if (!kernel_.has_value()) {
+    throw std::logic_error("partitioned scheduler: score-only needs kernel mode");
+  }
+  return kernel_->evaluate(priority);
 }
 
 }  // namespace fppn

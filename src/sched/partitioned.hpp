@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "sched/evaluator.hpp"
 #include "sched/priorities.hpp"
 #include "sched/static_schedule.hpp"
 
@@ -45,14 +46,69 @@ struct PartitionedResult {
     const TaskGraph& tg, const std::vector<ProcessorId>& assignment,
     const std::vector<JobId>& priority, std::int64_t processors);
 
+/// The worst-fit-decreasing processor assignment alone (the partitioning
+/// half of partition_and_schedule): per-process WCET demand, bins chosen
+/// lightest-first with index tie-breaks. Pure function of its arguments —
+/// in particular independent of any SP heuristic or seed, which is what
+/// makes the assignment cacheable across seeds. Throws
+/// std::invalid_argument when processors < 1 or a job's process id is
+/// >= process_count.
+[[nodiscard]] std::vector<ProcessorId> wfd_assignment(const TaskGraph& tg,
+                                                      std::size_t process_count,
+                                                      std::int64_t processors);
+
 /// Utilization-based worst-fit-decreasing partitioning + constrained list
 /// scheduling.
 /// `process_count` sizes the assignment table (processes are identified
 /// by the jobs' ProcessId values, which must be < process_count).
 /// Throws std::invalid_argument when processors < 1 or a job's process id
 /// is >= process_count.
+/// `use_kernel` selects the evaluator's partition-constrained mode
+/// (per-processor ready heaps, O((n+E) log n)) over the reference
+/// partitioned_list_schedule rescan (O(n²)); schedules and feasibility
+/// are bit-identical either way — the flag exists for the differential
+/// suite. (Edge-case nit: on a *cyclic* graph the kernel path rejects up
+/// front with std::invalid_argument where the reference stalls with
+/// std::logic_error mid-simulation.)
 [[nodiscard]] PartitionedResult partition_and_schedule(
     const TaskGraph& tg, std::size_t process_count, std::int64_t processors,
-    PriorityHeuristic heuristic = PriorityHeuristic::kAlapEdf);
+    PriorityHeuristic heuristic = PriorityHeuristic::kAlapEdf,
+    bool use_kernel = true);
+
+/// Reusable partitioned-scheduling scratch: computes the WFD assignment
+/// and compiles the partition-constrained evaluator once, then schedules
+/// any number of SP orders against them. partition_and_schedule re-derives
+/// both on every call — a pure setup cost when only the heuristic varies
+/// (exactly what "partitioned-wfd" does across parallel_search seeds).
+/// Kernel mode retains no reference to the TaskGraph after construction,
+/// so an instance may outlive it (the strategy keeps one per thread,
+/// keyed by graph fingerprint); reference mode (use_kernel = false) keeps
+/// a pointer and must not outlive the graph.
+class PartitionedScheduler {
+ public:
+  /// Throws like partition_and_schedule (same conditions, same messages,
+  /// plus the eager no-valid-assignment check of the partition evaluator).
+  PartitionedScheduler(const TaskGraph& tg, std::size_t process_count,
+                       std::int64_t processors, bool use_kernel = true);
+
+  [[nodiscard]] const std::vector<ProcessorId>& assignment() const noexcept {
+    return assignment_;
+  }
+  [[nodiscard]] std::int64_t processor_count() const noexcept { return processors_; }
+
+  /// Schedule one SP order under the fixed assignment — bit-identical to
+  /// partitioned_list_schedule(tg, assignment(), priority, processors).
+  [[nodiscard]] StaticSchedule schedule_order(const std::vector<JobId>& priority);
+
+  /// Score one SP order without materializing (kernel mode only; throws
+  /// std::logic_error in reference mode).
+  [[nodiscard]] sched::EvalScore evaluate_order(const std::vector<JobId>& priority);
+
+ private:
+  std::int64_t processors_ = 1;
+  const TaskGraph* tg_ = nullptr;  ///< reference mode only
+  std::vector<ProcessorId> assignment_;
+  std::optional<sched::Evaluator> kernel_;
+};
 
 }  // namespace fppn

@@ -1,28 +1,43 @@
 #include "sched/search.hpp"
 
+#include "sched/evaluator.hpp"
+
 namespace fppn {
 
 ScheduleAttempt best_schedule(const TaskGraph& tg, std::int64_t processors) {
-  std::optional<ScheduleAttempt> best;
-  std::size_t best_violations = 0;
+  // One compiled kernel scores every heuristic order; only the returned
+  // attempt is materialized into a StaticSchedule. Scores, placements and
+  // the first-feasible-in-order selection are bit-identical to the former
+  // list_schedule + count_violations pass (the kernel's determinism
+  // contract).
+  sched::Evaluator kernel(tg, processors);
+  std::optional<PriorityHeuristic> best_h;
+  std::vector<JobId> best_order;
+  sched::EvalScore best_score;
   for (const PriorityHeuristic h : all_heuristics()) {
-    StaticSchedule s = list_schedule(tg, h, processors);
-    const ViolationCounts counts = s.count_violations(tg);
-    ScheduleAttempt attempt;
-    attempt.heuristic = h;
-    attempt.feasible = counts.feasible();
-    attempt.makespan = s.makespan(tg);
-    attempt.schedule = std::move(s);
-    if (attempt.feasible) {
+    std::vector<JobId> order = schedule_priority(tg, h);
+    const sched::EvalScore score = kernel.evaluate(order);
+    if (score.deadline_violations == 0) {
+      ScheduleAttempt attempt;
+      attempt.heuristic = h;
+      attempt.feasible = true;
+      attempt.makespan = score.makespan;
+      attempt.schedule = kernel.materialize(order);
       return attempt;
     }
-    const std::size_t violations = counts.deadline;
-    if (!best.has_value() || violations < best_violations) {
-      best_violations = violations;
-      best = std::move(attempt);
+    if (!best_h.has_value() ||
+        score.deadline_violations < best_score.deadline_violations) {
+      best_h = h;
+      best_score = score;
+      best_order = std::move(order);
     }
   }
-  return *best;
+  ScheduleAttempt attempt;
+  attempt.heuristic = *best_h;
+  attempt.feasible = false;
+  attempt.makespan = best_score.makespan;
+  attempt.schedule = kernel.materialize(best_order);
+  return attempt;
 }
 
 MinProcessorsResult min_processors(const TaskGraph& tg, std::int64_t limit) {

@@ -1,6 +1,7 @@
 #include "sched/strategy.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "sched/list_scheduler.hpp"
 #include "sched/local_search.hpp"
@@ -8,6 +9,7 @@
 #include "sched/priorities.hpp"
 #include "sched/registry.hpp"
 #include "sched/warm_start.hpp"
+#include "taskgraph/fingerprint.hpp"
 
 namespace fppn {
 namespace sched {
@@ -66,6 +68,8 @@ class LocalSearchStrategy final : public SchedulerStrategy {
     ls.max_iterations = opts.max_iterations;
     ls.restarts = opts.restarts;
     ls.use_fast_evaluator = opts.use_fast_evaluator;
+    ls.use_incremental = opts.use_incremental;
+    ls.visited_set = opts.visited_set;
     LocalSearchResult ls_result = optimize_priority(tg, ls);
 
     StrategyResult result;
@@ -73,6 +77,10 @@ class LocalSearchStrategy final : public SchedulerStrategy {
     result.detail = "local search from " + to_string(ls_result.start_heuristic) +
                     ", " + std::to_string(ls_result.iterations_used) + " iterations";
     result.schedule = std::move(ls_result.schedule);
+    result.full_evals = ls_result.full_evals;
+    result.incremental_evals = ls_result.incremental_evals;
+    result.spliced_evals = ls_result.spliced_evals;
+    result.visited_skips = ls_result.visited_skips;
     finalize_result(tg, result);
     return result;
   }
@@ -109,12 +117,35 @@ class PartitionedStrategy final : public SchedulerStrategy {
     const auto& heuristics = all_heuristics();
     const PriorityHeuristic h =
         heuristics[static_cast<std::size_t>(opts.seed % heuristics.size())];
-    PartitionedResult p = partition_and_schedule(tg, process_count, opts.processors, h);
 
     StrategyResult result;
     result.strategy = name();
     result.detail = "partitioned WFD pinning, SP heuristic " + to_string(h);
-    result.schedule = std::move(p.schedule);
+    if (opts.use_fast_evaluator) {
+      // parallel_search calls this strategy once per (seed, heuristic) on
+      // the same graph; the WFD assignment and the compiled partition
+      // kernel depend only on (graph, processors), so one scratch per
+      // worker thread serves every seed. Kernel mode holds no TaskGraph
+      // reference, making the thread-local cache safe across graphs.
+      struct CachedScheduler {
+        std::uint64_t fp = 0;
+        std::int64_t processors = 0;
+        std::optional<PartitionedScheduler> scheduler;
+      };
+      thread_local CachedScheduler cache;
+      const std::uint64_t fp = fingerprint(tg);
+      if (!cache.scheduler.has_value() || cache.fp != fp ||
+          cache.processors != opts.processors) {
+        cache.scheduler.emplace(tg, process_count, opts.processors);
+        cache.fp = fp;
+        cache.processors = opts.processors;
+      }
+      result.schedule = cache.scheduler->schedule_order(schedule_priority(tg, h));
+    } else {
+      PartitionedResult p = partition_and_schedule(tg, process_count, opts.processors,
+                                                   h, /*use_kernel=*/false);
+      result.schedule = std::move(p.schedule);
+    }
     finalize_result(tg, result);
     return result;
   }

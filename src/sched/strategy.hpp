@@ -19,6 +19,8 @@
 namespace fppn {
 namespace sched {
 
+class VisitedSet;
+
 /// Options understood by every strategy. Iteration/seed fields are ignored
 /// by strategies that are not iterative/seedable.
 struct StrategyOptions {
@@ -38,6 +40,16 @@ struct StrategyOptions {
   /// so tests/benches can pit the kernel against the reference pipeline —
   /// and is therefore NOT part of the cache key.
   bool use_fast_evaluator = true;
+  /// Score moves through the kernel's checkpointed incremental API
+  /// (iterative strategies only). Bit-identical results either way; like
+  /// use_fast_evaluator it is NOT part of the cache key.
+  bool use_incremental = true;
+  /// Optional shared visited-set (sched/visited_set.hpp) memoizing exact
+  /// scores of already-seen SP orders across strategy invocations —
+  /// parallel_search attaches one per evaluation wave. Hits only skip
+  /// recomputation (never change any result bit), so this too is NOT part
+  /// of the cache key. The caller owns the set; nullptr disables it.
+  VisitedSet* visited_set = nullptr;
 };
 
 /// Outcome of one strategy invocation, with the schedule already evaluated
@@ -49,6 +61,14 @@ struct StrategyResult {
   std::size_t deadline_violations = 0;
   Time makespan;
   bool feasible = false;
+  // Evaluation accounting (iterative strategies; zero elsewhere).
+  // Informational only: never serialized by the schedule cache and never
+  // part of any determinism contract — visited_skips depends on
+  // cross-worker interleaving when the visited-set is shared.
+  std::uint64_t full_evals = 0;         ///< from-scratch simulations
+  std::uint64_t incremental_evals = 0;  ///< checkpoint-resumed move scores
+  std::uint64_t spliced_evals = 0;      ///< moves spliced into a memoized suffix
+  std::uint64_t visited_skips = 0;      ///< evaluations skipped via the visited-set
 };
 
 class SchedulerStrategy {

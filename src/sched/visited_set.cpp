@@ -1,0 +1,105 @@
+#include "sched/visited_set.hpp"
+
+#include <algorithm>
+
+namespace fppn {
+namespace sched {
+
+namespace {
+
+/// Slots probed before an insert gives up / a lookup reports a miss.
+/// Bounds worst-case cost under clustering; a dropped insert only means
+/// one more future re-evaluation.
+constexpr std::size_t kProbeLimit = 64;
+
+/// Minimum/maximum table sizes (slots). The cap bounds memory at ~20 MB;
+/// beyond it the set degrades gracefully into a bounded cache.
+constexpr std::size_t kMinSlots = 1024;
+constexpr std::size_t kMaxSlots = std::size_t{1} << 19;
+
+/// splitmix64 finalizer — the position/job mixer of the order hash.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+VisitedSet::VisitedSet(std::uint64_t seed, std::size_t expected_orders)
+    : seed_(seed) {
+  const std::size_t target = expected_orders >= kMaxSlots / 2
+                                 ? kMaxSlots
+                                 : std::max(kMinSlots, expected_orders * 2);
+  std::size_t want = kMinSlots;
+  while (want < target) {
+    want <<= 1;
+  }
+  slots_ = std::make_unique<Slot[]>(want);
+  mask_ = want - 1;
+}
+
+std::uint64_t VisitedSet::hash_order(const std::vector<JobId>& order) const noexcept {
+  // XOR of per-position mixes: each term bakes in both the position and
+  // the job id, so the combined hash is order-sensitive while a swap
+  // updates only two terms (not exploited yet — the full pass is already
+  // a tiny fraction of one evaluation).
+  std::uint64_t h = mix(seed_ ^ (0x51ED2701A9B4D7E5ull + order.size()));
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    h ^= mix(seed_ ^ (r * 0xC2B2AE3D27D4EB4Full) ^
+             ((order[r].value() + 1) * 0x165667B19E3779F9ull));
+  }
+  return h;
+}
+
+bool VisitedSet::lookup(std::uint64_t hash, EvalScore& out) const {
+  std::size_t idx = hash & mask_;
+  for (std::size_t probe = 0; probe < kProbeLimit; ++probe, idx = (idx + 1) & mask_) {
+    const Slot& slot = slots_[idx];
+    const std::uint32_t state = slot.state.load(std::memory_order_acquire);
+    if (state == 0) {
+      // Writers never pass an empty slot without claiming it, and states
+      // never revert — no entry for `hash` can exist beyond this point.
+      break;
+    }
+    if (state == 2 && slot.key.load(std::memory_order_relaxed) == hash) {
+      out.deadline_violations = static_cast<std::size_t>(slot.violations);
+      out.makespan = Time(Rational(slot.makespan_num, slot.makespan_den));
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // state 1 (claimed, payload in flight) or a different key: probe on.
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void VisitedSet::insert(std::uint64_t hash, const EvalScore& score) {
+  std::size_t idx = hash & mask_;
+  for (std::size_t probe = 0; probe < kProbeLimit; ++probe, idx = (idx + 1) & mask_) {
+    Slot& slot = slots_[idx];
+    std::uint32_t state = slot.state.load(std::memory_order_acquire);
+    if (state == 2 && slot.key.load(std::memory_order_relaxed) == hash) {
+      return;  // already published (a racing duplicate is equally benign)
+    }
+    if (state == 0) {
+      std::uint32_t expected = 0;
+      if (slot.state.compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        slot.key.store(hash, std::memory_order_relaxed);
+        slot.violations = static_cast<std::uint64_t>(score.deadline_violations);
+        slot.makespan_num = score.makespan.value().num();
+        slot.makespan_den = score.makespan.value().den();
+        slot.state.store(2, std::memory_order_release);
+        inserts_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Lost the claim race; the slot now belongs to another writer.
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sched
+}  // namespace fppn

@@ -1,0 +1,102 @@
+// sched::VisitedSet — a concurrent, fixed-capacity visited set of SP
+// orders, shared across parallel_search worker threads.
+//
+// Different restarts, seeds and strategies frequently revisit the same
+// priority order; a score is a pure function of (graph, order, processor
+// count), so recomputing it is pure waste. The set memoizes order-hash →
+// EvalScore in an open-addressing table of atomic slots (the concurrent
+// hash-table style of DiVinE's hashmap.h: linear probing, slots are
+// claimed with a CAS and published with a release store, never resized
+// and never freed, so readers need no locks and no hazard tracking).
+//
+// Slot protocol: state 0 = empty, 1 = claimed (writer is filling the
+// payload), 2 = published. A reader trusts a slot only at state 2
+// (acquire), which happens-after the writer's key+payload stores
+// (release). A claimed-but-unpublished slot reads as a miss; concurrent
+// writers may produce duplicate entries for one hash — both are benign:
+// a miss only costs a re-evaluation, never correctness.
+//
+// Determinism argument: the table is keyed by a 64-bit hash of the exact
+// order (position-mixed, seeded from the graph fingerprint), NOT by the
+// order itself, so two distinct orders could in principle collide
+// (~2^-64 per pair). The local search therefore uses memoized scores
+// only to *reject* candidate moves; any hit whose score would be
+// accepted is re-verified by an exact evaluation of the exact order
+// before it can touch the incumbent trajectory (see local_search.cpp).
+// Cross-worker interleaving can change which evaluations get skipped —
+// hit/skip *counters* are run-dependent — but every score a worker acts
+// on is the bit-identical score an evaluation would have produced, so
+// winners, placements and iterations_used are unchanged.
+//
+// Thread safety: hash_order/lookup/insert are safe to call concurrently
+// from any number of threads; counters are relaxed atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/evaluator.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace fppn {
+namespace sched {
+
+class VisitedSet {
+ public:
+  /// `seed` keys the hash function (use the graph fingerprint so equal
+  /// orders on different graphs never share entries across runs);
+  /// `expected_orders` sizes the table (~2 slots per expected order,
+  /// rounded up to a power of two, bounded above — insertions into a
+  /// saturated region are dropped, never resized).
+  VisitedSet(std::uint64_t seed, std::size_t expected_orders);
+
+  VisitedSet(const VisitedSet&) = delete;
+  VisitedSet& operator=(const VisitedSet&) = delete;
+
+  /// Position-sensitive 64-bit hash of an SP order.
+  [[nodiscard]] std::uint64_t hash_order(const std::vector<JobId>& order) const noexcept;
+
+  /// True when a published entry for `hash` exists; fills `out` with the
+  /// memoized score. A concurrent in-flight insert may read as a miss.
+  [[nodiscard]] bool lookup(std::uint64_t hash, EvalScore& out) const;
+
+  /// Publishes `score` under `hash`; duplicates and saturated probes are
+  /// silently tolerated (the set is an optimization, not a registry).
+  void insert(std::uint64_t hash, const EvalScore& score);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t inserts() const noexcept {
+    return inserts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> state{0};  ///< 0 empty, 1 claimed, 2 published
+    std::atomic<std::uint64_t> key{0};
+    std::uint64_t violations = 0;
+    std::int64_t makespan_num = 0;
+    std::int64_t makespan_den = 1;
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t seed_ = 0;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace sched
+}  // namespace fppn

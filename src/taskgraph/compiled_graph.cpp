@@ -44,11 +44,13 @@ CompiledTaskGraph CompiledTaskGraph::compile(const TaskGraph& tg) {
   out.arrival_.reserve(n);
   out.deadline_.reserve(n);
   out.wcet_.reserve(n);
+  out.process_id_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Job& j = tg.job(JobId(i));
     out.arrival_.push_back(j.arrival);
     out.deadline_.push_back(j.deadline);
     out.wcet_.push_back(j.wcet);
+    out.process_id_.push_back(j.process.value());
   }
 
   // CSR adjacency, in the task graph's deterministic per-job edge order.
@@ -133,6 +135,14 @@ CompiledTaskGraph CompiledTaskGraph::compile(const TaskGraph& tg) {
 
 Time CompiledTaskGraph::time_from_ticks(std::int64_t ticks) const {
   return Time(Rational(ticks, ticks_per_ms_));
+}
+
+std::optional<std::int64_t> CompiledTaskGraph::ticks_from_time(const Time& t) const {
+  const Rational& r = t.value();
+  if (ticks_per_ms_ % r.den() != 0) {
+    return std::nullopt;
+  }
+  return to_ticks(r, ticks_per_ms_);
 }
 
 }  // namespace fppn

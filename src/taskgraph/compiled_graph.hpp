@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "rt/time.hpp"
@@ -86,10 +87,24 @@ class CompiledTaskGraph {
     return sources_by_arrival_;
   }
 
+  /// process_ids()[i] = ProcessId value of job i (SIZE_MAX when the job
+  /// carries no process id). Feeds the evaluator's partition-constrained
+  /// mode, which pins each job to its process's processor.
+  [[nodiscard]] const std::vector<std::size_t>& process_ids() const noexcept {
+    return process_id_;
+  }
+
   /// Converts a tick count back to the exact Time it encodes. Meaningful
   /// only when has_ticks(); the result is bit-identical to the rational
   /// arithmetic the reference scheduler performs.
   [[nodiscard]] Time time_from_ticks(std::int64_t ticks) const;
+
+  /// Inverse of time_from_ticks: the exact tick count of `t`, or nullopt
+  /// when `t` is not representable on this tick timebase (denominator not
+  /// a divisor of ticks_per_ms, or int64 overflow). Lossless, never a
+  /// rounding — the evaluator uses it to translate score cutoffs computed
+  /// on the Time side into tick comparisons.
+  [[nodiscard]] std::optional<std::int64_t> ticks_from_time(const Time& t) const;
 
  private:
   std::size_t n_ = 0;
@@ -100,6 +115,7 @@ class CompiledTaskGraph {
   std::vector<Duration> wcet_;
   std::vector<std::uint32_t> pred_offsets_, pred_ids_, succ_offsets_, succ_ids_;
   std::vector<std::uint32_t> sources_by_arrival_;
+  std::vector<std::size_t> process_id_;
 };
 
 }  // namespace fppn

@@ -18,8 +18,11 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/local_search.hpp"
 #include "sched/parallel_search.hpp"
+#include "sched/partitioned.hpp"
 #include "sched/schedule_cache.hpp"
 #include "sched/sharded_search.hpp"
+#include "sched/visited_set.hpp"
+#include "taskgraph/fingerprint.hpp"
 #include "taskgraph/task_graph.hpp"
 
 namespace fppn {
@@ -424,6 +427,255 @@ TEST(EvaluatorSearch, WarmSearchWithKernelMatchesColdReferenceWinnerOrBeatsIt) {
     EXPECT_TRUE(warm.best.feasible || warm.best.deadline_violations <=
                                           cold.best.deadline_violations);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental differential suite: every move score from the checkpointed
+// API must be bit-identical to a from-scratch evaluation — accepted and
+// rejected moves alike, across 200 random graphs and M = 1..4.
+
+/// Applies a local-search move in place (the exact move shapes
+/// optimize_priority generates).
+void apply_move(std::vector<JobId>& order, std::size_t i, std::size_t j,
+                bool swap_move) {
+  const std::size_t lo = std::min(i, j);
+  const std::size_t hi = std::max(i, j);
+  if (swap_move) {
+    std::swap(order[i], order[j]);
+  } else {
+    std::rotate(order.begin() + static_cast<std::ptrdiff_t>(lo),
+                order.begin() + static_cast<std::ptrdiff_t>(hi),
+                order.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+  }
+}
+
+TEST(EvaluatorIncremental, MoveScoresBitIdenticalAcross200Graphs) {
+  std::uint64_t resumed = 0;
+  std::uint64_t spliced = 0;
+  for (std::uint64_t g = 0; g < 200; ++g) {
+    const TaskGraph tg = random_task_graph(g + 1000);
+    const std::int64_t processors = 1 + static_cast<std::int64_t>(g % 4);
+    const std::size_t n = tg.job_count();
+    sched::Evaluator inc(tg, processors);
+    sched::Evaluator scratch(tg, processors);  // independent from-scratch check
+    std::mt19937_64 rng(g * 6007 + 17);
+    std::vector<JobId> current =
+        schedule_priority(tg, all_heuristics()[g % all_heuristics().size()]);
+    sched::EvalScore cur = inc.evaluate_baseline(current);
+    {
+      const sched::EvalScore full = scratch.evaluate(current);
+      ASSERT_EQ(cur.deadline_violations, full.deadline_violations) << "graph " << g;
+      ASSERT_EQ(cur.makespan, full.makespan) << "graph " << g;
+    }
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    for (int mv = 0; mv < 12; ++mv) {
+      const std::size_t i = pick(rng);
+      std::size_t j = pick(rng);
+      if (i == j) {
+        j = (j + 1) % n;
+      }
+      const std::size_t lo = std::min(i, j);
+      const std::size_t hi = std::max(i, j);
+      const bool swap_move = (rng() & 1U) == 0U;
+      std::vector<JobId> moved = current;
+      apply_move(moved, i, j, swap_move);
+      const sched::EvalScore fast = inc.evaluate_move(
+          moved, lo, hi, swap_move ? sched::MoveKind::kSwap : sched::MoveKind::kRotate);
+      const sched::EvalScore full = scratch.evaluate(moved);
+      const std::string ctx = "graph " + std::to_string(g) + " M=" +
+                              std::to_string(processors) + " move " +
+                              std::to_string(mv);
+      ASSERT_EQ(fast.deadline_violations, full.deadline_violations) << ctx;
+      ASSERT_EQ(fast.makespan, full.makespan) << ctx;
+      if (fast.better_than(cur)) {  // accepted: rebuild the baseline, like the search
+        current = std::move(moved);
+        cur = inc.evaluate_baseline(current);
+      }
+    }
+    EXPECT_EQ(inc.stats().incremental_evals, 12u) << "graph " << g;
+    resumed += inc.stats().resumed_evals;
+    spliced += inc.stats().spliced_evals;
+  }
+  // The shortcuts must actually fire across the suite, or this proves
+  // nothing about the incremental paths.
+  EXPECT_GT(resumed, 0u);
+  EXPECT_GT(spliced, 0u);
+}
+
+TEST(EvaluatorIncremental, CheckpointStrideExtremesBitIdentical) {
+  // Stride 1 (a checkpoint after every start), the √n default and stride n
+  // (checkpoint only at start 0) must all return the same scores and walk
+  // the same accept/reject trajectory.
+  for (std::uint64_t g = 0; g < 24; ++g) {
+    const TaskGraph tg = random_task_graph(g + 3000);
+    const std::int64_t processors = 1 + static_cast<std::int64_t>(g % 4);
+    const std::size_t n = tg.job_count();
+    sched::Evaluator k1(tg, processors);
+    sched::Evaluator kd(tg, processors);
+    sched::Evaluator kn(tg, processors);
+    k1.set_checkpoint_stride(1);
+    kn.set_checkpoint_stride(n);
+    std::vector<JobId> current = schedule_priority(tg, PriorityHeuristic::kAlapEdf);
+    sched::EvalScore cur = k1.evaluate_baseline(current);
+    ASSERT_EQ(cur.makespan, kd.evaluate_baseline(current).makespan);
+    ASSERT_EQ(cur.makespan, kn.evaluate_baseline(current).makespan);
+    std::mt19937_64 rng(g + 5);
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    for (int mv = 0; mv < 10; ++mv) {
+      const std::size_t i = pick(rng);
+      std::size_t j = pick(rng);
+      if (i == j) {
+        j = (j + 1) % n;
+      }
+      const std::size_t lo = std::min(i, j);
+      const std::size_t hi = std::max(i, j);
+      const bool swap_move = (rng() & 1U) == 0U;
+      const sched::MoveKind kind =
+          swap_move ? sched::MoveKind::kSwap : sched::MoveKind::kRotate;
+      std::vector<JobId> moved = current;
+      apply_move(moved, i, j, swap_move);
+      const sched::EvalScore s1 = k1.evaluate_move(moved, lo, hi, kind);
+      const sched::EvalScore sd = kd.evaluate_move(moved, lo, hi, kind);
+      const sched::EvalScore sn = kn.evaluate_move(moved, lo, hi, kind);
+      const std::string ctx = "graph " + std::to_string(g) + " move " +
+                              std::to_string(mv);
+      ASSERT_EQ(s1.deadline_violations, sd.deadline_violations) << ctx;
+      ASSERT_EQ(s1.makespan, sd.makespan) << ctx;
+      ASSERT_EQ(s1.deadline_violations, sn.deadline_violations) << ctx;
+      ASSERT_EQ(s1.makespan, sn.makespan) << ctx;
+      if (s1.better_than(cur)) {
+        current = std::move(moved);
+        cur = k1.evaluate_baseline(current);
+        (void)kd.evaluate_baseline(current);
+        (void)kn.evaluate_baseline(current);
+      }
+    }
+  }
+}
+
+TEST(EvaluatorIncremental, MoveWithoutBaselineFallsBackToFullRun) {
+  const TaskGraph tg = random_task_graph(61);
+  sched::Evaluator kernel(tg, 2);
+  std::mt19937_64 rng(61);
+  const std::vector<JobId> order = random_permutation(tg.job_count(), rng);
+  const sched::EvalScore moved =
+      kernel.evaluate_move(order, 0, 1, sched::MoveKind::kSwap);
+  const sched::EvalScore full = kernel.evaluate(order);
+  EXPECT_EQ(moved.deadline_violations, full.deadline_violations);
+  EXPECT_EQ(moved.makespan, full.makespan);
+
+  // Invalidation drops the baseline the same way.
+  (void)kernel.evaluate_baseline(order);
+  kernel.invalidate_baseline();
+  const sched::EvalScore after =
+      kernel.evaluate_move(order, 0, 1, sched::MoveKind::kSwap);
+  EXPECT_EQ(after.makespan, full.makespan);
+}
+
+TEST(EvaluatorIncremental, ContractEdges) {
+  const TaskGraph tg = random_task_graph(62);
+  sched::Evaluator kernel(tg, 2);
+  const std::vector<JobId> order =
+      schedule_priority(tg, PriorityHeuristic::kAlapEdf);
+  (void)kernel.evaluate_baseline(order);
+  // Out-of-range move positions are rejected up front.
+  EXPECT_THROW((void)kernel.evaluate_move(order, 2, 1, sched::MoveKind::kSwap),
+               std::invalid_argument);
+  EXPECT_THROW((void)kernel.evaluate_move(order, 0, tg.job_count(),
+                                          sched::MoveKind::kRotate),
+               std::invalid_argument);
+  // The incremental API is a global-mode feature.
+  std::size_t process_count = 0;
+  for (const Job& j : tg.jobs()) {
+    process_count = std::max(process_count, j.process.value() + 1);
+  }
+  sched::Evaluator part(tg, 2, wfd_assignment(tg, process_count, 2));
+  EXPECT_TRUE(part.partition_mode());
+  EXPECT_THROW((void)part.evaluate_baseline(order), std::logic_error);
+  EXPECT_THROW((void)part.evaluate_move(order, 0, 1, sched::MoveKind::kSwap),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-constrained kernel vs the naive partitioned pipeline.
+TEST(EvaluatorPartition, KernelMatchesNaivePartitionedPipeline) {
+  for (std::uint64_t g = 0; g < 40; ++g) {
+    const TaskGraph tg = random_task_graph(g + 5000);
+    const std::int64_t processors = 1 + static_cast<std::int64_t>(g % 4);
+    std::size_t process_count = 0;
+    for (const Job& j : tg.jobs()) {
+      process_count = std::max(process_count, j.process.value() + 1);
+    }
+    const std::vector<ProcessorId> assignment =
+        wfd_assignment(tg, process_count, processors);
+    sched::Evaluator kernel(tg, processors, assignment);
+    std::mt19937_64 rng(g * 271 + 3);
+    const std::string context =
+        "graph " + std::to_string(g) + " M=" + std::to_string(processors);
+    for (int k = 0; k < 3; ++k) {
+      const std::vector<JobId> order = random_permutation(tg.job_count(), rng);
+      const StaticSchedule ref =
+          partitioned_list_schedule(tg, assignment, order, processors);
+      const sched::EvalScore fast = kernel.evaluate(order);
+      EXPECT_EQ(fast.deadline_violations, ref.count_violations(tg).deadline)
+          << context << " order " << k;
+      EXPECT_EQ(fast.makespan, ref.makespan(tg)) << context << " order " << k;
+      expect_identical_placements(kernel.materialize(order), ref,
+                                  context + " order " + std::to_string(k));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Visited-set determinism: memoized scores may change what gets computed,
+// never what gets chosen.
+TEST(EvaluatorSearch, VisitedSetAndIncrementalTogglesPreserveTrajectory) {
+  for (const std::uint64_t g : {3ULL, 14ULL, 27ULL}) {
+    const TaskGraph tg = random_task_graph(g);
+    LocalSearchOptions opts;
+    opts.processors = 2;
+    opts.max_iterations = 150;
+    opts.restarts = 1;
+    opts.use_fast_evaluator = false;
+    const LocalSearchResult ref = optimize_priority(tg, opts);
+
+    opts.use_fast_evaluator = true;
+    opts.use_incremental = true;
+    sched::VisitedSet set(fingerprint(tg), 4096);
+    opts.visited_set = &set;
+    const std::string context = "graph " + std::to_string(g);
+    const auto expect_matches_ref = [&](const LocalSearchResult& got,
+                                        const std::string& what) {
+      EXPECT_EQ(got.priority, ref.priority) << context << " " << what;
+      EXPECT_EQ(got.violations, ref.violations) << context << " " << what;
+      EXPECT_EQ(got.makespan, ref.makespan) << context << " " << what;
+      EXPECT_EQ(got.iterations_used, ref.iterations_used) << context << " " << what;
+      EXPECT_EQ(got.start_heuristic, ref.start_heuristic) << context << " " << what;
+      expect_identical_placements(got.schedule, ref.schedule, context + " " + what);
+    };
+    expect_matches_ref(optimize_priority(tg, opts), "cold set");
+    // Second run against the now-warm set: hits actually fire, the
+    // trajectory still matches the no-set reference bit for bit.
+    const LocalSearchResult rerun = optimize_priority(tg, opts);
+    expect_matches_ref(rerun, "warm set");
+    EXPECT_GT(rerun.visited_skips, 0u) << context;
+    EXPECT_GT(set.hits(), 0u) << context;
+  }
+}
+
+TEST(EvaluatorSearch, ParallelSearchVisitedSetToggleIdenticalWinner) {
+  const TaskGraph tg = random_task_graph(303);
+  sched::ParallelSearchOptions opts = search_options(2);
+  opts.use_visited_set = true;
+  opts.use_incremental = true;
+  const sched::ParallelSearchResult on = sched::parallel_search(tg, opts);
+  opts.use_visited_set = false;
+  opts.use_incremental = false;
+  const sched::ParallelSearchResult off = sched::parallel_search(tg, opts);
+  expect_identical_winner(on, off, "visited-set toggle");
+  EXPECT_GT(on.evals_incremental, 0u);
+  EXPECT_EQ(off.evals_incremental, 0u);
+  EXPECT_GT(off.evals_full, 0u);
 }
 
 TEST(EvaluatorSearch, ShardedSearchWithKernelMatchesReferenceInProcess) {

@@ -200,6 +200,91 @@ TEST(PartitionedStrategy, ParticipatesInParallelSearchByDefault) {
   EXPECT_TRUE(result.best.feasible);
 }
 
+void expect_same_placements(const TaskGraph& tg, const StaticSchedule& a,
+                            const StaticSchedule& b, const std::string& context) {
+  ASSERT_EQ(a.job_count(), b.job_count()) << context;
+  for (std::size_t i = 0; i < a.job_count(); ++i) {
+    const JobId id(i);
+    ASSERT_EQ(a.is_placed(id), b.is_placed(id)) << context << " " << tg.job(id).name;
+    if (!a.is_placed(id)) {
+      continue;
+    }
+    EXPECT_EQ(a.placement(id).processor, b.placement(id).processor)
+        << context << " " << tg.job(id).name;
+    EXPECT_EQ(a.placement(id).start, b.placement(id).start)
+        << context << " " << tg.job(id).name;
+  }
+}
+
+TEST(Partitioned, KernelAndNaivePipelinesBitIdentical) {
+  // partition_and_schedule with the partition-constrained evaluator vs
+  // the reference O(n²) rescan: same assignment, placements, feasibility.
+  const auto fig1 = apps::build_fig1();
+  const auto fms = apps::build_fms();
+  const auto d1 = derive_task_graph(fig1.net, fig1.fig3_wcets());
+  const auto d2 = derive_task_graph(fms.net, fms.default_wcets());
+  struct Case {
+    const TaskGraph* tg;
+    std::size_t processes;
+    const char* name;
+  };
+  const Case cases[] = {{&d1.graph, fig1.net.process_count(), "fig1"},
+                        {&d2.graph, fms.net.process_count(), "fms"}};
+  for (const Case& c : cases) {
+    for (const std::int64_t m : {1, 2, 3, 4}) {
+      for (const PriorityHeuristic h : all_heuristics()) {
+        const PartitionedResult fast =
+            partition_and_schedule(*c.tg, c.processes, m, h, /*use_kernel=*/true);
+        const PartitionedResult ref =
+            partition_and_schedule(*c.tg, c.processes, m, h, /*use_kernel=*/false);
+        const std::string context = std::string(c.name) + " M" + std::to_string(m) +
+                                    " " + to_string(h);
+        EXPECT_EQ(fast.assignment, ref.assignment) << context;
+        EXPECT_EQ(fast.feasible, ref.feasible) << context;
+        expect_same_placements(*c.tg, fast.schedule, ref.schedule, context);
+      }
+    }
+  }
+}
+
+TEST(Partitioned, SchedulerReuseMatchesPerCallPipeline) {
+  // One PartitionedScheduler scratch scheduling many orders must be
+  // bit-identical to a fresh partitioned_list_schedule per order — the
+  // reuse the partitioned-wfd strategy leans on across search seeds.
+  const auto app = apps::build_fms();
+  const auto derived = derive_task_graph(app.net, app.default_wcets());
+  PartitionedScheduler scheduler(derived.graph, app.net.process_count(), 3);
+  EXPECT_EQ(scheduler.processor_count(), 3);
+  EXPECT_EQ(scheduler.assignment(),
+            wfd_assignment(derived.graph, app.net.process_count(), 3));
+  for (const PriorityHeuristic h : all_heuristics()) {
+    const std::vector<JobId> order = schedule_priority(derived.graph, h);
+    const StaticSchedule ref = partitioned_list_schedule(
+        derived.graph, scheduler.assignment(), order, 3);
+    expect_same_placements(derived.graph, scheduler.schedule_order(order), ref,
+                           "reuse " + to_string(h));
+    // Score-only evaluation agrees with the materialized schedule.
+    const sched::EvalScore score = scheduler.evaluate_order(order);
+    EXPECT_EQ(score.deadline_violations, ref.count_violations(derived.graph).deadline)
+        << to_string(h);
+    EXPECT_EQ(score.makespan, ref.makespan(derived.graph)) << to_string(h);
+  }
+}
+
+TEST(Partitioned, ReferenceModeSchedulerHasNoScoreOnlyPath) {
+  const auto app = apps::build_fig1();
+  const auto derived = derive_task_graph(app.net, app.fig3_wcets());
+  PartitionedScheduler reference(derived.graph, app.net.process_count(), 3,
+                                 /*use_kernel=*/false);
+  const std::vector<JobId> order =
+      schedule_priority(derived.graph, PriorityHeuristic::kAlapEdf);
+  // schedule_order still works (it runs the reference rescan)…
+  const StaticSchedule s = reference.schedule_order(order);
+  EXPECT_EQ(s.job_count(), derived.graph.job_count());
+  // …but score-only evaluation needs the kernel.
+  EXPECT_THROW((void)reference.evaluate_order(order), std::logic_error);
+}
+
 TEST(Partitioned, InvalidInputsRejected) {
   const auto app = apps::build_fig1();
   const auto derived = derive_task_graph(app.net, app.fig3_wcets());

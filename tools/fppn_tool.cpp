@@ -92,6 +92,8 @@ struct Args {
   std::optional<std::string> shard_dir;
   std::string runtime = "vm";
   bool no_cache = false;
+  bool no_incremental = false;  ///< escape hatch: from-scratch move scoring
+  bool no_visited_set = false;  ///< escape hatch: no cross-worker score memo
   bool optimize = false;
   bool dot = false;
   bool gantt = false;
@@ -126,6 +128,10 @@ void print_usage(std::FILE* out) {
                "  --cache-max-entries N  bound the cache directory to N entries\n"
                "                   (LRU-style eviction; also the cache-gc bound)\n"
                "  --no-cache       disable the schedule cache even with --cache-dir\n"
+               "  --no-incremental score local-search moves from scratch instead of\n"
+               "                   resuming from checkpoints (bit-identical winner)\n"
+               "  --no-visited-set disable the shared order-score memo across search\n"
+               "                   workers (bit-identical winner)\n"
                "  --dot | --gantt  graph/schedule rendering\n");
   std::fprintf(out, "strategies:\n");
   for (const std::string& name : sched::StrategyRegistry::global().names()) {
@@ -279,6 +285,10 @@ Args parse_args(int argc, char** argv) {
           "--cache-max-entries", next(), 1, std::numeric_limits<int>::max()));
     } else if (arg == "--no-cache") {
       a.no_cache = true;
+    } else if (arg == "--no-incremental") {
+      a.no_incremental = true;
+    } else if (arg == "--no-visited-set") {
+      a.no_visited_set = true;
     } else if (arg == "--optimize") {
       a.optimize = true;
     } else if (arg == "--dot") {
@@ -355,6 +365,8 @@ sched::ParallelSearchOptions build_search_options(const Args& args) {
   // Warm-start whenever a cache is attached: the overlay only ever
   // matches or strictly improves the winner, so it is always safe on.
   opts.warm_start = true;
+  opts.use_incremental = !args.no_incremental;
+  opts.use_visited_set = !args.no_visited_set;
   return opts;
 }
 
@@ -411,6 +423,12 @@ std::vector<std::string> worker_argv(const Args& args, const std::string& shard_
   }
   if (args.optimize) {
     argv.push_back("--optimize");
+  }
+  if (args.no_incremental) {
+    argv.push_back("--no-incremental");
+  }
+  if (args.no_visited_set) {
+    argv.push_back("--no-visited-set");
   }
   if (args.uniform_wcet.has_value()) {
     argv.push_back("--wcet");
@@ -525,6 +543,17 @@ int cmd_schedule(const Args& args) {
     std::printf("warm-start overlay: %zu cached start(s), %zu candidate(s)%s\n",
                 result.warm_starts, result.warm_candidates,
                 result.warm_start_won ? ", improved the plan winner" : "");
+  }
+  // Evaluation accounting of the fresh candidate runs (zero when every
+  // candidate came from the cache or shard processes did the evaluating).
+  if (result.evals_full + result.evals_incremental + result.visited_skips > 0) {
+    std::printf(
+        "evaluations: %llu full, %llu incremental (%llu spliced), "
+        "%llu visited-set skip(s)\n",
+        static_cast<unsigned long long>(result.evals_full),
+        static_cast<unsigned long long>(result.evals_incremental),
+        static_cast<unsigned long long>(result.evals_spliced),
+        static_cast<unsigned long long>(result.visited_skips));
   }
   if (!result.best.feasible) {
     const FeasibilityReport report =
