@@ -5,10 +5,10 @@
 # Usage: scripts/run_benches.sh [build-dir] [out-dir] [--smoke]
 #   build-dir  where the bench_* executables live (default: build)
 #   out-dir    where the JSON results land (default: bench-results)
-#   --smoke    pass --smoke to benches that support it (bench_local_search:
-#              report + equality check only, no google-benchmark loops) and
-#              cap the rest with a tiny --benchmark_filter so the sweep
-#              finishes in seconds.
+#   --smoke    pass --smoke to benches that support it (bench_local_search,
+#              bench_partitioned, bench_fuzz: report + gate checks only, no
+#              google-benchmark loops) and cap the rest with a tiny
+#              --benchmark_filter so the sweep finishes in seconds.
 set -euo pipefail
 
 smoke=""
@@ -36,7 +36,10 @@ for bench in "$build_dir"/bench_*; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   echo "=== $name ==="
-  if [ -n "$smoke" ] && [ "$name" = "bench_local_search" ]; then
+  if [ -n "$smoke" ] && case "$name" in
+      bench_local_search|bench_partitioned|bench_fuzz) true ;;
+      *) false ;;
+    esac; then
     "$bench" --smoke || status=$?
   elif [ -n "$smoke" ]; then
     # Run the binary's report sections; match no google-benchmark cases.

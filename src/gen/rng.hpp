@@ -1,0 +1,51 @@
+// Platform-deterministic PRNG for the scenario generator.
+//
+// The generator's determinism contract — same seed => byte-identical
+// scenario on every platform, thread count and process invocation — cannot
+// be built on std::uniform_int_distribution: the standard leaves its
+// algorithm implementation-defined, so libstdc++ and libc++ draw different
+// values from the same engine state. SplitMix64 with explicit modular
+// reduction is fully specified here and therefore stable everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fppn::gen {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 pseudo-random bits (SplitMix64).
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Integer in [lo, hi], both inclusive. Plain modular reduction: the
+  /// tiny bias is irrelevant for workload generation, the cross-platform
+  /// byte-identity is not.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// True with probability num/den.
+  bool chance(std::int64_t num, std::int64_t den) noexcept {
+    return range(0, den - 1) < num;
+  }
+
+  template <class T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[static_cast<std::size_t>(
+        range(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fppn::gen

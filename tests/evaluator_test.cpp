@@ -15,6 +15,7 @@
 #include <filesystem>
 #include <random>
 
+#include "gen/scenario.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/local_search.hpp"
 #include "sched/parallel_search.hpp"
@@ -61,44 +62,12 @@ Job make_job(const std::string& name, Time arrival, Time deadline, Duration wcet
 }
 
 /// Random layered DAG with staggered arrivals and fractional WCETs —
-/// deliberately broader than the bench generator so the differential
-/// suite covers exact-rational corner cases (denominators 1..7, ties at
-/// decision instants, idle gaps, infeasible frames).
+/// the shared gen:: family (platform-deterministic, denominators 1..7,
+/// ties at decision instants, idle gaps, infeasible frames). The same
+/// generator feeds the fuzz loop, so differential coverage here and
+/// there stays aligned.
 TaskGraph random_task_graph(std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<int> layers_pick(2, 6);
-  std::uniform_int_distribution<int> width_pick(2, 5);
-  std::uniform_int_distribution<std::int64_t> wcet_num(3, 40);
-  std::uniform_int_distribution<std::int64_t> den_pick(1, 7);
-  std::uniform_int_distribution<std::int64_t> arrival_pick(0, 60);
-  std::uniform_int_distribution<std::int64_t> slack_pick(40, 160);
-  std::uniform_int_distribution<int> fan(1, 3);
-  const int layers = layers_pick(rng);
-  const int width = width_pick(rng);
-  TaskGraph tg(Duration::ms(400));
-  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
-  for (int l = 0; l < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      const Time arrival = Time(Rational(arrival_pick(rng), den_pick(rng)));
-      const Time deadline = arrival + Duration(Rational(slack_pick(rng), den_pick(rng)));
-      const Duration wcet = Duration(Rational(wcet_num(rng), den_pick(rng)));
-      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(
-          make_job("J" + std::to_string(l) + "_" + std::to_string(w), arrival,
-                   deadline, wcet, static_cast<std::size_t>(l * width + w))));
-    }
-  }
-  std::uniform_int_distribution<int> pick(0, width - 1);
-  for (int l = 0; l + 1 < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      const int out = fan(rng);
-      for (int e = 0; e < out; ++e) {
-        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
-                    grid[static_cast<std::size_t>(l + 1)]
-                        [static_cast<std::size_t>(pick(rng))]);
-      }
-    }
-  }
-  return tg;
+  return gen::layered_task_graph(seed);
 }
 
 std::vector<JobId> random_permutation(std::size_t n, std::mt19937_64& rng) {
@@ -192,6 +161,31 @@ TEST(EvaluatorDifferential, ZeroWcetJobsMatchReference) {
                                     kernel, "zero-wcet " + std::to_string(k));
   }
   (void)b;
+}
+
+TEST(EvaluatorDifferential, EdgeCaseFamiliesMatchReference) {
+  // The generator's adversarial shapes: zero-WCET chains, all-identical
+  // tie storms, tick-overflow denominators (Rational fallback) and
+  // trivial/antichain graphs — 40 graphs covering all four variants.
+  for (std::uint64_t g = 0; g < 40; ++g) {
+    const TaskGraph tg = gen::edge_case_task_graph(g);
+    if (tg.job_count() == 0) {
+      continue;
+    }
+    const std::int64_t processors = 1 + static_cast<std::int64_t>(g % 3);
+    sched::Evaluator kernel(tg, processors);
+    std::mt19937_64 rng(g * 613 + 7);
+    const std::string context =
+        "edge graph " + std::to_string(g) + " M=" + std::to_string(processors);
+    expect_kernel_matches_reference(
+        tg, processors, schedule_priority(tg, PriorityHeuristic::kAlapEdf), kernel,
+        context + " heuristic");
+    for (int k = 0; k < 2; ++k) {
+      expect_kernel_matches_reference(tg, processors,
+                                      random_permutation(tg.job_count(), rng), kernel,
+                                      context + " random " + std::to_string(k));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -6,7 +6,12 @@
 
 #include <fstream>
 
+#include "apps/fft.hpp"
+#include "apps/fig1.hpp"
+#include "apps/fms.hpp"
+#include "gen/scenario.hpp"
 #include "taskgraph/analysis.hpp"
+#include "taskgraph/fingerprint.hpp"
 
 namespace fppn::io {
 namespace {
@@ -182,6 +187,60 @@ TEST(TextFormat, BadCapacityKeyRejected) {
       "process r periodic period=100 deadline=100\n"
       "channel fifo q w -> r depth=2\n";
   EXPECT_THROW((void)parse_network_string(text), ParseError);
+}
+
+/// write -> parse -> re-derive must reproduce the exact task graph: the
+/// writer is the wire format of fuzz repros and shard corpora, so "close
+/// enough" round-trips are format bugs.
+void expect_lossless_roundtrip(const Network& net, const WcetMap& wcets,
+                               const std::string& context) {
+  const std::string emitted = write_network(net, wcets);
+  const ParsedNetwork parsed = parse_network_string(emitted);
+  ASSERT_TRUE(parsed.wcets_complete) << context;
+  const auto original = derive_task_graph(net, wcets);
+  const auto reparsed = derive_task_graph(parsed.net, parsed.wcets);
+  EXPECT_EQ(fingerprint(original.graph), fingerprint(reparsed.graph)) << context;
+  EXPECT_EQ(original.hyperperiod, reparsed.hyperperiod) << context;
+  // A second write of the reparsed network is byte-identical: the format
+  // has one canonical rendering per network.
+  EXPECT_EQ(write_network(parsed.net, parsed.wcets), emitted) << context;
+}
+
+TEST(TextFormat, PaperAppsRoundTripLosslessly) {
+  const auto fig1 = apps::build_fig1();
+  expect_lossless_roundtrip(fig1.net, fig1.fig3_wcets(), "fig1");
+  const auto fft = apps::build_fft();
+  expect_lossless_roundtrip(fft.net, fft.uniform_wcets(Duration::ms(10)), "fft");
+  const auto fms = apps::build_fms();
+  expect_lossless_roundtrip(fms.net, fms.default_wcets(), "fms");
+}
+
+TEST(TextFormat, GeneratedScenariosRoundTripLosslessly) {
+  // 200 scenarios across all eight families — including fractional
+  // periods/WCETs and near-overflow denominators, where a writer that
+  // rendered decimals instead of exact rationals would silently corrupt
+  // the graph.
+  for (const gen::Family family : gen::all_families()) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      const gen::Scenario s = gen::make_scenario(family, seed);
+      expect_lossless_roundtrip(s.net, s.wcets, s.name);
+    }
+  }
+}
+
+TEST(TextFormat, WriterEmitsStrictGrammar) {
+  // The writer must stay inside the strict grammar the parser enforces:
+  // no '+'-prefixed integers, no trailing garbage, newline-terminated.
+  for (const gen::Family family : gen::all_families()) {
+    const gen::Scenario s = gen::make_scenario(family, 9);
+    const std::string emitted = write_network(s.net, s.wcets);
+    EXPECT_EQ(emitted.find('+'), std::string::npos) << s.name;
+    ASSERT_FALSE(emitted.empty()) << s.name;
+    EXPECT_EQ(emitted.back(), '\n') << s.name;
+    // Appending garbage must be a parse error, not silently ignored.
+    EXPECT_THROW((void)parse_network_string(emitted + "flurb\n"), ParseError)
+        << s.name;
+  }
 }
 
 TEST(TextFormat, AutoRmStatement) {

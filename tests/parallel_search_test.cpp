@@ -10,6 +10,7 @@
 #include <random>
 
 #include "apps/fig1.hpp"
+#include "gen/scenario.hpp"
 #include "sched/parallel_search.hpp"
 #include "sched/registry.hpp"
 #include "taskgraph/derivation.hpp"
@@ -17,37 +18,10 @@
 namespace fppn {
 namespace {
 
-/// Random layered DAG (same construction as the heuristics bench).
-TaskGraph random_task_graph(int layers, int width, std::int64_t frame,
-                            std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::int64_t> wcet(5, 30);
-  std::uniform_int_distribution<int> fan(1, 3);
-  TaskGraph tg(Duration::ms(frame));
-  std::vector<std::vector<JobId>> grid(static_cast<std::size_t>(layers));
-  for (int l = 0; l < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      Job j;
-      j.process = ProcessId{static_cast<std::size_t>(l * width + w)};
-      j.arrival = Time::ms(0);
-      j.deadline = Time::ms(frame);
-      j.wcet = Duration::ms(wcet(rng));
-      j.name = "J" + std::to_string(l) + "_" + std::to_string(w);
-      grid[static_cast<std::size_t>(l)].push_back(tg.add_job(j));
-    }
-  }
-  std::uniform_int_distribution<int> pick(0, width - 1);
-  for (int l = 0; l + 1 < layers; ++l) {
-    for (int w = 0; w < width; ++w) {
-      const int out = fan(rng);
-      for (int e = 0; e < out; ++e) {
-        tg.add_edge(grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)],
-                    grid[static_cast<std::size_t>(l + 1)]
-                        [static_cast<std::size_t>(pick(rng))]);
-      }
-    }
-  }
-  return tg;
+/// Random layered DAG from the shared gen:: family (the same generator
+/// the fuzz loop and the evaluator differential suite draw from).
+TaskGraph random_task_graph(std::uint64_t seed) {
+  return gen::layered_task_graph(seed);
 }
 
 /// Full placement equality: same processor and start time for every job.
@@ -77,7 +51,7 @@ TEST(ParallelSearch, DeterministicAcrossWorkerCounts) {
   // Acceptance criterion: the chosen schedule is bit-identical whether the
   // search runs on 1, 2 or 8 workers.
   for (const std::uint64_t graph_seed : {0ULL, 7ULL, 13ULL}) {
-    const TaskGraph tg = random_task_graph(5, 5, 160, graph_seed);
+    const TaskGraph tg = random_task_graph(graph_seed);
     sched::ParallelSearchOptions opts = base_options(3);
     opts.workers = 1;
     const auto one = sched::parallel_search(tg, opts);
@@ -94,7 +68,7 @@ TEST(ParallelSearch, DeterministicAcrossWorkerCounts) {
 }
 
 TEST(ParallelSearch, RepeatedCallsAreIdentical) {
-  const TaskGraph tg = random_task_graph(5, 5, 160, 3);
+  const TaskGraph tg = random_task_graph(3);
   const auto a = sched::parallel_search(tg, base_options(3));
   const auto b = sched::parallel_search(tg, base_options(3));
   EXPECT_EQ(a.best.strategy, b.best.strategy);
@@ -246,7 +220,7 @@ TEST(ParallelSearch, ColdVsWarmCachePickBitIdenticalWinner) {
   // evaluates 0 candidates yet returns the bit-identical winner of the
   // cold run.
   for (const std::uint64_t graph_seed : {0ULL, 7ULL}) {
-    const TaskGraph tg = random_task_graph(5, 5, 160, graph_seed);
+    const TaskGraph tg = random_task_graph(graph_seed);
     sched::ScheduleCache cache;
     sched::ParallelSearchOptions opts = base_options(3);
     opts.cache = &cache;
@@ -272,7 +246,7 @@ TEST(ParallelSearch, ColdVsWarmCachePickBitIdenticalWinner) {
 
 TEST(ParallelSearch, CacheMatchesUncachedWinner) {
   // Attaching a cache must not change the search outcome at all.
-  const TaskGraph tg = random_task_graph(5, 5, 160, 11);
+  const TaskGraph tg = random_task_graph(11);
   const auto plain = sched::parallel_search(tg, base_options(3));
   sched::ScheduleCache cache;
   sched::ParallelSearchOptions opts = base_options(3);
@@ -289,8 +263,8 @@ TEST(ParallelSearch, CacheIsPerGraphNotGlobal) {
   sched::ScheduleCache cache;
   sched::ParallelSearchOptions opts = base_options(3);
   opts.cache = &cache;
-  const TaskGraph a = random_task_graph(5, 5, 160, 1);
-  const TaskGraph b = random_task_graph(5, 5, 160, 2);
+  const TaskGraph a = random_task_graph(1);
+  const TaskGraph b = random_task_graph(2);
   (void)sched::parallel_search(a, opts);
   const auto fresh = sched::parallel_search(b, opts);
   EXPECT_EQ(fresh.cache_hits, 0u);
@@ -300,7 +274,7 @@ TEST(ParallelSearch, CacheIsPerGraphNotGlobal) {
 TEST(ParallelSearch, BudgetChangeMissesTheCache) {
   // max_iterations/restarts are part of the key: a bigger budget may find
   // a different schedule, so it must not reuse small-budget entries.
-  const TaskGraph tg = random_task_graph(5, 5, 160, 4);
+  const TaskGraph tg = random_task_graph(4);
   sched::ScheduleCache cache;
   sched::ParallelSearchOptions opts = base_options(3);
   opts.cache = &cache;
@@ -331,7 +305,7 @@ TEST(ParallelSearch, WarmStartOverlayMatchesOrBeatsTheColdWinner) {
   // cold run or a strictly better schedule — never a different-but-equal
   // winner and never a worse one.
   for (const std::uint64_t graph_seed : {0ULL, 7ULL, 13ULL}) {
-    const TaskGraph tg = random_task_graph(5, 5, 160, graph_seed);
+    const TaskGraph tg = random_task_graph(graph_seed);
     const auto plain = sched::parallel_search(tg, base_options(3));
 
     sched::ScheduleCache cache;
@@ -374,7 +348,7 @@ TEST(ParallelSearch, WarmVsColdBitIdenticalWinnerWithEvictionOn) {
   // Acceptance criterion: with a size-bounded disk cache, a warm rerun
   // still reports the identical winner of the cold cached run, and the
   // directory never exceeds the bound.
-  const TaskGraph tg = random_task_graph(5, 5, 160, 7);
+  const TaskGraph tg = random_task_graph(7);
   const std::string dir =
       (std::filesystem::temp_directory_path() /
        ("fppn_warm_evict_" + std::to_string(::getpid())))
@@ -408,7 +382,7 @@ TEST(ParallelSearch, WarmVsColdBitIdenticalWinnerWithEvictionOn) {
 }
 
 TEST(ParallelSearch, RejectsBadOptions) {
-  const TaskGraph tg = random_task_graph(2, 2, 100, 1);
+  const TaskGraph tg = random_task_graph(1);
   sched::ParallelSearchOptions opts = base_options(0);
   EXPECT_THROW((void)sched::parallel_search(tg, opts), std::invalid_argument);
   opts = base_options(2);

@@ -25,6 +25,14 @@
 //                       [--cache-dir D] [--cache-max-entries N] [--no-cache]
 //   fppn_tool cache-gc  --cache-dir D [--cache-max-entries N]
 //   fppn_tool roundtrip <file>         # parse and re-emit the description
+//   fppn_tool fuzz      [--seeds N] [--seed S] [--families LIST] [-m N]
+//                       [--repro-dir D] [--replay FILE] [--shrink-steps K]
+//                       [--inject-bug]
+//
+// `fuzz` runs the differential loop of gen/fuzz.*: generated scenarios,
+// reference-vs-toggled search comparison, TA-oracle and policy-trace
+// cross-checks; mismatches are shrunk and written to --repro-dir as
+// replayable `.fppn` files. Exit code 4 = at least one mismatch.
 //
 // --cache-dir enables the on-disk schedule cache (sched::ScheduleCache):
 // repeated searches over the same graph are answered from disk instead of
@@ -54,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/fuzz.hpp"
 #include "io/atomic_file.hpp"
 #include "io/text_format.hpp"
 #include "runtime/runtime.hpp"
@@ -91,6 +100,14 @@ struct Args {
   std::optional<std::string> cache_dir;
   std::optional<std::string> shard_dir;
   std::string runtime = "vm";
+  // fuzz subcommand
+  std::int64_t fuzz_seeds = 100;
+  int shrink_steps = 0;  ///< 0 = the gen::FuzzConfig default
+  std::string families;  ///< comma-separated family list; empty = all
+  std::string repro_dir;
+  std::optional<std::string> replay;
+  bool inject_bug = false;
+  bool processors_given = false;
   bool no_cache = false;
   bool no_incremental = false;  ///< escape hatch: from-scratch move scoring
   bool no_visited_set = false;  ///< escape hatch: no cross-worker score memo
@@ -106,6 +123,9 @@ void print_usage(std::FILE* out) {
                "<check|taskgraph|schedule|search-worker|simulate|roundtrip> "
                "<file> [options]\n"
                "       fppn_tool cache-gc --cache-dir D [--cache-max-entries N]\n"
+               "       fppn_tool fuzz [--seeds N] [--seed S] [--families LIST]\n"
+               "                      [-m N] [--repro-dir D] [--replay FILE]\n"
+               "                      [--shrink-steps K] [--inject-bug]\n"
                "options:\n"
                "  -m N             processor count (schedule/simulate)\n"
                "  --strategy NAME  scheduling strategy (schedule)\n"
@@ -132,7 +152,13 @@ void print_usage(std::FILE* out) {
                "                   resuming from checkpoints (bit-identical winner)\n"
                "  --no-visited-set disable the shared order-score memo across search\n"
                "                   workers (bit-identical winner)\n"
-               "  --dot | --gantt  graph/schedule rendering\n");
+               "  --dot | --gantt  graph/schedule rendering\n"
+               "  --seeds N        fuzz: scenario count (default 100)\n"
+               "  --families LIST  fuzz: comma-separated scenario families\n"
+               "  --repro-dir D    fuzz: write shrunk mismatch repros into D\n"
+               "  --replay FILE    fuzz: re-run the checks on a repro file\n"
+               "  --shrink-steps K fuzz: shrink budget per mismatch\n"
+               "  --inject-bug     fuzz: synthetic mismatch (shrinker self-test)\n");
   std::fprintf(out, "strategies:\n");
   for (const std::string& name : sched::StrategyRegistry::global().names()) {
     const auto strategy = sched::StrategyRegistry::global().create(name);
@@ -228,14 +254,18 @@ Args parse_args(int argc, char** argv) {
       std::exit(0);
     }
   }
-  if (argc < 3) {
+  if (argc < 2) {
     usage();
   }
   Args a;
   a.command = argv[1];
-  // cache-gc operates on a cache directory, not a network file.
-  const bool takes_file = a.command != "cache-gc";
+  // cache-gc operates on a cache directory and fuzz on generated
+  // scenarios (or --replay FILE), not a network file positional.
+  const bool takes_file = a.command != "cache-gc" && a.command != "fuzz";
   if (takes_file) {
+    if (argc < 3) {
+      usage();
+    }
     a.file = argv[2];
   }
   for (int i = takes_file ? 3 : 2; i < argc; ++i) {
@@ -249,6 +279,20 @@ Args parse_args(int argc, char** argv) {
     if (arg == "-m") {
       // Nonsensical values fail here at the CLI, not deep in the engine.
       a.processors = parse_int_flag("-m", next(), 1);
+      a.processors_given = true;
+    } else if (arg == "--seeds") {
+      a.fuzz_seeds = parse_int_flag("--seeds", next(), 1);
+    } else if (arg == "--families") {
+      a.families = next();
+    } else if (arg == "--repro-dir") {
+      a.repro_dir = next();
+    } else if (arg == "--replay") {
+      a.replay = next();
+    } else if (arg == "--shrink-steps") {
+      a.shrink_steps = static_cast<int>(parse_int_flag(
+          "--shrink-steps", next(), 1, std::numeric_limits<int>::max()));
+    } else if (arg == "--inject-bug") {
+      a.inject_bug = true;
     } else if (arg == "--frames") {
       a.frames = parse_int_flag("--frames", next(), 0);
     } else if (arg == "--unfold") {
@@ -647,6 +691,84 @@ int cmd_cache_gc(const Args& args) {
   return 0;
 }
 
+void print_mismatch(const gen::FuzzMismatch& m, const char* repro_path) {
+  std::fprintf(stderr,
+               "fppn_tool: fuzz MISMATCH [%s] (processors=%lld incremental=%d "
+               "visited=%d): %s\n",
+               m.check.c_str(), static_cast<long long>(m.processors),
+               m.toggles.incremental ? 1 : 0, m.toggles.visited_set ? 1 : 0,
+               m.detail.c_str());
+  if (repro_path != nullptr) {
+    std::fprintf(stderr, "fppn_tool: repro written to %s\n", repro_path);
+  }
+}
+
+/// The differential fuzz loop (gen/fuzz.*). Exit codes: 0 all checks
+/// agree, 1 hard error, 2 bad usage, 4 at least one mismatch detected.
+int cmd_fuzz(const Args& args) {
+  gen::FuzzConfig check;
+  check.processors = args.processors_given ? args.processors : 0;
+  check.inject_bug = args.inject_bug;
+  if (args.shrink_steps > 0) {
+    check.shrink_limit = args.shrink_steps;
+  }
+
+  if (args.replay.has_value()) {
+    const gen::ReplayOutcome out = gen::replay_repro(*args.replay, check);
+    if (out.verdict.mismatch.has_value()) {
+      print_mismatch(*out.verdict.mismatch, nullptr);
+      return 4;
+    }
+    if (!out.expected_check.empty()) {
+      std::printf("replay clean: repro no longer triggers check '%s' (%zu jobs)\n",
+                  out.expected_check.c_str(), out.verdict.jobs);
+    } else {
+      std::printf("replay clean: all checks agree (%zu jobs)\n", out.verdict.jobs);
+    }
+    return 0;
+  }
+
+  gen::FuzzRunConfig cfg;
+  cfg.base_seed = args.seed;
+  cfg.seeds = args.fuzz_seeds;
+  cfg.repro_dir = args.repro_dir;
+  cfg.check = check;
+  if (!args.families.empty()) {
+    std::string rest = args.families;
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const std::string name = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      const auto family = gen::parse_family(name);
+      if (!family.has_value()) {
+        std::fprintf(stderr, "fppn_tool: unknown family '%s'\navailable families:",
+                     name.c_str());
+        for (gen::Family f : gen::all_families()) {
+          std::fprintf(stderr, " %s", gen::to_string(f).c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      cfg.families.push_back(*family);
+    }
+  }
+
+  const gen::FuzzStats stats = gen::run_fuzz(cfg);
+  std::printf("fuzz: %zu scenarios (%zu jobs total), %zu TA-oracle checked, "
+              "%zu policy-trace checked, %zu mismatches\n",
+              stats.scenarios, stats.jobs, stats.ta_checked, stats.trace_checked,
+              stats.mismatches.size());
+  for (const auto& [family, count] : stats.per_family) {
+    std::printf("  %-14s %zu\n", family.c_str(), count);
+  }
+  for (std::size_t i = 0; i < stats.mismatches.size(); ++i) {
+    print_mismatch(stats.mismatches[i],
+                   i < stats.repro_paths.size() ? stats.repro_paths[i].c_str()
+                                                : nullptr);
+  }
+  return stats.mismatches.empty() ? 0 : 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -673,6 +795,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "roundtrip") {
       return cmd_roundtrip(args);
+    }
+    if (args.command == "fuzz") {
+      return cmd_fuzz(args);
     }
     usage();
   } catch (const io::ParseError& e) {
