@@ -7,8 +7,8 @@
 
 #include "apps/fig1.hpp"
 #include "apps/fms.hpp"
+#include "engine/engine.hpp"
 #include "runtime/runtime.hpp"
-#include "sched/parallel_search.hpp"
 #include "taskgraph/derivation.hpp"
 
 namespace {
@@ -33,10 +33,13 @@ void print_report() {
   std::printf("%-28s %-18s %-8s\n", "execution", "fingerprint", "equal?");
   for (const std::int64_t m : {2, 3, 4}) {
     for (const int jitter : {0, 1, 2}) {
-      sched::ParallelSearchOptions sopts;
-      sopts.processors = m;
-      sopts.seeds_per_strategy = 1;
-      const auto attempt = sched::parallel_search(derived.graph, sopts).best;
+      engine::SearchConfig config;
+      config.processors = m;
+      config.seeds_per_strategy = 1;
+      config.max_iterations = 2000;  // the pre-engine defaults
+      config.restarts = 2;
+      config.warm_start = false;
+      const auto attempt = engine::solve_graph(derived.graph, config).search.best;
       runtime::RunOptions opts;
       opts.frames = frames;
       if (jitter > 0) {

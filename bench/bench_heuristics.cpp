@@ -13,6 +13,7 @@
 #include "apps/fms.hpp"
 #include "bench_graphs.hpp"
 #include "bench_json.hpp"
+#include "engine/engine.hpp"
 #include "sched/parallel_search.hpp"
 #include "sched/registry.hpp"
 #include "taskgraph/analysis.hpp"
@@ -100,15 +101,16 @@ void print_report() {
     double makespan_sum = 0.0;
     for (std::uint64_t seed = 0; seed < 100; ++seed) {
       const TaskGraph tg = random_task_graph(6, 6, 180, seed);
-      sched::ParallelSearchOptions opts;
-      opts.processors = 4;
-      opts.seeds_per_strategy = 2;
-      opts.base_seed = seed + 1;
-      opts.max_iterations = 400;
-      opts.restarts = 1;
-      const auto result = sched::parallel_search(tg, opts);
-      feasible += result.best.feasible ? 1 : 0;
-      makespan_sum += result.best.makespan.to_double_ms();
+      engine::SearchConfig config;
+      config.processors = 4;
+      config.seeds_per_strategy = 2;
+      config.seed = seed + 1;
+      config.max_iterations = 400;
+      config.restarts = 1;
+      config.warm_start = false;
+      const auto report = engine::solve_graph(tg, config);
+      feasible += report.feasible() ? 1 : 0;
+      makespan_sum += report.search.best.makespan.to_double_ms();
     }
     std::printf("%-22s %-16s %-14.1f\n", "parallel-search",
                 (std::to_string(feasible) + "/100").c_str(), makespan_sum / 100.0);
@@ -152,13 +154,15 @@ BENCHMARK(BM_RandomGraphSchedule)->Args({6, 6})->Args({10, 10})->Args({20, 10});
 
 void BM_ParallelSearchWorkers(benchmark::State& state) {
   const TaskGraph tg = random_task_graph(10, 10, 500, 7);
-  sched::ParallelSearchOptions opts;
-  opts.processors = 4;
-  opts.workers = static_cast<int>(state.range(0));
-  opts.seeds_per_strategy = 4;
-  opts.max_iterations = 400;
+  engine::SearchConfig config;
+  config.processors = 4;
+  config.workers = static_cast<int>(state.range(0));
+  config.seeds_per_strategy = 4;
+  config.max_iterations = 400;
+  config.restarts = 2;  // the pre-engine ParallelSearchOptions default
+  config.warm_start = false;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::parallel_search(tg, opts).best.makespan);
+    benchmark::DoNotOptimize(engine::solve_graph(tg, config).search.best.makespan);
   }
   state.SetLabel(std::to_string(state.range(0)) + " worker(s)");
 }

@@ -16,6 +16,7 @@
 #include "apps/fms.hpp"
 #include "bench_graphs.hpp"
 #include "bench_json.hpp"
+#include "engine/engine.hpp"
 #include "sched/evaluator.hpp"
 #include "sched/local_search.hpp"
 #include "sched/parallel_search.hpp"
@@ -79,17 +80,19 @@ bool placements_equal(const StaticSchedule& a, const StaticSchedule& b) {
 bool fms_winner_equality(benchjson::Report& report) {
   const auto app = apps::build_fms();
   const auto derived = derive_task_graph(app.net, app.default_wcets());
-  sched::ParallelSearchOptions opts;
-  opts.processors = 1;
-  opts.workers = 2;
-  opts.seeds_per_strategy = 2;
-  opts.max_iterations = 400;
-  opts.restarts = 1;
-  opts.use_fast_evaluator = true;
-  const sched::ParallelSearchResult fast = sched::parallel_search(derived.graph, opts);
-  opts.use_fast_evaluator = false;
+  engine::SearchConfig config;
+  config.processors = 1;
+  config.workers = 2;
+  config.seeds_per_strategy = 2;
+  config.max_iterations = 400;
+  config.restarts = 1;
+  config.warm_start = false;
+  config.use_fast_evaluator = true;
+  const sched::ParallelSearchResult fast =
+      engine::solve_graph(derived.graph, config).search;
+  config.use_fast_evaluator = false;
   const sched::ParallelSearchResult reference =
-      sched::parallel_search(derived.graph, opts);
+      engine::solve_graph(derived.graph, config).search;
   const bool equal = fast.best.strategy == reference.best.strategy &&
                      fast.seed == reference.seed &&
                      fast.best.makespan == reference.best.makespan &&

@@ -10,8 +10,7 @@
 #include "bench_graphs.hpp"
 #include "apps/fig1.hpp"
 #include "apps/fms.hpp"
-#include "sched/parallel_search.hpp"
-#include "sched/schedule_cache.hpp"
+#include "engine/engine.hpp"
 #include "taskgraph/derivation.hpp"
 #include "taskgraph/fingerprint.hpp"
 
@@ -21,21 +20,22 @@ using namespace fppn;
 
 using benchgraphs::random_task_graph;
 
-sched::ParallelSearchOptions search_options() {
-  sched::ParallelSearchOptions opts;
-  opts.processors = 4;
-  opts.seeds_per_strategy = 3;
-  opts.max_iterations = 400;
-  opts.restarts = 1;
-  return opts;
+engine::SearchConfig search_config() {
+  engine::SearchConfig config;
+  config.processors = 4;
+  config.seeds_per_strategy = 3;
+  config.max_iterations = 400;
+  config.restarts = 1;
+  config.warm_start = false;  // the overlay is bench_warm_start's subject
+  return config;
 }
 
 void BM_ParallelSearchCold(benchmark::State& state) {
   const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
                                          static_cast<int>(state.range(0)), 500, 7);
-  const sched::ParallelSearchOptions opts = search_options();
+  const engine::SearchConfig config = search_config();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::parallel_search(tg, opts).best.makespan);
+    benchmark::DoNotOptimize(engine::solve_graph(tg, config).search.best.makespan);
   }
   state.SetLabel(std::to_string(tg.job_count()) + " jobs, no cache");
 }
@@ -44,12 +44,16 @@ BENCHMARK(BM_ParallelSearchCold)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond)
 void BM_ParallelSearchWarm(benchmark::State& state) {
   const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
                                          static_cast<int>(state.range(0)), 500, 7);
-  sched::ScheduleCache cache;
-  sched::ParallelSearchOptions opts = search_options();
-  opts.cache = &cache;
-  (void)sched::parallel_search(tg, opts);  // warm it once
+  // A long-lived Engine with its shared in-memory cache attached — the
+  // steady state of fppn_serve answering repeat requests.
+  engine::Engine eng;
+  engine::SolveRequest request;
+  request.graph = &tg;
+  request.config = search_config();
+  request.config.memory_cache = true;
+  (void)eng.solve(request);  // warm it once
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::parallel_search(tg, opts).best.makespan);
+    benchmark::DoNotOptimize(eng.solve(request).search.best.makespan);
   }
   state.SetLabel(std::to_string(tg.job_count()) + " jobs, warm memory cache");
 }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "bench_graphs.hpp"
+#include "engine/engine.hpp"
 #include "sched/parallel_search.hpp"
 #include "sched/sharded_search.hpp"
 
@@ -27,14 +28,15 @@ namespace fs = std::filesystem;
 
 using benchgraphs::random_task_graph;
 
-sched::ParallelSearchOptions search_options() {
-  sched::ParallelSearchOptions opts;
-  opts.processors = 4;
-  opts.seeds_per_strategy = 4;
-  opts.max_iterations = 800;
-  opts.restarts = 2;
-  opts.workers = 1;  // one thread per process: processes are the axis here
-  return opts;
+engine::SearchConfig search_config() {
+  engine::SearchConfig config;
+  config.processors = 4;
+  config.seeds_per_strategy = 4;
+  config.max_iterations = 800;
+  config.restarts = 2;
+  config.workers = 1;  // one thread per process: processes are the axis here
+  config.warm_start = false;
+  return config;
 }
 
 /// Launcher that forks one real OS process per shard; each child
@@ -85,17 +87,21 @@ std::string fresh_shard_dir(int shards) {
 void BM_ShardedSearchProcesses(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(0));
   const TaskGraph tg = random_task_graph(8, 8, 900, 21);
-  const sched::ParallelSearchOptions opts = search_options();
+  const sched::ParallelSearchOptions opts = search_config().search_options();
   std::string winner;
   for (auto _ : state) {
     const std::string dir = fresh_shard_dir(shards);
-    sched::ShardedSearchOptions sharding;
-    sharding.shards = shards;
-    sharding.shard_dir = dir;
-    sharding.launcher = fork_shard_launcher(tg, opts, dir);
-    const sched::ParallelSearchResult result = sched::sharded_search(tg, opts, sharding);
-    benchmark::DoNotOptimize(result.best.makespan);
-    winner = result.best.strategy + "/" + std::to_string(result.seed);
+    engine::SolveRequest request;
+    request.graph = &tg;
+    request.config = search_config();
+    request.config.shards = shards;
+    request.config.shard_dir = dir;
+    request.make_shard_launcher = [&tg, &opts](const std::string& shard_dir) {
+      return fork_shard_launcher(tg, opts, shard_dir);
+    };
+    const engine::SolveReport report = engine::solve_once(request);
+    benchmark::DoNotOptimize(report.search.best.makespan);
+    winner = report.search.best.strategy + "/" + std::to_string(report.search.seed);
     std::error_code ec;
     fs::remove_all(dir, ec);
   }
@@ -112,12 +118,12 @@ BENCHMARK(BM_ShardedSearchProcesses)
 
 void BM_InProcessBaseline(benchmark::State& state) {
   const TaskGraph tg = random_task_graph(8, 8, 900, 21);
-  sched::ParallelSearchOptions opts = search_options();
+  const engine::SearchConfig config = search_config();
   std::string winner;
   for (auto _ : state) {
-    const sched::ParallelSearchResult result = sched::parallel_search(tg, opts);
-    benchmark::DoNotOptimize(result.best.makespan);
-    winner = result.best.strategy + "/" + std::to_string(result.seed);
+    const engine::SolveReport report = engine::solve_graph(tg, config);
+    benchmark::DoNotOptimize(report.search.best.makespan);
+    winner = report.search.best.strategy + "/" + std::to_string(report.search.seed);
   }
   state.SetLabel(std::to_string(tg.job_count()) + " jobs, 1 thread, winner " + winner);
 }

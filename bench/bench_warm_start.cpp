@@ -13,9 +13,8 @@
 #include "apps/fig1.hpp"
 #include "bench_graphs.hpp"
 #include "bench_json.hpp"
+#include "engine/engine.hpp"
 #include "sched/local_search.hpp"
-#include "sched/parallel_search.hpp"
-#include "sched/schedule_cache.hpp"
 #include "sched/warm_start.hpp"
 #include "taskgraph/derivation.hpp"
 
@@ -25,24 +24,27 @@ using namespace fppn;
 
 using benchgraphs::random_task_graph;
 
-sched::ParallelSearchOptions search_options() {
-  sched::ParallelSearchOptions opts;
-  opts.processors = 4;
-  opts.seeds_per_strategy = 3;
-  opts.max_iterations = 400;
-  opts.restarts = 1;
-  return opts;
+engine::SearchConfig search_config(bool overlay) {
+  engine::SearchConfig config;
+  config.processors = 4;
+  config.seeds_per_strategy = 3;
+  config.max_iterations = 400;
+  config.restarts = 1;
+  config.memory_cache = true;  // the Engine's shared in-memory cache
+  config.warm_start = overlay;
+  return config;
 }
 
 void BM_WarmSearchWithoutOverlay(benchmark::State& state) {
   const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
                                          static_cast<int>(state.range(0)), 500, 7);
-  sched::ScheduleCache cache;
-  sched::ParallelSearchOptions opts = search_options();
-  opts.cache = &cache;
-  (void)sched::parallel_search(tg, opts);  // warm it once
+  engine::Engine eng;
+  engine::SolveRequest request;
+  request.graph = &tg;
+  request.config = search_config(false);
+  (void)eng.solve(request);  // warm it once
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::parallel_search(tg, opts).best.makespan);
+    benchmark::DoNotOptimize(eng.solve(request).search.best.makespan);
   }
   state.SetLabel(std::to_string(tg.job_count()) + " jobs, warm, overlay off");
 }
@@ -51,13 +53,13 @@ BENCHMARK(BM_WarmSearchWithoutOverlay)->Arg(6)->Arg(10)->Unit(benchmark::kMillis
 void BM_WarmSearchWithOverlay(benchmark::State& state) {
   const TaskGraph tg = random_task_graph(static_cast<int>(state.range(0)),
                                          static_cast<int>(state.range(0)), 500, 7);
-  sched::ScheduleCache cache;
-  sched::ParallelSearchOptions opts = search_options();
-  opts.cache = &cache;
-  opts.warm_start = true;
-  (void)sched::parallel_search(tg, opts);  // warm it once
+  engine::Engine eng;
+  engine::SolveRequest request;
+  request.graph = &tg;
+  request.config = search_config(true);
+  (void)eng.solve(request);  // warm it once
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::parallel_search(tg, opts).best.makespan);
+    benchmark::DoNotOptimize(eng.solve(request).search.best.makespan);
   }
   state.SetLabel(std::to_string(tg.job_count()) + " jobs, warm, overlay on");
 }

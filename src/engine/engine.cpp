@@ -1,0 +1,191 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "sched/parallel_search.hpp"
+#include "taskgraph/fingerprint.hpp"
+
+namespace fppn {
+namespace engine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point begin) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - begin).count();
+}
+
+sched::CacheStats stats_delta(const sched::CacheStats& before,
+                              const sched::CacheStats& after) {
+  sched::CacheStats d;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.stores = after.stores - before.stores;
+  d.disk_rejects = after.disk_rejects - before.disk_rejects;
+  d.evictions = after.evictions - before.evictions;
+  return d;
+}
+
+/// The inputs of a request, resolved to one task graph (plus the parse /
+/// derive artifacts and their timings when the engine produced them).
+struct ResolvedInput {
+  const TaskGraph* graph = nullptr;
+  std::optional<io::ParsedNetwork> network;
+  std::optional<DerivedTaskGraph> derived;
+  double parse_ms = 0.0;
+  double derive_ms = 0.0;
+};
+
+ResolvedInput resolve_input(const SolveRequest& request) {
+  ResolvedInput in;
+  if (request.graph != nullptr) {
+    if (request.network_path.has_value() || request.network_text.has_value()) {
+      throw std::invalid_argument("SolveRequest: give exactly one input source");
+    }
+    in.graph = request.graph;
+    return in;
+  }
+  const Clock::time_point parse_begin = Clock::now();
+  if (request.network_path.has_value()) {
+    if (request.network_text.has_value()) {
+      throw std::invalid_argument("SolveRequest: give exactly one input source");
+    }
+    in.network = load_network(*request.network_path);
+  } else if (request.network_text.has_value()) {
+    in.network = io::parse_network_string(*request.network_text);
+  } else {
+    throw std::invalid_argument("SolveRequest: no input source set");
+  }
+  in.parse_ms = ms_since(parse_begin);
+  const Clock::time_point derive_begin = Clock::now();
+  in.derived = derive_network(*in.network, request);
+  in.derive_ms = ms_since(derive_begin);
+  in.graph = &in.derived->graph;
+  return in;
+}
+
+/// Runs the sharded orchestrator, owning the temp shard directory when the
+/// request did not pin one — every error path unwinds through the same
+/// cleanup chain.
+sched::ParallelSearchResult run_sharded(const TaskGraph& tg,
+                                        sched::ParallelSearchOptions& opts,
+                                        const SolveRequest& request) {
+  const SearchConfig& config = request.config;
+  const bool private_dir = !config.shard_dir.has_value();
+  const std::string shard_dir =
+      private_dir ? io::make_temp_directory("fppn-shards-") : *config.shard_dir;
+  sched::ShardedSearchOptions sharding;
+  sharding.shards = config.shards;
+  sharding.shard_dir = shard_dir;
+  sharding.launcher = request.make_shard_launcher
+                          ? request.make_shard_launcher(shard_dir)
+                          : sched::inprocess_shard_launcher(tg, opts, shard_dir);
+  try {
+    const sched::ParallelSearchResult result = sched::sharded_search(tg, opts, sharding);
+    if (private_dir) {
+      std::error_code ec;
+      fs::remove_all(shard_dir, ec);
+    }
+    return result;
+  } catch (...) {
+    if (private_dir) {
+      std::error_code ec;
+      fs::remove_all(shard_dir, ec);
+    }
+    throw;
+  }
+}
+
+}  // namespace
+
+sched::ScheduleCache* Engine::cache_for(const SearchConfig& config) {
+  if (config.no_cache) {
+    return nullptr;
+  }
+  if (!config.cache_dir.has_value()) {
+    return config.memory_cache ? &memory_cache_ : nullptr;
+  }
+  std::ostringstream key;
+  key << *config.cache_dir << '|' << config.cache_max_entries << '|'
+      << config.cache_max_bytes;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = disk_caches_.find(key.str());
+  if (it == disk_caches_.end()) {
+    // Throws on a bad path: loud, not a silent miss.
+    it = disk_caches_
+             .emplace(key.str(), std::make_unique<sched::ScheduleCache>(
+                                     *config.cache_dir, config.cache_max_entries,
+                                     config.cache_max_bytes))
+             .first;
+  }
+  return it->second.get();
+}
+
+SolveReport Engine::solve(const SolveRequest& request) {
+  ResolvedInput input = resolve_input(request);
+  const TaskGraph& tg = *input.graph;
+
+  sched::ParallelSearchOptions opts = request.config.search_options();
+  sched::ScheduleCache* cache = cache_for(request.config);
+  opts.cache = cache;
+  const sched::CacheStats cache_before =
+      cache != nullptr ? cache->stats() : sched::CacheStats{};
+
+  SolveReport report;
+  const Clock::time_point search_begin = Clock::now();
+  if (request.config.shards > 0) {
+    report.search = run_sharded(tg, opts, request);
+    report.sharded = true;
+  } else {
+    report.search = sched::parallel_search(tg, opts);
+  }
+  report.search_ms = ms_since(search_begin);
+
+  report.fingerprint = fingerprint(tg);
+  report.jobs = tg.job_count();
+  report.processors = request.config.processors;
+  if (cache != nullptr) {
+    report.cache_attached = true;
+    report.cache_directory = cache->directory();
+    report.cache = stats_delta(cache_before, cache->stats());
+  }
+  report.parse_ms = input.parse_ms;
+  report.derive_ms = input.derive_ms;
+  report.network = std::move(input.network);
+  report.derived = std::move(input.derived);
+  return report;
+}
+
+void Engine::solve_shard(const SolveRequest& request, int shard_index) {
+  if (!request.config.shard_dir.has_value()) {
+    throw std::invalid_argument("solve_shard: request.config.shard_dir is required");
+  }
+  const ResolvedInput input = resolve_input(request);
+  const TaskGraph& tg = *input.graph;
+  sched::ParallelSearchOptions opts = request.config.search_options();
+  opts.cache = cache_for(request.config);
+  const sched::ShardPlan plan = sched::make_shard_plan(tg, opts, request.config.shards);
+  (void)sched::evaluate_shard(tg, opts, plan, shard_index, *request.config.shard_dir);
+}
+
+SolveReport solve_once(const SolveRequest& request) {
+  Engine engine;
+  return engine.solve(request);
+}
+
+SolveReport solve_graph(const TaskGraph& tg, const SearchConfig& config) {
+  SolveRequest request;
+  request.graph = &tg;
+  request.config = config;
+  return solve_once(request);
+}
+
+}  // namespace engine
+}  // namespace fppn

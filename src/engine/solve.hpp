@@ -1,0 +1,174 @@
+// The engine solve layer's request/report contract: one canonical way to
+// describe a scheduling problem (SolveRequest), one consolidated knob set
+// (SearchConfig) and one structured outcome (SolveReport).
+//
+// Before this layer existed, every entry point — the tool's subcommands,
+// the benches, the fuzz loop and the shard worker — hand-rolled the same
+// parse -> derive -> compile -> cache-attach -> search pipeline and
+// threaded four overlapping options structs (LocalSearchOptions,
+// StrategyOptions, ParallelSearchOptions, ShardedSearchOptions) by hand.
+// SearchConfig is now the single user-facing source of that plumbing: it
+// subsumes every toggle the lower-level structs expose (strategy
+// restriction, seeds, workers, shards, cache directory/bounds,
+// warm-start, fast-evaluator/incremental/visited-set) and derives the
+// lower-level options in exactly one place (search_options()), so the
+// determinism contract — same request, bit-identical winner, regardless
+// of workers, shards or cache warmth — is enforced once, for every
+// caller (engine/engine.hpp holds the Engine that executes requests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/text_format.hpp"
+#include "sched/parallel_search.hpp"
+#include "sched/sharded_search.hpp"
+#include "taskgraph/derivation.hpp"
+
+namespace fppn {
+namespace engine {
+
+/// Every knob a solve may depend on, consolidated. Field groups map onto
+/// the lower layers as follows: processors/workers/strategies/seed and
+/// the budget resolve into sched::ParallelSearchOptions (and from there
+/// into StrategyOptions/LocalSearchOptions per candidate); the cache
+/// group selects the ScheduleCache the Engine attaches; the shard group
+/// selects the sharded orchestrator (ShardedSearchOptions); the kernel
+/// toggles ride through unchanged. search_options() is the only
+/// translation site.
+struct SearchConfig {
+  std::int64_t processors = 2;
+  /// Parallel-search worker threads; 0 = hardware concurrency.
+  int workers = 0;
+  /// Strategy names to try; empty = every registered strategy.
+  std::vector<std::string> strategies;
+  std::uint64_t seed = 1;
+
+  /// Budget preset: false = the quick preset (1 seed per strategy, 400
+  /// iterations, 1 restart), true = the optimizing preset (3 seeds, 2000
+  /// iterations, 2 restarts) — the presets fppn_tool has always used.
+  bool optimize = false;
+  /// Explicit budget overrides; unset fields come from the preset.
+  std::optional<int> seeds_per_strategy;
+  std::optional<int> max_iterations;
+  std::optional<int> restarts;
+
+  // --- cache attachment -------------------------------------------------
+  /// On-disk schedule cache directory; unset = no disk cache.
+  std::optional<std::string> cache_dir;
+  /// Master off-switch (--no-cache): no cache is attached even with a
+  /// directory configured.
+  bool no_cache = false;
+  /// Attach the Engine's shared in-memory cache when no disk directory is
+  /// given — the L1 of a long-lived engine (fppn_serve): repeat requests
+  /// for a known fingerprint are answered without evaluating a candidate.
+  bool memory_cache = false;
+  /// Entry-count bound on the disk directory; 0 = unbounded.
+  std::size_t cache_max_entries = 0;
+  /// Byte-size bound on the disk directory's entry files; 0 = unbounded.
+  std::uint64_t cache_max_bytes = 0;
+  /// Run the warm-start overlay after winner selection (ignored without a
+  /// cache). Defaults on, like fppn_tool: the overlay only ever matches
+  /// or strictly improves the winner.
+  bool warm_start = true;
+
+  // --- sharding ---------------------------------------------------------
+  /// > 0: split the candidate matrix across this many shards
+  /// (sched::sharded_search) instead of searching in-process.
+  int shards = 0;
+  /// Directory the shards publish into; unset = a private temp directory
+  /// created and removed by the Engine. A pre-populated directory (every
+  /// manifest present) is merged without launching anything.
+  std::optional<std::string> shard_dir;
+
+  // --- kernel toggles (all outside every cache key) ---------------------
+  bool use_fast_evaluator = true;
+  bool use_incremental = true;
+  bool use_visited_set = true;
+
+  /// The resolved low-level options — the single place SearchConfig is
+  /// translated for the search layers. Cache/shard fields are handled by
+  /// the Engine, not here. Deterministic; never throws.
+  [[nodiscard]] sched::ParallelSearchOptions search_options() const;
+};
+
+/// One scheduling problem. Exactly one input source must be set; network
+/// inputs are parsed and derived by the Engine, a pre-derived graph skips
+/// both stages (benches, the fuzz loop).
+struct SolveRequest {
+  /// Path of a `.fppn` network file to load.
+  std::optional<std::string> network_path;
+  /// `.fppn` network text to parse in place (the fppn_serve wire format).
+  std::optional<std::string> network_text;
+  /// Pre-derived task graph (not owned; must outlive the call).
+  const TaskGraph* graph = nullptr;
+
+  // Derivation knobs — network inputs only.
+  int unfold = 1;
+  /// Uniform WCET override; unset networks must declare complete WCETs.
+  std::optional<Duration> uniform_wcet;
+
+  SearchConfig config;
+
+  /// Builds the launcher for a sharded solve (the tool spawns
+  /// `fppn_tool search-worker` processes of itself). Null with shards > 0
+  /// falls back to evaluating every shard in-process — same winner, by
+  /// the sharded determinism contract.
+  std::function<sched::ShardLauncher(const std::string& shard_dir)> make_shard_launcher;
+};
+
+/// Structured outcome of one solve — everything the printf-scattered
+/// stats in the old tool reported, as data.
+struct SolveReport {
+  /// Winner schedule, feasibility, candidate/cache/evaluation counters.
+  sched::ParallelSearchResult search;
+
+  std::uint64_t fingerprint = 0;   ///< canonical task-graph fingerprint
+  std::size_t jobs = 0;            ///< derived job count
+  std::int64_t processors = 0;     ///< processor count solved for
+  bool sharded = false;            ///< went through sched::sharded_search
+
+  /// Cache accounting *of this solve* (stat deltas, not cumulative engine
+  /// counters) when a cache was attached.
+  bool cache_attached = false;
+  std::string cache_directory;     ///< "" for the in-memory L1
+  sched::CacheStats cache;
+
+  /// Per-stage wall-clock timings (ms). Parse/derive are zero for
+  /// pre-derived graph inputs.
+  double parse_ms = 0.0;
+  double derive_ms = 0.0;
+  double search_ms = 0.0;
+
+  /// The parsed network / derived graph, when the Engine produced them —
+  /// so callers (simulate, feasibility reports, gantt) never re-run the
+  /// pipeline stages the solve already ran.
+  std::optional<io::ParsedNetwork> network;
+  std::optional<DerivedTaskGraph> derived;
+
+  [[nodiscard]] bool feasible() const { return search.best.feasible; }
+};
+
+/// Loads and parses a network file. Throws std::runtime_error
+/// ("cannot open '<path>'") for an unreadable file and io::ParseError /
+/// std::invalid_argument for malformed content — same messages the tool
+/// has always printed.
+[[nodiscard]] io::ParsedNetwork load_network(const std::string& path);
+
+/// Resolves the WCET map of a parsed network: the uniform override when
+/// given, the declared per-process WCETs otherwise. Throws
+/// std::runtime_error when neither covers every process.
+[[nodiscard]] WcetMap resolve_wcets(const io::ParsedNetwork& parsed,
+                                    const std::optional<Duration>& uniform_wcet);
+
+/// Parse + derive for a network-input request (no search). Shared by
+/// Engine::solve and callers that only need the graph (taskgraph,
+/// roundtrip, fuzz replay).
+[[nodiscard]] DerivedTaskGraph derive_network(const io::ParsedNetwork& parsed,
+                                              const SolveRequest& request);
+
+}  // namespace engine
+}  // namespace fppn

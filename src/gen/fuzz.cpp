@@ -6,10 +6,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/engine.hpp"
 #include "io/atomic_file.hpp"
 #include "io/text_format.hpp"
 #include "runtime/vm_runtime.hpp"
-#include "sched/parallel_search.hpp"
 #include "ta/translate.hpp"
 #include "taskgraph/fingerprint.hpp"
 
@@ -27,19 +27,23 @@ FuzzToggles sample_toggles(std::uint64_t seed) {
   return t;
 }
 
-sched::ParallelSearchOptions search_options(const FuzzConfig& cfg, std::uint64_t seed,
-                                     std::int64_t processors) {
-  sched::ParallelSearchOptions opts;
-  opts.processors = processors;
-  opts.workers = 1;
-  opts.seeds_per_strategy = 1;
-  opts.base_seed = seed;
-  opts.max_iterations = cfg.max_iterations;
-  opts.restarts = cfg.restarts;
-  opts.use_fast_evaluator = false;
-  opts.use_incremental = false;
-  opts.use_visited_set = false;
-  return opts;
+/// The reference run's engine config: single worker, single seed, every
+/// kernel toggle off — the slow-but-simple baseline the toggled run must
+/// match bit for bit.
+engine::SearchConfig search_config(const FuzzConfig& cfg, std::uint64_t seed,
+                                   std::int64_t processors) {
+  engine::SearchConfig config;
+  config.processors = processors;
+  config.workers = 1;
+  config.seeds_per_strategy = 1;
+  config.seed = seed;
+  config.max_iterations = cfg.max_iterations;
+  config.restarts = cfg.restarts;
+  config.warm_start = false;  // no cache attached; keep the run pure
+  config.use_fast_evaluator = false;
+  config.use_incremental = false;
+  config.use_visited_set = false;
+  return config;
 }
 
 std::string time_str(const Time& t) { return t.value().to_string(); }
@@ -298,14 +302,17 @@ FuzzVerdict check_network(const Network& net, const WcetMap& wcets,
   sched::ParallelSearchResult reference;
   sched::ParallelSearchResult toggled;
   try {
-    const sched::ParallelSearchOptions ref_opts = search_options(cfg, seed, procs);
-    reference = sched::parallel_search(derived.graph, ref_opts);
-    sched::ParallelSearchOptions tog_opts = ref_opts;
-    tog_opts.use_fast_evaluator = true;
-    tog_opts.use_incremental = tog.incremental;
-    tog_opts.use_visited_set = tog.visited_set;
-    tog_opts.workers = 1 + static_cast<int>((seed >> 2) % 2);
-    toggled = sched::parallel_search(derived.graph, tog_opts);
+    // Both runs go through the engine layer, like every other entry
+    // point — the differential check therefore also covers the request
+    // translation, not just the search kernel.
+    const engine::SearchConfig ref_config = search_config(cfg, seed, procs);
+    reference = engine::solve_graph(derived.graph, ref_config).search;
+    engine::SearchConfig tog_config = ref_config;
+    tog_config.use_fast_evaluator = true;
+    tog_config.use_incremental = tog.incremental;
+    tog_config.use_visited_set = tog.visited_set;
+    tog_config.workers = 1 + static_cast<int>((seed >> 2) % 2);
+    toggled = engine::solve_graph(derived.graph, tog_config).search;
   } catch (const std::exception& e) {
     fail("reference-winner", std::string("search threw: ") + e.what());
     return v;

@@ -5,10 +5,49 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 namespace fppn {
 namespace sched {
+
+namespace {
+
+/// Forks and execs one shard worker. Returns the child pid, or -1 when
+/// the fork itself failed (the caller decides how to recover).
+pid_t spawn_worker(const std::vector<std::string>& argv_strings) {
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (const std::string& a : argv_strings) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execvp(argv[0], argv.data());
+    std::perror("fppn: exec shard worker");
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+/// Reaps `pid` and returns the failure clause for shard `s`, or nullopt
+/// on a clean exit 0.
+std::optional<std::string> reap_worker(pid_t pid, int s) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) {
+    return "cannot wait for shard worker " + std::to_string(s);
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return "shard worker " + std::to_string(s) + " failed (" +
+           (WIFEXITED(status) ? "exit status " + std::to_string(WEXITSTATUS(status))
+                              : "killed by signal " + std::to_string(WTERMSIG(status))) +
+           ")";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard) {
   return [command_for_shard](const ShardPlan& plan) {
@@ -20,13 +59,7 @@ ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard) {
         throw std::runtime_error("process_shard_launcher: empty command for shard " +
                                  std::to_string(s));
       }
-      std::vector<char*> argv;
-      argv.reserve(argv_strings.size() + 1);
-      for (const std::string& a : argv_strings) {
-        argv.push_back(const_cast<char*>(a.c_str()));
-      }
-      argv.push_back(nullptr);
-      const pid_t pid = ::fork();
+      const pid_t pid = spawn_worker(argv_strings);
       if (pid < 0) {
         // Don't leave already-spawned workers orphaned and racing the
         // shard-dir cleanup: stop and reap them before aborting.
@@ -39,29 +72,33 @@ ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard) {
         }
         throw std::runtime_error("cannot fork shard worker " + std::to_string(s));
       }
-      if (pid == 0) {
-        ::execvp(argv[0], argv.data());
-        std::perror("fppn: exec shard worker");
-        std::_Exit(127);
-      }
       pids.push_back(pid);
     }
     // Wait for EVERY worker and collect EVERY failure: reporting only the
     // last failed shard would hide the others and leave unreaped children
     // behind an early throw.
-    std::vector<std::string> failures;
+    std::vector<int> failed_shards;
     for (std::size_t s = 0; s < pids.size(); ++s) {
-      int status = 0;
-      if (::waitpid(pids[s], &status, 0) < 0) {
-        failures.push_back("cannot wait for shard worker " + std::to_string(s));
+      if (reap_worker(pids[s], static_cast<int>(s)).has_value()) {
+        failed_shards.push_back(static_cast<int>(s));
+      }
+    }
+    // One retry per failed shard — a fresh fork/exec of the same
+    // deterministic plan slice (the worker recomputes it from the same
+    // inputs, so a retry can never evaluate different candidates). This
+    // absorbs transient failures (OOM kill, fork pressure, a node blip in
+    // a distributed --shard-dir run); a shard that fails twice is a real
+    // error and goes into the aggregate report.
+    std::vector<std::string> failures;
+    for (const int s : failed_shards) {
+      const pid_t pid = spawn_worker(command_for_shard(s));
+      if (pid < 0) {
+        failures.push_back("cannot fork shard worker " + std::to_string(s) +
+                           " (retry)");
         continue;
       }
-      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-        failures.push_back(
-            "shard worker " + std::to_string(s) + " failed (" +
-            (WIFEXITED(status) ? "exit status " + std::to_string(WEXITSTATUS(status))
-                               : "killed by signal " + std::to_string(WTERMSIG(status))) +
-            ")");
+      if (auto failure = reap_worker(pid, s)) {
+        failures.push_back(*failure);
       }
     }
     if (!failures.empty()) {

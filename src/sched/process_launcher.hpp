@@ -5,10 +5,14 @@
 // without going through the tool binary.
 //
 // Failure reporting: the launcher waits for EVERY worker before deciding
-// the outcome, and the error it throws names EVERY failed shard (exit
-// status or killing signal), not just the last one — with dozens of
-// shards, "worker 3 failed" hiding "workers 5, 7 and 9 also failed" turns
-// one debugging session into four. A fork failure stops and reaps the
+// the outcome, retries each failed shard ONCE (a fresh fork/exec of the
+// same deterministic plan slice — workers recompute the plan from the
+// same inputs, so a retry can never evaluate different candidates; this
+// absorbs transient failures like an OOM kill or fork pressure), and the
+// error it throws names EVERY shard that failed twice (exit status or
+// killing signal), not just the last one — with dozens of shards,
+// "worker 3 failed" hiding "workers 5, 7 and 9 also failed" turns one
+// debugging session into four. A fork failure stops and reaps the
 // already-spawned workers before throwing, so no orphan races the shard
 // directory cleanup.
 //
@@ -29,8 +33,9 @@ namespace sched {
 using ShardCommandBuilder = std::function<std::vector<std::string>(int shard_index)>;
 
 /// ShardLauncher that runs `command_for_shard(s)` for every shard of the
-/// plan as a separate process and waits for all of them. Throws
-/// std::runtime_error listing every shard whose worker did not exit 0
+/// plan as a separate process and waits for all of them, retrying each
+/// failed shard once before giving up on it. Throws std::runtime_error
+/// listing every shard whose worker did not exit 0 on either attempt
 /// (";"-joined, one clause per failure), or whose wait failed, after all
 /// workers have been reaped. Thread-compatible: each returned launcher is
 /// used by one orchestrator at a time.

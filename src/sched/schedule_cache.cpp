@@ -69,8 +69,9 @@ CacheKey make_cache_key(const TaskGraph& tg, const std::string& strategy,
   return make_cache_key(fingerprint(tg), strategy, opts);
 }
 
-ScheduleCache::ScheduleCache(const std::string& directory, std::size_t max_entries)
-    : directory_(directory), max_entries_(max_entries) {
+ScheduleCache::ScheduleCache(const std::string& directory, std::size_t max_entries,
+                             std::uint64_t max_bytes)
+    : directory_(directory), max_entries_(max_entries), max_bytes_(max_bytes) {
   io::ensure_directory(directory_, "schedule cache");
 }
 
@@ -221,17 +222,43 @@ void ScheduleCache::reconcile_index_locked(io::CacheIndex& index) const {
   }
 }
 
-std::size_t ScheduleCache::evict_locked(io::CacheIndex& index, std::size_t bound) {
-  if (index.entries.size() <= bound) {
+std::size_t ScheduleCache::evict_locked(io::CacheIndex& index) {
+  // Total entry-file bytes, consulted only under a byte bound. A file that
+  // vanished between indexing and stat counts as zero — eviction then
+  // simply drops its record.
+  std::uint64_t total_bytes = 0;
+  if (max_bytes_ > 0) {
+    for (const io::CacheIndexEntry& e : index.entries) {
+      std::error_code ec;
+      const std::uintmax_t size = fs::file_size(fs::path(directory_) / e.file, ec);
+      total_bytes += ec ? 0 : static_cast<std::uint64_t>(size);
+    }
+  }
+  const auto within_bounds = [&]() {
+    if (max_entries_ > 0 && index.entries.size() > max_entries_) {
+      return false;
+    }
+    if (max_bytes_ > 0 && total_bytes > max_bytes_) {
+      return false;
+    }
+    return true;
+  };
+  if (within_bounds()) {
     return 0;
   }
   std::size_t evicted = 0;
   for (const io::CacheIndexEntry& victim : index.oldest_first()) {
-    if (index.entries.size() <= bound) {
+    if (within_bounds()) {
       break;
     }
+    const fs::path path = fs::path(directory_) / victim.file;
+    if (max_bytes_ > 0) {
+      std::error_code size_ec;
+      const std::uintmax_t size = fs::file_size(path, size_ec);
+      total_bytes -= size_ec ? 0 : static_cast<std::uint64_t>(size);
+    }
     std::error_code ec;
-    fs::remove(fs::path(directory_) / victim.file, ec);  // already-gone is fine
+    fs::remove(path, ec);  // already-gone is fine
     index.erase(victim.file);
     ++evicted;
   }
@@ -249,7 +276,7 @@ void ScheduleCache::save_index_locked(const io::CacheIndex& index) const {
 }
 
 void ScheduleCache::touch_index_locked(const std::string& file) {
-  if (max_entries_ == 0) {
+  if (max_entries_ == 0 && max_bytes_ == 0) {
     // Unbounded caches skip index maintenance on the hot path entirely:
     // gc() rebuilds recency from file modification times when a bound is
     // ever wanted, and skipping saves a read-modify-write of the index
@@ -262,7 +289,7 @@ void ScheduleCache::touch_index_locked(const std::string& file) {
   // by racing processes — the bound holds over the actual directory
   // contents, not just this process's view of them.
   reconcile_index_locked(index);
-  (void)evict_locked(index, max_entries_);
+  (void)evict_locked(index);
   try {
     save_index_locked(index);
   } catch (const std::runtime_error&) {
@@ -282,8 +309,8 @@ CacheGcStats ScheduleCache::gc() {
   const std::lock_guard<std::mutex> lock(mu_);
   io::CacheIndex index = load_index_locked(&out.index_rebuilt);
   reconcile_index_locked(index);
-  if (max_entries_ > 0) {
-    out.evicted = evict_locked(index, max_entries_);
+  if (max_entries_ > 0 || max_bytes_ > 0) {
+    out.evicted = evict_locked(index);
   }
   out.kept = index.entries.size();
   save_index_locked(index);

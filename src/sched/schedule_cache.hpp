@@ -19,11 +19,12 @@
 // overwritten on the next store — a fingerprint collision can therefore
 // never smuggle a wrong-sized schedule into a search.
 //
-// Lifecycle: a *bounded* (max_entries > 0) disk-backed cache maintains a
-// recency index (io/cache_index.hpp, "<dir>/cache-index") — every store
-// and every disk-promoted hit bumps the entry's logical sequence number,
-// then evicts the oldest entries (lowest sequence) until the directory
-// holds at most max_entries entry files, reconciling the index against
+// Lifecycle: a *bounded* (max_entries > 0 and/or max_bytes > 0)
+// disk-backed cache maintains a recency index (io/cache_index.hpp,
+// "<dir>/cache-index") — every store and every disk-promoted hit bumps
+// the entry's logical sequence number, then evicts the oldest entries
+// (lowest sequence) until the directory holds at most max_entries entry
+// files summing to at most max_bytes, reconciling the index against
 // the actual directory contents first so entries written by racing
 // processes are seen (and bounded) too. Unbounded caches skip index
 // maintenance on the hot path; gc() rebuilds recency from file
@@ -122,10 +123,16 @@ class ScheduleCache {
   /// it cannot be created — a bad cache path is an error, never a silent
   /// permanent miss. With max_entries > 0 the directory is size-bounded:
   /// every store evicts down to max_entries entry files, oldest
-  /// (least-recently stored/read) first. max_entries = 0 means unbounded;
-  /// no index is maintained on the hot path (a later gc() rebuilds
-  /// recency from file modification times).
-  explicit ScheduleCache(const std::string& directory, std::size_t max_entries = 0);
+  /// (least-recently stored/read) first. With max_bytes > 0 the *total
+  /// size* of the entry files is bounded the same way: oldest entries are
+  /// evicted until the remaining files sum to at most max_bytes (a bound
+  /// smaller than the newest entry therefore empties the directory — the
+  /// bound is a hard cap, not advisory). Both bounds may be combined;
+  /// each 0 means unbounded on that axis. With neither bound set, no
+  /// index is maintained on the hot path (a later gc() rebuilds recency
+  /// from file modification times).
+  explicit ScheduleCache(const std::string& directory, std::size_t max_entries = 0,
+                         std::uint64_t max_bytes = 0);
 
   /// Returns the cached result for `key`, re-scored against `tg`
   /// (finalize_result), or nullopt on a miss. Memory is probed first,
@@ -178,8 +185,11 @@ class ScheduleCache {
   /// Disk directory, empty for memory-only caches.
   [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
 
-  /// Size bound on the disk directory; 0 = unbounded.
+  /// Entry-count bound on the disk directory; 0 = unbounded.
   [[nodiscard]] std::size_t max_entries() const noexcept { return max_entries_; }
+
+  /// Byte-size bound on the disk directory's entry files; 0 = unbounded.
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
 
  private:
   struct Entry {
@@ -200,8 +210,9 @@ class ScheduleCache {
   void reconcile_index_locked(io::CacheIndex& index) const;
 
   /// Removes oldest entries (and their files) until the index holds at
-  /// most `bound` records. Caller holds the lock.
-  std::size_t evict_locked(io::CacheIndex& index, std::size_t bound);
+  /// most max_entries_ records (when bounded) whose files sum to at most
+  /// max_bytes_ (when bounded). Caller holds the lock.
+  std::size_t evict_locked(io::CacheIndex& index);
 
   /// Publishes the index atomically. Caller holds the lock.
   void save_index_locked(const io::CacheIndex& index) const;
@@ -212,6 +223,7 @@ class ScheduleCache {
 
   std::string directory_;
   std::size_t max_entries_ = 0;
+  std::uint64_t max_bytes_ = 0;
   mutable std::mutex mu_;
   std::map<CacheKey, Entry> memory_;
   CacheStats stats_;

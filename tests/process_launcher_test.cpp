@@ -1,15 +1,21 @@
 // Process shard launcher: every failed worker is reported in one error
-// (not just the last one), successes stay quiet, and signal deaths are
-// named as such.
+// (not just the last one), successes stay quiet, signal deaths are named
+// as such, and a failed shard is retried exactly once before it counts.
 #include "sched/process_launcher.hpp"
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace fppn {
 namespace {
+
+namespace fs = std::filesystem;
 
 sched::ShardPlan plan_of(int shards) {
   sched::ShardPlan plan;
@@ -65,6 +71,53 @@ TEST(ProcessShardLauncher, ReportsSignalDeaths) {
     EXPECT_NE(std::string(e.what()).find("killed by signal"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(ProcessShardLauncher, TransientFailureIsRetriedAndSucceeds) {
+  // A shard that fails once and succeeds on the rerun (an OOM kill, fork
+  // pressure, a node blip) must not fail the whole search: the launcher
+  // retries it once with a fresh fork/exec of the same command.
+  const fs::path marker = fs::temp_directory_path() /
+                          ("fppn_launcher_retry_" + std::to_string(::getpid()));
+  fs::remove(marker);
+  const sched::ShardLauncher launcher = sched::process_shard_launcher(
+      [marker](int shard) -> std::vector<std::string> {
+        if (shard == 0) {
+          // First run: create the marker and fail. Second run: marker
+          // exists, succeed.
+          return {"/bin/sh", "-c",
+                  "if [ -e '" + marker.string() + "' ]; then exit 0; "
+                  "else : > '" + marker.string() + "'; exit 9; fi"};
+        }
+        return {"/bin/sh", "-c", "exit 0"};
+      });
+  EXPECT_NO_THROW(launcher(plan_of(2)));
+  // The first attempt really did fail (the marker was left behind).
+  EXPECT_TRUE(fs::exists(marker));
+  fs::remove(marker);
+}
+
+TEST(ProcessShardLauncher, RetryReRunsOnlyTheFailedShards) {
+  // Deterministic failures are attempted exactly twice; healthy shards
+  // run exactly once (a retry storm re-running *everything* would double
+  // the cost of large sharded runs on one bad worker).
+  auto calls = std::make_shared<std::vector<int>>(3, 0);
+  const sched::ShardLauncher launcher = sched::process_shard_launcher(
+      [calls](int shard) -> std::vector<std::string> {
+        ++(*calls)[static_cast<std::size_t>(shard)];
+        return {"/bin/sh", "-c", shard == 1 ? "exit 5" : "exit 0"};
+      });
+  try {
+    launcher(plan_of(3));
+    FAIL() << "expected the launcher to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard worker 1 failed (exit status 5)"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ((*calls)[0], 1);
+  EXPECT_EQ((*calls)[1], 2);
+  EXPECT_EQ((*calls)[2], 1);
 }
 
 TEST(ProcessShardLauncher, ExecFailureSurfacesAsExit127) {

@@ -416,6 +416,101 @@ TEST(ScheduleCache, EvictionKeepsTheNewestEntries) {
   EXPECT_TRUE(reader.lookup(seeded_key(base, 5), derived.graph).has_value());
 }
 
+/// Size in bytes of one entry file for `result` under `key`, measured by
+/// storing it into a throwaway unbounded cache.
+std::uintmax_t entry_file_size(const sched::CacheKey& key,
+                               const sched::StrategyResult& result) {
+  const TempDir probe("probesize");
+  sched::ScheduleCache cache(probe.path());
+  cache.store(key, result);
+  return fs::file_size(fs::path(probe.path()) / key.filename());
+}
+
+TEST(ScheduleCache, ByteBoundEvictsOldestFirst) {
+  const auto derived = fig1_graph();
+  const auto result = evaluate(derived.graph, 2);
+  const auto base = key_for(derived.graph, 2);
+  // Single-digit seeds keep every entry file the same size.
+  const std::uintmax_t entry_size = entry_file_size(seeded_key(base, 1), result);
+
+  const TempDir dir("bytebound");
+  // Room for two entries but not three.
+  sched::ScheduleCache cache(dir.path(), 0, 2 * entry_size + entry_size / 2);
+  EXPECT_EQ(cache.max_entries(), 0u);
+  EXPECT_EQ(cache.max_bytes(), 2 * entry_size + entry_size / 2);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    cache.store(seeded_key(base, seed), result);
+  }
+  const std::vector<std::string> files = entry_files(dir.path());
+  ASSERT_EQ(files.size(), 2u);
+  for (const std::uint64_t seed : {3u, 4u}) {
+    EXPECT_NE(std::find(files.begin(), files.end(),
+                        seeded_key(base, seed).filename()),
+              files.end())
+        << "seed " << seed;
+  }
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // Evicted entries are disk misses for a fresh process; kept ones hit.
+  sched::ScheduleCache reader(dir.path(), 0, 2 * entry_size + entry_size / 2);
+  EXPECT_FALSE(reader.lookup(seeded_key(base, 1), derived.graph).has_value());
+  EXPECT_TRUE(reader.lookup(seeded_key(base, 4), derived.graph).has_value());
+}
+
+TEST(ScheduleCache, ByteBoundSmallerThanOneEntryEmptiesTheDirectory) {
+  // The bound is a hard cap, not advisory: an entry bigger than the whole
+  // budget is evicted right after its own store.
+  const TempDir dir("tinybytes");
+  const auto derived = fig1_graph();
+  const auto base = key_for(derived.graph, 2);
+  sched::ScheduleCache cache(dir.path(), 0, 1);
+  cache.store(seeded_key(base, 1), evaluate(derived.graph, 2));
+  EXPECT_TRUE(entry_files(dir.path()).empty());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The memory tier is not evicted — the in-process memo still answers.
+  EXPECT_TRUE(cache.lookup(seeded_key(base, 1), derived.graph).has_value());
+}
+
+TEST(ScheduleCache, EntryAndByteBoundsCombine) {
+  // Whichever bound is tighter wins. Entry bound 3 but byte budget for 2:
+  // two survive. Both bounds honored on every store.
+  const auto derived = fig1_graph();
+  const auto result = evaluate(derived.graph, 2);
+  const auto base = key_for(derived.graph, 2);
+  const std::uintmax_t entry_size = entry_file_size(seeded_key(base, 1), result);
+
+  const TempDir dir("bothbounds");
+  sched::ScheduleCache cache(dir.path(), 3, 2 * entry_size + entry_size / 2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cache.store(seeded_key(base, seed), result);
+  }
+  EXPECT_EQ(entry_files(dir.path()).size(), 2u);
+}
+
+TEST(ScheduleCache, GcHonorsByteBound) {
+  // Entries written by an unbounded writer (no index maintenance) are
+  // reconciled and evicted down to the byte budget by a later gc() —
+  // the `fppn_tool cache-gc --cache-max-bytes B` path.
+  const auto derived = fig1_graph();
+  const auto result = evaluate(derived.graph, 2);
+  const auto base = key_for(derived.graph, 2);
+  const std::uintmax_t entry_size = entry_file_size(seeded_key(base, 1), result);
+
+  const TempDir dir("gcbytes");
+  {
+    sched::ScheduleCache writer(dir.path());
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      writer.store(seeded_key(base, seed), result);
+    }
+  }
+  ASSERT_EQ(entry_files(dir.path()).size(), 4u);
+
+  sched::ScheduleCache bounded(dir.path(), 0, 2 * entry_size + entry_size / 2);
+  const sched::CacheGcStats gc = bounded.gc();
+  EXPECT_EQ(gc.kept, 2u);
+  EXPECT_EQ(gc.evicted, 2u);
+  EXPECT_EQ(entry_files(dir.path()).size(), 2u);
+}
+
 TEST(ScheduleCache, DiskHitRefreshesRecency) {
   // LRU, not FIFO: reading an old entry from disk must protect it from
   // the next eviction round.

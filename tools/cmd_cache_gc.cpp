@@ -1,0 +1,29 @@
+#include <cstdio>
+
+#include "commands.hpp"
+#include "sched/schedule_cache.hpp"
+
+namespace fppn {
+namespace tool {
+
+/// Offline cache maintenance: reconcile the recency index with the entry
+/// files (rebuilding a missing/corrupt index) and, with
+/// --cache-max-entries / --cache-max-bytes, evict down to the bounds —
+/// the CLI face of sched::ScheduleCache::gc().
+int cmd_cache_gc(const Args& args) {
+  if (!args.cache_dir.has_value()) {
+    std::fprintf(stderr, "fppn_tool: cache-gc requires --cache-dir D\n");
+    return 2;
+  }
+  sched::ScheduleCache cache(*args.cache_dir, args.cache_max_entries,
+                             args.cache_max_bytes);
+  const sched::CacheGcStats gc = cache.gc();
+  const bool unbounded = args.cache_max_entries == 0 && args.cache_max_bytes == 0;
+  std::printf("cache-gc '%s': %zu kept, %zu evicted%s%s\n", cache.directory().c_str(),
+              gc.kept, gc.evicted, gc.index_rebuilt ? ", index rebuilt" : "",
+              unbounded ? " (no bound given: index maintenance only)" : "");
+  return 0;
+}
+
+}  // namespace tool
+}  // namespace fppn

@@ -1,0 +1,29 @@
+#include <cstdio>
+
+#include "commands.hpp"
+#include "engine/engine.hpp"
+
+namespace fppn {
+namespace tool {
+
+/// One shard of a sharded search: recomputes the deterministic plan from
+/// the same inputs the orchestrator used and publishes this shard's
+/// results. Quiet on success (the orchestrator owns the report); errors
+/// go to stderr.
+int cmd_search_worker(const Args& args) {
+  if (args.shards < 1 || !args.shard_dir.has_value() || args.shard_index < 0 ||
+      args.shard_index >= args.shards) {
+    std::fprintf(stderr,
+                 "fppn_tool: search-worker requires --shards N, --shard-index I "
+                 "(0 <= I < N) and --shard-dir D\n");
+    return 2;
+  }
+  engine::SolveRequest request = solve_request(args);
+  request.make_shard_launcher = nullptr;  // this process IS the worker
+  engine::Engine engine;
+  engine.solve_shard(request, args.shard_index);
+  return 0;
+}
+
+}  // namespace tool
+}  // namespace fppn

@@ -1,0 +1,363 @@
+// fppn_serve — a minimal Unix-domain-socket scheduling daemon over the
+// engine layer, and the proof that engine::Engine is a complete front
+// end: the daemon adds no scheduling logic of its own, it only frames
+// requests and responses.
+//
+// Protocol (one connection per request, text both ways):
+//   request:  the bytes of a `.fppn` network description — exactly the
+//             existing file format — terminated by the client shutting
+//             down its write side (EOF framing, no length prefix).
+//   response: one status line
+//               "fppn-serve ok fingerprint <16-hex> candidates <N> "
+//               "evaluated <N> cached <N> winner <strategy> seed <S> "
+//               "feasible <0|1>"
+//             followed by the winning schedule in the existing
+//             "fppn-schedule v1" entry format (io/schedule_format.hpp,
+//             terminated by its "end" line), or a single
+//               "fppn-serve error: <message>"
+//             line when the request could not be served. The connection
+//             is closed after the response.
+//
+// A small worker pool (--workers, default 2) accepts connections on the
+// shared listening socket; all workers solve through ONE engine::Engine
+// with SearchConfig::memory_cache enabled, so the engine's shared
+// in-memory ScheduleCache is the daemon's L1: a repeat request for an
+// already-solved network fingerprint reports `evaluated 0` — every
+// candidate answered from cache, bit-identical winner (the cold-vs-warm
+// determinism contract of sched/parallel_search.hpp).
+//
+// Shutdown: SIGINT/SIGTERM stop the accept loop, in-flight requests are
+// drained, the socket file is unlinked and the process exits 0.
+//
+// `--request FILE` flips the binary into a one-shot client: connect,
+// send FILE, print the response to stdout, exit 0 on an "ok" response —
+// the client half of the CI smoke and the golden serve tests.
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "io/schedule_format.hpp"
+
+using namespace fppn;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+int g_listen_fd = -1;
+int g_stop_pipe[2] = {-1, -1};  ///< self-pipe: the handler wakes the pollers
+
+void handle_stop_signal(int) {
+  g_stop = 1;
+  // shutdown() does not wake accept() on an AF_UNIX listening socket, so
+  // the workers poll the listening fd together with this pipe; one write
+  // (async-signal-safe) wakes them all — the read end is never drained.
+  if (g_stop_pipe[1] >= 0) {
+    const char byte = 1;
+    (void)!::write(g_stop_pipe[1], &byte, 1);
+  }
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: fppn_serve --socket PATH [--workers N] [-m N] [--seed S]\n"
+               "                  [--jobs W] [--optimize]\n"
+               "       fppn_serve --socket PATH --request FILE   # one-shot client\n"
+               "options:\n"
+               "  --socket PATH    Unix socket to listen on (created; unlinked on exit)\n"
+               "  --workers N      connection worker threads (default 2)\n"
+               "  -m N             processor count to solve for (default 2)\n"
+               "  --seed S         search base seed (default 1)\n"
+               "  --jobs W         per-solve search worker threads (0 = auto)\n"
+               "  --optimize       the optimizing search preset per request\n"
+               "  --request FILE   client mode: send FILE, print the response\n");
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
+  std::exit(2);
+}
+
+/// Checked integer parse, fppn_serve's analogue of the fppn_tool helper:
+/// bad values exit 2 with an actionable message naming the flag.
+std::int64_t parse_int_flag(const char* flag, const std::string& value,
+                            std::int64_t min_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    std::fprintf(stderr, "fppn_serve: expected an integer for %s, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE || parsed < min_value) {
+    std::fprintf(stderr, "fppn_serve: %s must be >= %lld, got '%s'\n", flag,
+                 static_cast<long long>(min_value), value.c_str());
+    std::exit(2);
+  }
+  return parsed;
+}
+
+struct ServeArgs {
+  std::string socket_path;
+  std::string request_file;  ///< non-empty = client mode
+  int workers = 2;
+  std::int64_t processors = 2;
+  std::uint64_t seed = 1;
+  int jobs = 0;
+  bool optimize = false;
+};
+
+ServeArgs parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(stdout);
+      std::exit(0);
+    }
+  }
+  ServeArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      a.socket_path = next();
+    } else if (arg == "--request") {
+      a.request_file = next();
+    } else if (arg == "--workers") {
+      a.workers = static_cast<int>(parse_int_flag("--workers", next(), 1));
+    } else if (arg == "-m") {
+      a.processors = parse_int_flag("-m", next(), 1);
+    } else if (arg == "--seed") {
+      a.seed = static_cast<std::uint64_t>(parse_int_flag("--seed", next(), 0));
+    } else if (arg == "--jobs") {
+      a.jobs = static_cast<int>(parse_int_flag("--jobs", next(), 0));
+    } else if (arg == "--optimize") {
+      a.optimize = true;
+    } else {
+      usage();
+    }
+  }
+  if (a.socket_path.empty()) {
+    std::fprintf(stderr, "fppn_serve: --socket PATH is required\n");
+    std::exit(2);
+  }
+  return a;
+}
+
+sockaddr_un socket_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "fppn_serve: socket path too long: '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Reads the peer's bytes until EOF (the protocol's request framing).
+std::string read_to_eof(int fd) {
+  std::string data;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      data.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    break;  // EOF or hard error: serve what we have
+  }
+  return data;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // peer gone (SIGPIPE is ignored); nothing useful to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Solves one request and renders the response — the entire "business
+/// logic" of the daemon. Never throws (errors become error responses).
+std::string respond(engine::Engine& engine, const ServeArgs& args,
+                    const std::string& network_text) {
+  try {
+    engine::SolveRequest request;
+    request.network_text = network_text;
+    request.config.processors = args.processors;
+    request.config.seed = args.seed;
+    request.config.workers = args.jobs;
+    request.config.optimize = args.optimize;
+    request.config.memory_cache = true;  // the shared L1 across requests
+    const engine::SolveReport report = engine.solve(request);
+
+    char status[256];
+    std::snprintf(status, sizeof(status),
+                  "fppn-serve ok fingerprint %016llx candidates %zu evaluated %zu "
+                  "cached %zu winner %s seed %llu feasible %d\n",
+                  static_cast<unsigned long long>(report.fingerprint),
+                  report.search.candidates, report.search.evaluated,
+                  report.search.cache_hits, report.search.best.strategy.c_str(),
+                  static_cast<unsigned long long>(report.search.seed),
+                  report.feasible() ? 1 : 0);
+
+    io::ScheduleEntry entry;
+    entry.fingerprint = report.fingerprint;
+    entry.strategy = report.search.best.strategy;
+    entry.seed = report.search.seed;
+    entry.processors = report.processors;
+    const sched::ParallelSearchOptions opts = request.config.search_options();
+    entry.max_iterations = opts.max_iterations;
+    entry.restarts = opts.restarts;
+    entry.detail = report.search.best.detail;
+    entry.schedule = report.search.best.schedule;
+    return std::string(status) + io::write_schedule_entry(entry);
+  } catch (const io::ParseError& e) {
+    return std::string("fppn-serve error: parse error: ") + e.what() + "\n";
+  } catch (const std::exception& e) {
+    return std::string("fppn-serve error: ") + e.what() + "\n";
+  }
+}
+
+/// One worker: poll {listening socket, stop pipe} -> accept -> read
+/// request -> solve -> respond, until the stop signal. The listening
+/// socket is non-blocking (several workers may race for one connection),
+/// so a lost race is just another poll round.
+void worker_loop(engine::Engine& engine, const ServeArgs& args) {
+  while (g_stop == 0) {
+    pollfd fds[2] = {{g_listen_fd, POLLIN, 0}, {g_stop_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (g_stop != 0 || (fds[1].revents & POLLIN) != 0) {
+      break;
+    }
+    const int conn = ::accept(g_listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;  // listening socket unusable: drain
+    }
+    const std::string request_text = read_to_eof(conn);
+    write_all(conn, respond(engine, args, request_text));
+    ::close(conn);
+  }
+}
+
+int run_server(const ServeArgs& args) {
+  std::signal(SIGPIPE, SIG_IGN);
+  if (::pipe(g_stop_pipe) < 0) {
+    std::fprintf(stderr, "fppn_serve: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+
+  g_listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (g_listen_fd < 0) {
+    std::fprintf(stderr, "fppn_serve: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  ::fcntl(g_listen_fd, F_SETFL, O_NONBLOCK);
+  // A stale socket file from a previous run would make bind fail; the
+  // daemon owns its path, so clear it first.
+  ::unlink(args.socket_path.c_str());
+  sockaddr_un addr = socket_address(args.socket_path);
+  if (::bind(g_listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(g_listen_fd, 16) < 0) {
+    std::fprintf(stderr, "fppn_serve: cannot listen on '%s': %s\n",
+                 args.socket_path.c_str(), std::strerror(errno));
+    ::close(g_listen_fd);
+    return 1;
+  }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::fprintf(stderr, "fppn_serve: listening on '%s' (%d worker(s), m=%lld)\n",
+               args.socket_path.c_str(), args.workers,
+               static_cast<long long>(args.processors));
+
+  engine::Engine engine;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(args.workers));
+  for (int i = 0; i < args.workers; ++i) {
+    workers.emplace_back(worker_loop, std::ref(engine), std::cref(args));
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  ::close(g_listen_fd);
+  ::unlink(args.socket_path.c_str());
+  const sched::CacheStats cache = engine.memory_cache().stats();
+  std::fprintf(stderr, "fppn_serve: drained; cache served %zu hit(s), %zu miss(es)\n",
+               cache.hits, cache.misses);
+  return 0;
+}
+
+/// Client mode: send the request file, stream the response to stdout.
+/// Exit 0 on an "ok" response, 1 on connect/request errors or an error
+/// response — so scripts can assert success without parsing.
+int run_client(const ServeArgs& args) {
+  std::ifstream in(args.request_file);
+  if (!in) {
+    std::fprintf(stderr, "fppn_serve: cannot open '%s'\n", args.request_file.c_str());
+    return 1;
+  }
+  std::ostringstream request;
+  request << in.rdbuf();
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "fppn_serve: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  sockaddr_un addr = socket_address(args.socket_path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "fppn_serve: cannot connect to '%s': %s\n",
+                 args.socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  write_all(fd, request.str());
+  ::shutdown(fd, SHUT_WR);  // EOF-frames the request
+  const std::string response = read_to_eof(fd);
+  ::close(fd);
+  std::fputs(response.c_str(), stdout);
+  return response.rfind("fppn-serve ok", 0) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeArgs args = parse_args(argc, argv);
+  return args.request_file.empty() ? run_server(args) : run_client(args);
+}

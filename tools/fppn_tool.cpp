@@ -3,6 +3,13 @@
 // schedules and simulate the online policy. This is the analogue of the
 // paper's publicly released code-generation tool [10] for this library.
 //
+// This file is only the dispatcher. Flag parsing and the Args ->
+// engine::SolveRequest translation live in tools/tool_common.*; each
+// subcommand is one thin module in tools/cmd_*.cpp (declared in
+// tools/commands.hpp); all scheduling behavior — presets, cache
+// attachment, sharding, the determinism contract — lives in src/engine,
+// shared with fppn_serve, the benches and the fuzz loop.
+//
 // Scheduling goes through the strategy registry (pass any registered name
 // to --strategy; `fppn_tool --help` lists them) and --optimize runs the
 // parallel multi-strategy/multi-seed search. Execution goes through the
@@ -16,7 +23,8 @@
 //   fppn_tool taskgraph <file> [--dot] [--wcet C] [--unfold U]
 //   fppn_tool schedule  <file> -m N [--strategy NAME] [--optimize]
 //                       [--jobs W] [--seed S] [--wcet C] [--unfold U]
-//                       [--cache-dir D] [--cache-max-entries N] [--no-cache]
+//                       [--cache-dir D] [--cache-max-entries N]
+//                       [--cache-max-bytes B] [--no-cache]
 //                       [--shards N [--shard-dir D]] [--dot|--gantt]
 //   fppn_tool search-worker <file> -m N --shards N --shard-index I
 //                       --shard-dir D [schedule options]
@@ -24,6 +32,7 @@
 //                       [--overhead F1,Fn] [--wcet C] [--seed S]
 //                       [--cache-dir D] [--cache-max-entries N] [--no-cache]
 //   fppn_tool cache-gc  --cache-dir D [--cache-max-entries N]
+//                       [--cache-max-bytes B]
 //   fppn_tool roundtrip <file>         # parse and re-emit the description
 //   fppn_tool fuzz      [--seeds N] [--seed S] [--families LIST] [-m N]
 //                       [--repro-dir D] [--replay FILE] [--shrink-steps K]
@@ -41,735 +50,21 @@
 // warm rerun matches the cold winner or beats it, never anything else).
 // A bad cache path is a hard error (exit 1), never a silent miss. Shard
 // worker processes share the same cache directory, so sharded searches
-// are warm-cache friendly too. --cache-max-entries bounds the directory
-// (LRU-style eviction after every store); `cache-gc` runs the same
-// reconcile+evict pass on demand.
+// are warm-cache friendly too. --cache-max-entries bounds the directory's
+// entry count and --cache-max-bytes its total entry-file size (LRU-style
+// eviction after every store); `cache-gc` runs the same reconcile+evict
+// pass on demand.
 //
 // Every numeric flag is parsed with a checked helper: a non-integer or
 // out-of-range value exits 2 with an actionable message — never a raw
 // `stoi`/`stoll` exception.
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <limits>
-#include <optional>
-#include <string>
-#include <vector>
 
-#include "gen/fuzz.hpp"
-#include "io/atomic_file.hpp"
+#include "commands.hpp"
 #include "io/text_format.hpp"
-#include "runtime/runtime.hpp"
-#include "sched/parallel_search.hpp"
-#include "sched/process_launcher.hpp"
-#include "sched/registry.hpp"
-#include "sched/sharded_search.hpp"
-#include "sim/gantt.hpp"
-#include "taskgraph/analysis.hpp"
-#include "taskgraph/derivation.hpp"
 
 using namespace fppn;
-
-namespace {
-
-namespace fs = std::filesystem;
-
-/// argv[0], kept for re-spawning shard workers when /proc/self/exe is
-/// unavailable.
-std::string g_argv0;
-
-struct Args {
-  std::string command;
-  std::string file;
-  std::int64_t processors = 2;
-  std::int64_t frames = 1;
-  int unfold = 1;
-  int jobs = 0;  ///< parallel-search workers; 0 = hardware concurrency
-  int shards = 0;       ///< >0: split the schedule search across processes
-  int shard_index = -1; ///< search-worker only: which shard this process owns
-  std::uint64_t seed = 1;
-  std::size_t cache_max_entries = 0;  ///< 0 = unbounded cache directory
-  std::optional<Duration> uniform_wcet;
-  std::optional<std::string> strategy;
-  std::optional<std::string> cache_dir;
-  std::optional<std::string> shard_dir;
-  std::string runtime = "vm";
-  // fuzz subcommand
-  std::int64_t fuzz_seeds = 100;
-  int shrink_steps = 0;  ///< 0 = the gen::FuzzConfig default
-  std::string families;  ///< comma-separated family list; empty = all
-  std::string repro_dir;
-  std::optional<std::string> replay;
-  bool inject_bug = false;
-  bool processors_given = false;
-  bool no_cache = false;
-  bool no_incremental = false;  ///< escape hatch: from-scratch move scoring
-  bool no_visited_set = false;  ///< escape hatch: no cross-worker score memo
-  bool optimize = false;
-  bool dot = false;
-  bool gantt = false;
-  OverheadModel overhead;
-};
-
-void print_usage(std::FILE* out) {
-  std::fprintf(out,
-               "usage: fppn_tool "
-               "<check|taskgraph|schedule|search-worker|simulate|roundtrip> "
-               "<file> [options]\n"
-               "       fppn_tool cache-gc --cache-dir D [--cache-max-entries N]\n"
-               "       fppn_tool fuzz [--seeds N] [--seed S] [--families LIST]\n"
-               "                      [-m N] [--repro-dir D] [--replay FILE]\n"
-               "                      [--shrink-steps K] [--inject-bug]\n"
-               "options:\n"
-               "  -m N             processor count (schedule/simulate)\n"
-               "  --strategy NAME  scheduling strategy (schedule)\n"
-               "  --optimize       parallel multi-strategy/multi-seed search\n"
-               "  --jobs W         parallel-search worker threads (0 = auto)\n"
-               "  --shards N       split the search across N worker processes\n"
-               "                   (schedule); same winner as the in-process run\n"
-               "  --shard-dir D    directory the shards publish into; with all\n"
-               "                   manifests pre-populated (e.g. from other\n"
-               "                   machines) no workers are spawned, only merged\n"
-               "  --shard-index I  shard owned by this process (search-worker)\n"
-               "  --runtime NAME   execution backend (simulate)\n"
-               "  --frames F       schedule-frame repetitions (simulate)\n"
-               "  --overhead F1,Fn frame overhead model (simulate)\n"
-               "  --wcet C         uniform WCET override\n"
-               "  --unfold U       unfolding factor for the derivation\n"
-               "  --seed S         RNG seed (search/sporadic scripts)\n"
-               "  --cache-dir D    on-disk schedule cache (schedule/simulate);\n"
-               "                   D is created when its parent exists, else error\n"
-               "  --cache-max-entries N  bound the cache directory to N entries\n"
-               "                   (LRU-style eviction; also the cache-gc bound)\n"
-               "  --no-cache       disable the schedule cache even with --cache-dir\n"
-               "  --no-incremental score local-search moves from scratch instead of\n"
-               "                   resuming from checkpoints (bit-identical winner)\n"
-               "  --no-visited-set disable the shared order-score memo across search\n"
-               "                   workers (bit-identical winner)\n"
-               "  --dot | --gantt  graph/schedule rendering\n"
-               "  --seeds N        fuzz: scenario count (default 100)\n"
-               "  --families LIST  fuzz: comma-separated scenario families\n"
-               "  --repro-dir D    fuzz: write shrunk mismatch repros into D\n"
-               "  --replay FILE    fuzz: re-run the checks on a repro file\n"
-               "  --shrink-steps K fuzz: shrink budget per mismatch\n"
-               "  --inject-bug     fuzz: synthetic mismatch (shrinker self-test)\n");
-  std::fprintf(out, "strategies:\n");
-  for (const std::string& name : sched::StrategyRegistry::global().names()) {
-    const auto strategy = sched::StrategyRegistry::global().create(name);
-    std::fprintf(out, "  %-20s %s\n", name.c_str(), strategy->description().c_str());
-  }
-  std::fprintf(out, "runtimes:\n");
-  for (const std::string& name : runtime::RuntimeRegistry::global().names()) {
-    const auto backend = runtime::make_runtime(name);
-    std::fprintf(out, "  %-20s %s\n", name.c_str(), backend->description().c_str());
-  }
-}
-
-[[noreturn]] void usage() {
-  print_usage(stderr);
-  std::exit(2);
-}
-
-constexpr std::int64_t kNoMax = std::numeric_limits<std::int64_t>::max();
-
-/// Checked integer parse for a numeric flag: the whole value must be a
-/// base-10 integer within [min_value, max_value]. Anything else reports
-/// an actionable message naming the flag and exits 2 (the documented
-/// bad-usage code) — never a raw stoi/stoll exception. With max_value
-/// left at kNoMax the range message reads "must be >= N".
-std::int64_t parse_int_flag(const char* flag, const std::string& value,
-                            std::int64_t min_value, std::int64_t max_value = kNoMax) {
-  errno = 0;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value.c_str(), &end, 10);
-  if (value.empty() || end != value.c_str() + value.size()) {
-    std::fprintf(stderr, "fppn_tool: expected an integer for %s, got '%s'\n", flag,
-                 value.c_str());
-    std::exit(2);
-  }
-  if (errno == ERANGE) {
-    std::fprintf(stderr, "fppn_tool: %s out of range, got '%s'\n", flag, value.c_str());
-    std::exit(2);
-  }
-  if (parsed < min_value || parsed > max_value) {
-    if (max_value == kNoMax) {
-      std::fprintf(stderr, "fppn_tool: %s must be >= %lld, got '%s'\n", flag,
-                   static_cast<long long>(min_value), value.c_str());
-    } else {
-      std::fprintf(stderr, "fppn_tool: %s must be in [%lld, %lld], got '%s'\n", flag,
-                   static_cast<long long>(min_value),
-                   static_cast<long long>(max_value), value.c_str());
-    }
-    std::exit(2);
-  }
-  return parsed;
-}
-
-/// Checked unsigned parse (for --seed): rejects signs, non-digits and
-/// values beyond uint64.
-std::uint64_t parse_u64_flag(const char* flag, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const bool has_sign = !value.empty() && (value[0] == '-' || value[0] == '+');
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (value.empty() || has_sign || end != value.c_str() + value.size()) {
-    std::fprintf(stderr, "fppn_tool: expected an unsigned integer for %s, got '%s'\n",
-                 flag, value.c_str());
-    std::exit(2);
-  }
-  if (errno == ERANGE) {
-    std::fprintf(stderr, "fppn_tool: %s out of range, got '%s'\n", flag, value.c_str());
-    std::exit(2);
-  }
-  return parsed;
-}
-
-/// Validates a user-supplied registry name; on failure prints the name and
-/// the registered list (kind = "strategy" / "runtime") and exits 2.
-template <class Registry>
-void require_known(const Registry& registry, const char* kind, const char* kind_plural,
-                   const std::string& name) {
-  if (registry.contains(name)) {
-    return;
-  }
-  std::fprintf(stderr, "fppn_tool: unknown %s '%s'\navailable %s:", kind, name.c_str(),
-               kind_plural);
-  for (const std::string& n : registry.names()) {
-    std::fprintf(stderr, " %s", n.c_str());
-  }
-  std::fprintf(stderr, "\n");
-  std::exit(2);
-}
-
-Args parse_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      print_usage(stdout);
-      std::exit(0);
-    }
-  }
-  if (argc < 2) {
-    usage();
-  }
-  Args a;
-  a.command = argv[1];
-  // cache-gc operates on a cache directory and fuzz on generated
-  // scenarios (or --replay FILE), not a network file positional.
-  const bool takes_file = a.command != "cache-gc" && a.command != "fuzz";
-  if (takes_file) {
-    if (argc < 3) {
-      usage();
-    }
-    a.file = argv[2];
-  }
-  for (int i = takes_file ? 3 : 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        usage();
-      }
-      return argv[++i];
-    };
-    if (arg == "-m") {
-      // Nonsensical values fail here at the CLI, not deep in the engine.
-      a.processors = parse_int_flag("-m", next(), 1);
-      a.processors_given = true;
-    } else if (arg == "--seeds") {
-      a.fuzz_seeds = parse_int_flag("--seeds", next(), 1);
-    } else if (arg == "--families") {
-      a.families = next();
-    } else if (arg == "--repro-dir") {
-      a.repro_dir = next();
-    } else if (arg == "--replay") {
-      a.replay = next();
-    } else if (arg == "--shrink-steps") {
-      a.shrink_steps = static_cast<int>(parse_int_flag(
-          "--shrink-steps", next(), 1, std::numeric_limits<int>::max()));
-    } else if (arg == "--inject-bug") {
-      a.inject_bug = true;
-    } else if (arg == "--frames") {
-      a.frames = parse_int_flag("--frames", next(), 0);
-    } else if (arg == "--unfold") {
-      a.unfold = static_cast<int>(
-          parse_int_flag("--unfold", next(), 1, std::numeric_limits<int>::max()));
-    } else if (arg == "--jobs") {
-      a.jobs = static_cast<int>(
-          parse_int_flag("--jobs", next(), 0, std::numeric_limits<int>::max()));
-    } else if (arg == "--shards") {
-      a.shards = static_cast<int>(
-          parse_int_flag("--shards", next(), 1, std::numeric_limits<int>::max()));
-    } else if (arg == "--shard-index") {
-      a.shard_index = static_cast<int>(
-          parse_int_flag("--shard-index", next(), 0, std::numeric_limits<int>::max()));
-    } else if (arg == "--shard-dir") {
-      a.shard_dir = next();
-    } else if (arg == "--seed") {
-      a.seed = parse_u64_flag("--seed", next());
-    } else if (arg == "--wcet") {
-      a.uniform_wcet = io::parse_duration(next());
-    } else if (arg == "--strategy" || arg == "--heuristic") {
-      // --heuristic is the pre-registry spelling, kept as an alias.
-      a.strategy = next();
-      require_known(sched::StrategyRegistry::global(), "strategy", "strategies",
-                    *a.strategy);
-    } else if (arg == "--runtime") {
-      a.runtime = next();
-      require_known(runtime::RuntimeRegistry::global(), "runtime", "runtimes",
-                    a.runtime);
-    } else if (arg == "--cache-dir") {
-      a.cache_dir = next();
-    } else if (arg == "--cache-max-entries") {
-      a.cache_max_entries = static_cast<std::size_t>(parse_int_flag(
-          "--cache-max-entries", next(), 1, std::numeric_limits<int>::max()));
-    } else if (arg == "--no-cache") {
-      a.no_cache = true;
-    } else if (arg == "--no-incremental") {
-      a.no_incremental = true;
-    } else if (arg == "--no-visited-set") {
-      a.no_visited_set = true;
-    } else if (arg == "--optimize") {
-      a.optimize = true;
-    } else if (arg == "--dot") {
-      a.dot = true;
-    } else if (arg == "--gantt") {
-      a.gantt = true;
-    } else if (arg == "--overhead") {
-      const std::string spec = next();
-      const auto comma = spec.find(',');
-      if (comma == std::string::npos) {
-        usage();
-      }
-      a.overhead.first_frame = io::parse_duration(spec.substr(0, comma));
-      a.overhead.other_frames = io::parse_duration(spec.substr(comma + 1));
-    } else {
-      usage();
-    }
-  }
-  return a;
-}
-
-io::ParsedNetwork load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "fppn_tool: cannot open '%s'\n", path.c_str());
-    std::exit(1);
-  }
-  return io::parse_network(in);
-}
-
-WcetMap resolve_wcets(const io::ParsedNetwork& parsed, const Args& args) {
-  if (args.uniform_wcet.has_value()) {
-    WcetMap map;
-    for (std::size_t i = 0; i < parsed.net.process_count(); ++i) {
-      map.emplace(ProcessId{i}, *args.uniform_wcet);
-    }
-    return map;
-  }
-  if (!parsed.wcets_complete) {
-    std::fprintf(stderr,
-                 "fppn_tool: network lacks wcet= on some processes; pass --wcet C\n");
-    std::exit(1);
-  }
-  return parsed.wcets;
-}
-
-DerivedTaskGraph derive(const io::ParsedNetwork& parsed, const Args& args) {
-  DerivationOptions opts;
-  opts.unfolding = args.unfold;
-  return derive_task_graph(parsed.net, resolve_wcets(parsed, args), opts);
-}
-
-/// Search options shared by the in-process path, the sharded orchestrator
-/// and the search-worker subcommand — one source of truth, so every path
-/// enumerates the identical candidate matrix. A plain (non-optimizing)
-/// call keeps iterative strategies on a small budget so it stays quick.
-sched::ParallelSearchOptions build_search_options(const Args& args) {
-  sched::ParallelSearchOptions opts;
-  opts.processors = args.processors;
-  opts.workers = args.jobs;
-  opts.base_seed = args.seed;
-  if (args.strategy.has_value()) {
-    opts.strategies = {*args.strategy};
-  }
-  if (args.optimize) {
-    opts.seeds_per_strategy = 3;
-    opts.max_iterations = 2000;
-    opts.restarts = 2;
-  } else {
-    opts.seeds_per_strategy = 1;
-    opts.max_iterations = 400;
-    opts.restarts = 1;
-  }
-  // Warm-start whenever a cache is attached: the overlay only ever
-  // matches or strictly improves the winner, so it is always safe on.
-  opts.warm_start = true;
-  opts.use_incremental = !args.no_incremental;
-  opts.use_visited_set = !args.no_visited_set;
-  return opts;
-}
-
-/// The engine's default scheduling path: parallel search over the whole
-/// registry, backed by the on-disk schedule cache when --cache-dir is
-/// given (and --no-cache is not).
-sched::ParallelSearchResult search_schedule(const TaskGraph& tg, const Args& args) {
-  sched::ParallelSearchOptions opts = build_search_options(args);
-  std::optional<sched::ScheduleCache> cache;
-  if (args.cache_dir.has_value() && !args.no_cache) {
-    // Throws on a bad path: loud, not a silent miss.
-    cache.emplace(*args.cache_dir, args.cache_max_entries);
-    opts.cache = &*cache;
-  }
-  const sched::ParallelSearchResult result = sched::parallel_search(tg, opts);
-  if (cache.has_value()) {
-    const sched::CacheStats stats = cache->stats();
-    std::printf("cache '%s': %zu hit(s), %zu miss(es), %zu store(s), %zu eviction(s)\n",
-                cache->directory().c_str(), stats.hits, stats.misses, stats.stores,
-                stats.evictions);
-  }
-  return result;
-}
-
-/// Full path of this executable, for re-spawning shard workers.
-std::string self_exe_path() {
-  char buf[4096];
-  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-  if (n > 0) {
-    buf[n] = '\0';
-    return std::string(buf);
-  }
-  return g_argv0;
-}
-
-/// Command line of one shard worker: the search-relevant flags of this
-/// invocation plus the shard coordinates. Workers share --cache-dir, so a
-/// sharded search warms (and is warmed by) the same cache as the
-/// in-process run.
-std::vector<std::string> worker_argv(const Args& args, const std::string& shard_dir,
-                                     int shard_index) {
-  std::vector<std::string> argv = {
-      self_exe_path(), "search-worker", args.file,
-      "-m", std::to_string(args.processors),
-      "--shards", std::to_string(args.shards),
-      "--shard-index", std::to_string(shard_index),
-      "--shard-dir", shard_dir,
-      "--seed", std::to_string(args.seed),
-      "--unfold", std::to_string(args.unfold),
-      "--jobs", std::to_string(args.jobs)};
-  if (args.strategy.has_value()) {
-    argv.push_back("--strategy");
-    argv.push_back(*args.strategy);
-  }
-  if (args.optimize) {
-    argv.push_back("--optimize");
-  }
-  if (args.no_incremental) {
-    argv.push_back("--no-incremental");
-  }
-  if (args.no_visited_set) {
-    argv.push_back("--no-visited-set");
-  }
-  if (args.uniform_wcet.has_value()) {
-    argv.push_back("--wcet");
-    argv.push_back(args.uniform_wcet->to_string());
-  }
-  if (args.cache_dir.has_value() && !args.no_cache) {
-    argv.push_back("--cache-dir");
-    argv.push_back(*args.cache_dir);
-    if (args.cache_max_entries > 0) {
-      argv.push_back("--cache-max-entries");
-      argv.push_back(std::to_string(args.cache_max_entries));
-    }
-  }
-  return argv;
-}
-
-/// The sharded scheduling path: spawn one search-worker process per shard
-/// through sched::process_shard_launcher (or consume a pre-populated
-/// --shard-dir) and merge. Same winner as search_schedule, bit for bit.
-/// Temp shard-dir creation throws (io::make_temp_directory), so every
-/// error path — including a failed directory — unwinds through the same
-/// cleanup/catch chain instead of exiting mid-flight.
-sched::ParallelSearchResult sharded_schedule(const TaskGraph& tg, const Args& args) {
-  const bool private_dir = !args.shard_dir.has_value();
-  const std::string shard_dir =
-      private_dir ? io::make_temp_directory("fppn-shards-") : *args.shard_dir;
-  sched::ShardedSearchOptions sharding;
-  sharding.shards = args.shards;
-  sharding.shard_dir = shard_dir;
-  sharding.launcher = sched::process_shard_launcher(
-      [&args, shard_dir](int shard) { return worker_argv(args, shard_dir, shard); });
-  sched::ParallelSearchOptions opts = build_search_options(args);
-  // The orchestrator attaches the cache too: the warm-start overlay runs
-  // here, after the plan-pure merge (workers keep their own instances).
-  std::optional<sched::ScheduleCache> cache;
-  if (args.cache_dir.has_value() && !args.no_cache) {
-    cache.emplace(*args.cache_dir, args.cache_max_entries);
-    opts.cache = &*cache;
-  }
-  try {
-    const sched::ParallelSearchResult result = sched::sharded_search(tg, opts, sharding);
-    if (private_dir) {
-      std::error_code ec;
-      fs::remove_all(shard_dir, ec);
-    }
-    return result;
-  } catch (...) {
-    if (private_dir) {
-      std::error_code ec;
-      fs::remove_all(shard_dir, ec);
-    }
-    throw;
-  }
-}
-
-int cmd_check(const Args& args) {
-  const auto parsed = load(args.file);
-  std::printf("ok: %zu processes, %zu channels\n", parsed.net.process_count(),
-              parsed.net.channel_count());
-  std::string why;
-  if (parsed.net.in_schedulable_subclass(&why)) {
-    std::printf("schedulable subclass: yes; hyperperiod %s ms\n",
-                parsed.net.hyperperiod().to_string().c_str());
-  } else {
-    std::printf("schedulable subclass: NO (%s)\n", why.c_str());
-  }
-  return 0;
-}
-
-int cmd_taskgraph(const Args& args) {
-  const auto parsed = load(args.file);
-  const auto derived = derive(parsed, args);
-  if (args.dot) {
-    std::printf("%s", derived.graph.to_dot().c_str());
-    return 0;
-  }
-  std::printf("hyperperiod %s ms, %zu jobs, %zu edges (%zu removed by reduction)\n",
-              derived.hyperperiod.to_string().c_str(), derived.graph.job_count(),
-              derived.graph.edge_count(), derived.edges_removed);
-  const LoadResult load_result = task_graph_load(derived.graph);
-  std::printf("load %s (~%.4f) => >= %lld processor(s)\n",
-              load_result.load.to_string().c_str(), load_result.load_value(),
-              static_cast<long long>(load_result.min_processors()));
-  std::printf("%s", derived.graph.to_table().c_str());
-  return 0;
-}
-
-int cmd_schedule(const Args& args) {
-  if (args.shard_dir.has_value() && args.shards < 1) {
-    // Silently recomputing in-process would drop shipped shard results.
-    std::fprintf(stderr, "fppn_tool: --shard-dir requires --shards N\n");
-    return 2;
-  }
-  const auto parsed = load(args.file);
-  const auto derived = derive(parsed, args);
-  const sched::ParallelSearchResult result = args.shards > 0
-                                                 ? sharded_schedule(derived.graph, args)
-                                                 : search_schedule(derived.graph, args);
-  std::printf("%s on %lld processor(s): %s, makespan %s ms\n",
-              result.best.detail.c_str(), static_cast<long long>(args.processors),
-              result.best.feasible ? "FEASIBLE" : "infeasible",
-              result.best.makespan.to_string().c_str());
-  const std::string workers_phrase =
-      args.shards > 0 ? "in " + std::to_string(result.workers_used) + " shard process(es)"
-                      : "on " + std::to_string(result.workers_used) + " worker(s)";
-  std::printf(
-      "(searched %zu candidate(s), %zu evaluated + %zu cached, %s; "
-      "winner: %s, seed %llu)\n",
-      result.candidates, result.evaluated, result.cache_hits, workers_phrase.c_str(),
-      result.best.strategy.c_str(), static_cast<unsigned long long>(result.seed));
-  if (result.warm_candidates > 0) {
-    std::printf("warm-start overlay: %zu cached start(s), %zu candidate(s)%s\n",
-                result.warm_starts, result.warm_candidates,
-                result.warm_start_won ? ", improved the plan winner" : "");
-  }
-  // Evaluation accounting of the fresh candidate runs (zero when every
-  // candidate came from the cache or shard processes did the evaluating).
-  if (result.evals_full + result.evals_incremental + result.visited_skips > 0) {
-    std::printf(
-        "evaluations: %llu full, %llu incremental (%llu spliced), "
-        "%llu visited-set skip(s)\n",
-        static_cast<unsigned long long>(result.evals_full),
-        static_cast<unsigned long long>(result.evals_incremental),
-        static_cast<unsigned long long>(result.evals_spliced),
-        static_cast<unsigned long long>(result.visited_skips));
-  }
-  if (!result.best.feasible) {
-    const FeasibilityReport report =
-        result.best.schedule.check_feasibility(derived.graph);
-    std::printf("%s\n", report.to_string(derived.graph).c_str());
-  }
-  if (args.gantt) {
-    std::printf("%s", result.best.schedule.to_gantt(derived.graph, 100).c_str());
-  }
-  return result.best.feasible ? 0 : 3;
-}
-
-/// One shard of a sharded search: recomputes the deterministic plan from
-/// the same inputs the orchestrator used and publishes this shard's
-/// results. Quiet on success (the orchestrator owns the report); errors
-/// go to stderr.
-int cmd_search_worker(const Args& args) {
-  if (args.shards < 1 || !args.shard_dir.has_value() || args.shard_index < 0 ||
-      args.shard_index >= args.shards) {
-    std::fprintf(stderr,
-                 "fppn_tool: search-worker requires --shards N, --shard-index I "
-                 "(0 <= I < N) and --shard-dir D\n");
-    return 2;
-  }
-  const auto parsed = load(args.file);
-  const auto derived = derive(parsed, args);
-  sched::ParallelSearchOptions opts = build_search_options(args);
-  std::optional<sched::ScheduleCache> cache;
-  if (args.cache_dir.has_value() && !args.no_cache) {
-    cache.emplace(*args.cache_dir, args.cache_max_entries);
-    opts.cache = &*cache;
-  }
-  const sched::ShardPlan plan =
-      sched::make_shard_plan(derived.graph, opts, args.shards);
-  (void)sched::evaluate_shard(derived.graph, opts, plan, args.shard_index,
-                              *args.shard_dir);
-  return 0;
-}
-
-int cmd_simulate(const Args& args) {
-  const auto parsed = load(args.file);
-  const auto derived = derive(parsed, args);
-  const sched::ParallelSearchResult result = search_schedule(derived.graph, args);
-  if (!result.best.feasible) {
-    std::printf("warning: no feasible schedule found; simulating anyway\n");
-  }
-  // Random admissible sporadic scripts over the whole run.
-  std::map<ProcessId, SporadicScript> scripts;
-  const Time horizon =
-      Time() + derived.hyperperiod * Rational(std::max<std::int64_t>(args.frames - 1, 0));
-  std::uint64_t salt = args.seed;
-  for (const auto& [p, info] : derived.servers) {
-    (void)info;
-    const EventSpec& spec = parsed.net.process(p).event;
-    scripts.emplace(
-        p, SporadicScript::random(spec.burst, spec.period, horizon, ++salt));
-  }
-  runtime::RunOptions opts;
-  opts.frames = args.frames;
-  opts.overhead = args.overhead;
-  const RunResult run = runtime::make_runtime(args.runtime)
-                            ->run(parsed.net, derived, result.best.schedule, opts, {},
-                                  scripts);
-  std::printf("%s\n", run.trace.summary().c_str());
-  GanttOptions gopts;
-  std::printf("%s", render_gantt(run.trace, args.processors, gopts).c_str());
-  return run.met_all_deadlines() ? 0 : 3;
-}
-
-int cmd_roundtrip(const Args& args) {
-  const auto parsed = load(args.file);
-  std::printf("%s", io::write_network(parsed.net, parsed.wcets).c_str());
-  return 0;
-}
-
-/// Offline cache maintenance: reconcile the recency index with the entry
-/// files (rebuilding a missing/corrupt index) and, with
-/// --cache-max-entries, evict down to the bound — the CLI face of
-/// sched::ScheduleCache::gc().
-int cmd_cache_gc(const Args& args) {
-  if (!args.cache_dir.has_value()) {
-    std::fprintf(stderr, "fppn_tool: cache-gc requires --cache-dir D\n");
-    return 2;
-  }
-  sched::ScheduleCache cache(*args.cache_dir, args.cache_max_entries);
-  const sched::CacheGcStats gc = cache.gc();
-  std::printf("cache-gc '%s': %zu kept, %zu evicted%s%s\n", cache.directory().c_str(),
-              gc.kept, gc.evicted, gc.index_rebuilt ? ", index rebuilt" : "",
-              args.cache_max_entries == 0 ? " (no bound given: index maintenance only)"
-                                          : "");
-  return 0;
-}
-
-void print_mismatch(const gen::FuzzMismatch& m, const char* repro_path) {
-  std::fprintf(stderr,
-               "fppn_tool: fuzz MISMATCH [%s] (processors=%lld incremental=%d "
-               "visited=%d): %s\n",
-               m.check.c_str(), static_cast<long long>(m.processors),
-               m.toggles.incremental ? 1 : 0, m.toggles.visited_set ? 1 : 0,
-               m.detail.c_str());
-  if (repro_path != nullptr) {
-    std::fprintf(stderr, "fppn_tool: repro written to %s\n", repro_path);
-  }
-}
-
-/// The differential fuzz loop (gen/fuzz.*). Exit codes: 0 all checks
-/// agree, 1 hard error, 2 bad usage, 4 at least one mismatch detected.
-int cmd_fuzz(const Args& args) {
-  gen::FuzzConfig check;
-  check.processors = args.processors_given ? args.processors : 0;
-  check.inject_bug = args.inject_bug;
-  if (args.shrink_steps > 0) {
-    check.shrink_limit = args.shrink_steps;
-  }
-
-  if (args.replay.has_value()) {
-    const gen::ReplayOutcome out = gen::replay_repro(*args.replay, check);
-    if (out.verdict.mismatch.has_value()) {
-      print_mismatch(*out.verdict.mismatch, nullptr);
-      return 4;
-    }
-    if (!out.expected_check.empty()) {
-      std::printf("replay clean: repro no longer triggers check '%s' (%zu jobs)\n",
-                  out.expected_check.c_str(), out.verdict.jobs);
-    } else {
-      std::printf("replay clean: all checks agree (%zu jobs)\n", out.verdict.jobs);
-    }
-    return 0;
-  }
-
-  gen::FuzzRunConfig cfg;
-  cfg.base_seed = args.seed;
-  cfg.seeds = args.fuzz_seeds;
-  cfg.repro_dir = args.repro_dir;
-  cfg.check = check;
-  if (!args.families.empty()) {
-    std::string rest = args.families;
-    while (!rest.empty()) {
-      const auto comma = rest.find(',');
-      const std::string name = rest.substr(0, comma);
-      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
-      const auto family = gen::parse_family(name);
-      if (!family.has_value()) {
-        std::fprintf(stderr, "fppn_tool: unknown family '%s'\navailable families:",
-                     name.c_str());
-        for (gen::Family f : gen::all_families()) {
-          std::fprintf(stderr, " %s", gen::to_string(f).c_str());
-        }
-        std::fprintf(stderr, "\n");
-        return 2;
-      }
-      cfg.families.push_back(*family);
-    }
-  }
-
-  const gen::FuzzStats stats = gen::run_fuzz(cfg);
-  std::printf("fuzz: %zu scenarios (%zu jobs total), %zu TA-oracle checked, "
-              "%zu policy-trace checked, %zu mismatches\n",
-              stats.scenarios, stats.jobs, stats.ta_checked, stats.trace_checked,
-              stats.mismatches.size());
-  for (const auto& [family, count] : stats.per_family) {
-    std::printf("  %-14s %zu\n", family.c_str(), count);
-  }
-  for (std::size_t i = 0; i < stats.mismatches.size(); ++i) {
-    print_mismatch(stats.mismatches[i],
-                   i < stats.repro_paths.size() ? stats.repro_paths[i].c_str()
-                                                : nullptr);
-  }
-  return stats.mismatches.empty() ? 0 : 4;
-}
-
-}  // namespace
+using namespace fppn::tool;
 
 int main(int argc, char** argv) {
   g_argv0 = argc > 0 ? argv[0] : "fppn_tool";
