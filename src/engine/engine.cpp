@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "io/atomic_file.hpp"
 #include "sched/parallel_search.hpp"
@@ -128,7 +129,27 @@ sched::ScheduleCache* Engine::cache_for(const SearchConfig& config) {
   return it->second.get();
 }
 
+sched::CacheGcStats Engine::gc_disk_caches() {
+  std::vector<sched::ScheduleCache*> caches;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    caches.reserve(disk_caches_.size());
+    for (const auto& [key, cache] : disk_caches_) {
+      caches.push_back(cache.get());
+    }
+  }
+  sched::CacheGcStats total;
+  for (sched::ScheduleCache* cache : caches) {
+    const sched::CacheGcStats pass = cache->gc();
+    total.kept += pass.kept;
+    total.evicted += pass.evicted;
+    total.index_rebuilt = total.index_rebuilt || pass.index_rebuilt;
+  }
+  return total;
+}
+
 SolveReport Engine::solve(const SolveRequest& request) {
+  const Clock::time_point solve_begin = Clock::now();
   ResolvedInput input = resolve_input(request);
   const TaskGraph& tg = *input.graph;
 
@@ -160,6 +181,7 @@ SolveReport Engine::solve(const SolveRequest& request) {
   report.derive_ms = input.derive_ms;
   report.network = std::move(input.network);
   report.derived = std::move(input.derived);
+  report.total_ms = ms_since(solve_begin);
   return report;
 }
 

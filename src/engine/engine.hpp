@@ -60,6 +60,13 @@ class Engine {
   /// Exposed so a daemon can report cumulative cache stats.
   [[nodiscard]] sched::ScheduleCache& memory_cache() { return memory_cache_; }
 
+  /// Runs ScheduleCache::gc() on every disk-backed cache this Engine has
+  /// opened (the daemon's background gc thread: re-enforce the
+  /// entry/byte bounds while serving). Caches are created lazily by
+  /// solves, so this is a no-op until a cache-configured request ran.
+  /// Returns the pass totals; safe to call concurrently with solve().
+  sched::CacheGcStats gc_disk_caches();
+
  private:
   /// The cache instance `config` asks for (shared per directory+bounds,
   /// created on first use), or nullptr when caching is off. Throws

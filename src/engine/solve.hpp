@@ -138,10 +138,13 @@ struct SolveReport {
   sched::CacheStats cache;
 
   /// Per-stage wall-clock timings (ms). Parse/derive are zero for
-  /// pre-derived graph inputs.
+  /// pre-derived graph inputs; total_ms covers the whole solve() call
+  /// (the engine half of a serving request's latency — the daemon adds
+  /// queue wait on top).
   double parse_ms = 0.0;
   double derive_ms = 0.0;
   double search_ms = 0.0;
+  double total_ms = 0.0;
 
   /// The parsed network / derived graph, when the Engine produced them —
   /// so callers (simulate, feasibility reports, gantt) never re-run the

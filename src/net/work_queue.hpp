@@ -1,0 +1,85 @@
+// net::WorkQueue — the bounded handoff between connection I/O and the
+// solver pool, and the backpressure point of the serving stack: when the
+// queue is full, try_push() refuses immediately, and the reactor answers
+// the connection with an explicit overload error instead of queueing
+// requests without bound. The capacity is the daemon's only admission
+// knob — memory use per pending request is the request text itself, so
+// bounding the queue bounds the daemon.
+//
+// Semantics: FIFO, capacity fixed at construction (>= 1). close() stops
+// admissions but lets consumers drain the backlog — pop() returns every
+// queued item before reporting nullopt, which is what makes the drain
+// path finish in-flight requests instead of dropping them.
+//
+// Thread safety: all members are safe to call concurrently (one mutex,
+// one condition variable; producers never block — that is the point).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace fppn {
+namespace net {
+
+template <typename T>
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// Admits `item` unless the queue is full or closed. Never blocks;
+  /// false means the caller must reject the work (backpressure).
+  [[nodiscard]] bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; nullopt is the consumer's exit signal.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admissions; queued items remain poppable. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace net
+}  // namespace fppn

@@ -193,7 +193,8 @@ TEST(GenGraphFamilies, EdgeCaseVariantsCoverTheAdvertisedShapes) {
   // trivial/antichain shapes. Spot-check each advertised property.
   bool saw_zero_wcet = false;
   for (std::uint64_t seed = 0; seed < 16; seed += 4) {
-    for (const Job& j : edge_case_task_graph(seed).jobs()) {
+    const TaskGraph tg = edge_case_task_graph(seed);
+    for (const Job& j : tg.jobs()) {
       saw_zero_wcet = saw_zero_wcet || j.wcet == Duration();
     }
   }

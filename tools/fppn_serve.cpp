@@ -1,41 +1,49 @@
-// fppn_serve — a minimal Unix-domain-socket scheduling daemon over the
-// engine layer, and the proof that engine::Engine is a complete front
-// end: the daemon adds no scheduling logic of its own, it only frames
-// requests and responses.
+// fppn_serve — the scheduling daemon, assembled from the serving stack's
+// three layers and nothing else: net::Server (reactor + bounded work
+// queue + solver pool) owns the sockets, engine::SolveService owns every
+// byte of the wire grammar and the per-request accounting, and
+// engine::Engine solves. This file is flag parsing and wiring.
 //
 // Protocol (one connection per request, text both ways):
 //   request:  the bytes of a `.fppn` network description — exactly the
 //             existing file format — terminated by the client shutting
-//             down its write side (EOF framing, no length prefix).
+//             down its write side (EOF framing, no length prefix); or
+//             the single verb "stats".
 //   response: one status line
 //               "fppn-serve ok fingerprint <16-hex> candidates <N> "
 //               "evaluated <N> cached <N> winner <strategy> seed <S> "
 //               "feasible <0|1>"
 //             followed by the winning schedule in the existing
 //             "fppn-schedule v1" entry format (io/schedule_format.hpp,
-//             terminated by its "end" line), or a single
+//             terminated by its "end" line); or one
+//               "fppn-serve stats ..." line for the stats verb; or a
 //               "fppn-serve error: <message>"
-//             line when the request could not be served. The connection
-//             is closed after the response.
+//             line when the request could not be served (parse/solve
+//             failure, queue full, request over --max-request-bytes, or
+//             a torn read). The connection is closed after the response.
 //
-// A small worker pool (--workers, default 2) accepts connections on the
-// shared listening socket; all workers solve through ONE engine::Engine
-// with SearchConfig::memory_cache enabled, so the engine's shared
-// in-memory ScheduleCache is the daemon's L1: a repeat request for an
-// already-solved network fingerprint reports `evaluated 0` — every
-// candidate answered from cache, bit-identical winner (the cold-vs-warm
-// determinism contract of sched/parallel_search.hpp).
+// The daemon listens on a Unix socket (--socket), a TCP endpoint
+// (--listen HOST:PORT, port 0 = ephemeral), or both at once. One reactor
+// thread runs every connection's read/write state machine; --workers
+// (alias --solver-threads) solver threads pop complete requests off a
+// bounded queue (--queue-capacity) and solve through ONE engine::Engine,
+// so a repeat request for an already-solved fingerprint reports
+// `evaluated 0` — the daemon's L1 (the shared in-memory ScheduleCache,
+// or a disk cache when --cache-dir is given, whose bounds a background
+// gc thread re-enforces every --gc-interval-ms while serving). A full
+// queue is answered immediately with "fppn-serve error: overloaded" —
+// backpressure is explicit, never an unbounded backlog.
 //
-// Shutdown: SIGINT/SIGTERM stop the accept loop, in-flight requests are
-// drained, the socket file is unlinked and the process exits 0.
+// Shutdown: SIGINT/SIGTERM begin the drain — listeners close (the Unix
+// socket file is unlinked), queued requests finish, every response is
+// written — then the process exits 0.
 //
 // `--request FILE` flips the binary into a one-shot client: connect,
 // send FILE, print the response to stdout, exit 0 on an "ok" response —
-// the client half of the CI smoke and the golden serve tests.
-#include <fcntl.h>
+// the client half of the CI smoke and the golden serve tests. `--stats`
+// is the same for the stats verb (exit 0 on a "fppn-serve stats" line).
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <csignal>
@@ -43,27 +51,29 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
-#include "io/schedule_format.hpp"
+#include "engine/service.hpp"
+#include "net/listener.hpp"
+#include "net/server.hpp"
 
 using namespace fppn;
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
-int g_listen_fd = -1;
-int g_stop_pipe[2] = {-1, -1};  ///< self-pipe: the handler wakes the pollers
+int g_stop_pipe[2] = {-1, -1};  ///< self-pipe: the handler wakes the reactor
 
 void handle_stop_signal(int) {
   g_stop = 1;
-  // shutdown() does not wake accept() on an AF_UNIX listening socket, so
-  // the workers poll the listening fd together with this pipe; one write
-  // (async-signal-safe) wakes them all — the read end is never drained.
+  // One async-signal-safe write makes the pipe's read end readable; the
+  // reactor (and the gc thread) poll it and never drain it, so a single
+  // byte wakes every watcher.
   if (g_stop_pipe[1] >= 0) {
     const char byte = 1;
     (void)!::write(g_stop_pipe[1], &byte, 1);
@@ -71,18 +81,32 @@ void handle_stop_signal(int) {
 }
 
 void print_usage(std::FILE* out) {
-  std::fprintf(out,
-               "usage: fppn_serve --socket PATH [--workers N] [-m N] [--seed S]\n"
-               "                  [--jobs W] [--optimize]\n"
-               "       fppn_serve --socket PATH --request FILE   # one-shot client\n"
-               "options:\n"
-               "  --socket PATH    Unix socket to listen on (created; unlinked on exit)\n"
-               "  --workers N      connection worker threads (default 2)\n"
-               "  -m N             processor count to solve for (default 2)\n"
-               "  --seed S         search base seed (default 1)\n"
-               "  --jobs W         per-solve search worker threads (0 = auto)\n"
-               "  --optimize       the optimizing search preset per request\n"
-               "  --request FILE   client mode: send FILE, print the response\n");
+  std::fprintf(
+      out,
+      "usage: fppn_serve --socket PATH | --listen HOST:PORT [options]\n"
+      "       fppn_serve --socket PATH --request FILE   # one-shot client\n"
+      "       fppn_serve --socket PATH --stats          # one-shot stats query\n"
+      "options:\n"
+      "  --socket PATH          Unix socket to listen on (created; unlinked on exit)\n"
+      "  --listen HOST:PORT     TCP endpoint to listen on (port 0 = ephemeral;\n"
+      "                         the bound port is reported on stderr)\n"
+      "  --workers N            solver threads (default 2)\n"
+      "  --solver-threads N     alias for --workers\n"
+      "  --queue-capacity N     bounded work queue depth; a full queue answers\n"
+      "                         'fppn-serve error: overloaded' (default 64)\n"
+      "  --max-request-bytes N  reject requests larger than N bytes\n"
+      "                         (default 8388608; 0 = unlimited)\n"
+      "  -m N                   processor count to solve for (default 2)\n"
+      "  --seed S               search base seed (default 1)\n"
+      "  --jobs W               per-solve search worker threads (0 = auto)\n"
+      "  --optimize             the optimizing search preset per request\n"
+      "  --verbose              per-request summary lines on stderr\n"
+      "  --cache-dir D          disk schedule cache instead of the in-memory L1\n"
+      "  --cache-max-entries N  disk cache entry bound (0 = unbounded)\n"
+      "  --cache-max-bytes N    disk cache byte bound (0 = unbounded)\n"
+      "  --gc-interval-ms N     background disk-cache gc period (default 5000)\n"
+      "  --request FILE         client mode: send FILE, print the response\n"
+      "  --stats                client mode: query the stats verb\n");
 }
 
 [[noreturn]] void usage() {
@@ -112,12 +136,26 @@ std::int64_t parse_int_flag(const char* flag, const std::string& value,
 
 struct ServeArgs {
   std::string socket_path;
-  std::string request_file;  ///< non-empty = client mode
-  int workers = 2;
+  std::string listen_text;                       ///< raw --listen value
+  std::optional<net::Endpoint> listen_endpoint;  ///< parsed --listen
+  std::string request_file;                      ///< non-empty = client mode
+  bool stats_request = false;                    ///< client mode: stats verb
+  int solver_threads = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t max_request_bytes = 8u << 20;  ///< 8 MiB default
   std::int64_t processors = 2;
   std::uint64_t seed = 1;
   int jobs = 0;
   bool optimize = false;
+  bool verbose = false;
+  std::string cache_dir;
+  std::size_t cache_max_entries = 0;
+  std::uint64_t cache_max_bytes = 0;
+  std::int64_t gc_interval_ms = 5000;
+
+  [[nodiscard]] bool client_mode() const {
+    return !request_file.empty() || stats_request;
+  }
 };
 
 ServeArgs parse_args(int argc, char** argv) {
@@ -138,10 +176,29 @@ ServeArgs parse_args(int argc, char** argv) {
     };
     if (arg == "--socket") {
       a.socket_path = next();
+    } else if (arg == "--listen") {
+      a.listen_text = next();
+      try {
+        a.listen_endpoint = net::Endpoint::parse_tcp(a.listen_text);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "fppn_serve: bad --listen value: %s\n", e.what());
+        std::exit(2);
+      }
     } else if (arg == "--request") {
       a.request_file = next();
+    } else if (arg == "--stats") {
+      a.stats_request = true;
     } else if (arg == "--workers") {
-      a.workers = static_cast<int>(parse_int_flag("--workers", next(), 1));
+      a.solver_threads = static_cast<int>(parse_int_flag("--workers", next(), 1));
+    } else if (arg == "--solver-threads") {
+      a.solver_threads =
+          static_cast<int>(parse_int_flag("--solver-threads", next(), 1));
+    } else if (arg == "--queue-capacity") {
+      a.queue_capacity =
+          static_cast<std::size_t>(parse_int_flag("--queue-capacity", next(), 1));
+    } else if (arg == "--max-request-bytes") {
+      a.max_request_bytes =
+          static_cast<std::size_t>(parse_int_flag("--max-request-bytes", next(), 0));
     } else if (arg == "-m") {
       a.processors = parse_int_flag("-m", next(), 1);
     } else if (arg == "--seed") {
@@ -150,29 +207,30 @@ ServeArgs parse_args(int argc, char** argv) {
       a.jobs = static_cast<int>(parse_int_flag("--jobs", next(), 0));
     } else if (arg == "--optimize") {
       a.optimize = true;
+    } else if (arg == "--verbose") {
+      a.verbose = true;
+    } else if (arg == "--cache-dir") {
+      a.cache_dir = next();
+    } else if (arg == "--cache-max-entries") {
+      a.cache_max_entries =
+          static_cast<std::size_t>(parse_int_flag("--cache-max-entries", next(), 0));
+    } else if (arg == "--cache-max-bytes") {
+      a.cache_max_bytes =
+          static_cast<std::uint64_t>(parse_int_flag("--cache-max-bytes", next(), 0));
+    } else if (arg == "--gc-interval-ms") {
+      a.gc_interval_ms = parse_int_flag("--gc-interval-ms", next(), 1);
     } else {
       usage();
     }
   }
-  if (a.socket_path.empty()) {
+  if (a.socket_path.empty() && !a.listen_endpoint.has_value()) {
     std::fprintf(stderr, "fppn_serve: --socket PATH is required\n");
     std::exit(2);
   }
   return a;
 }
 
-sockaddr_un socket_address(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "fppn_serve: socket path too long: '%s'\n", path.c_str());
-    std::exit(1);
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
-}
-
-/// Reads the peer's bytes until EOF (the protocol's request framing).
+/// Reads the peer's bytes until EOF (client mode; blocking fd).
 std::string read_to_eof(int fd) {
   std::string data;
   char buf[4096];
@@ -185,7 +243,7 @@ std::string read_to_eof(int fd) {
     if (n < 0 && errno == EINTR) {
       continue;
     }
-    break;  // EOF or hard error: serve what we have
+    break;
   }
   return data;
 }
@@ -204,75 +262,26 @@ void write_all(int fd, const std::string& data) {
   }
 }
 
-/// Solves one request and renders the response — the entire "business
-/// logic" of the daemon. Never throws (errors become error responses).
-std::string respond(engine::Engine& engine, const ServeArgs& args,
-                    const std::string& network_text) {
-  try {
-    engine::SolveRequest request;
-    request.network_text = network_text;
-    request.config.processors = args.processors;
-    request.config.seed = args.seed;
-    request.config.workers = args.jobs;
-    request.config.optimize = args.optimize;
-    request.config.memory_cache = true;  // the shared L1 across requests
-    const engine::SolveReport report = engine.solve(request);
-
-    char status[256];
-    std::snprintf(status, sizeof(status),
-                  "fppn-serve ok fingerprint %016llx candidates %zu evaluated %zu "
-                  "cached %zu winner %s seed %llu feasible %d\n",
-                  static_cast<unsigned long long>(report.fingerprint),
-                  report.search.candidates, report.search.evaluated,
-                  report.search.cache_hits, report.search.best.strategy.c_str(),
-                  static_cast<unsigned long long>(report.search.seed),
-                  report.feasible() ? 1 : 0);
-
-    io::ScheduleEntry entry;
-    entry.fingerprint = report.fingerprint;
-    entry.strategy = report.search.best.strategy;
-    entry.seed = report.search.seed;
-    entry.processors = report.processors;
-    const sched::ParallelSearchOptions opts = request.config.search_options();
-    entry.max_iterations = opts.max_iterations;
-    entry.restarts = opts.restarts;
-    entry.detail = report.search.best.detail;
-    entry.schedule = report.search.best.schedule;
-    return std::string(status) + io::write_schedule_entry(entry);
-  } catch (const io::ParseError& e) {
-    return std::string("fppn-serve error: parse error: ") + e.what() + "\n";
-  } catch (const std::exception& e) {
-    return std::string("fppn-serve error: ") + e.what() + "\n";
-  }
-}
-
-/// One worker: poll {listening socket, stop pipe} -> accept -> read
-/// request -> solve -> respond, until the stop signal. The listening
-/// socket is non-blocking (several workers may race for one connection),
-/// so a lost race is just another poll round.
-void worker_loop(engine::Engine& engine, const ServeArgs& args) {
-  while (g_stop == 0) {
-    pollfd fds[2] = {{g_listen_fd, POLLIN, 0}, {g_stop_pipe[0], POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
-      if (errno == EINTR) {
-        continue;
+/// The background gc thread body: every gc_interval_ms, re-enforce the
+/// disk cache bounds; exit when the stop pipe becomes readable (it is
+/// never drained, so one signal byte reaches every watcher).
+void gc_loop(engine::Engine& engine, const ServeArgs& args) {
+  for (;;) {
+    pollfd pfd{g_stop_pipe[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(args.gc_interval_ms));
+    if (rc > 0 || g_stop != 0) {
+      return;  // drain began
+    }
+    if (rc < 0 && errno != EINTR) {
+      return;
+    }
+    if (rc == 0) {
+      const sched::CacheGcStats pass = engine.gc_disk_caches();
+      if (args.verbose && (pass.kept + pass.evicted) > 0) {
+        std::fprintf(stderr, "fppn_serve: gc kept %zu evicted %zu%s\n", pass.kept,
+                     pass.evicted, pass.index_rebuilt ? " (index rebuilt)" : "");
       }
-      break;
     }
-    if (g_stop != 0 || (fds[1].revents & POLLIN) != 0) {
-      break;
-    }
-    const int conn = ::accept(g_listen_fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
-          errno == EWOULDBLOCK) {
-        continue;
-      }
-      break;  // listening socket unusable: drain
-    }
-    const std::string request_text = read_to_eof(conn);
-    write_all(conn, respond(engine, args, request_text));
-    ::close(conn);
   }
 }
 
@@ -283,81 +292,141 @@ int run_server(const ServeArgs& args) {
     return 1;
   }
 
-  g_listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (g_listen_fd < 0) {
-    std::fprintf(stderr, "fppn_serve: socket: %s\n", std::strerror(errno));
+  // Bind every endpoint before installing signal handlers or spawning
+  // anything: a bad endpoint is a clean exit 1, and the Unix socket file
+  // existing is how scripts detect readiness.
+  std::vector<net::Listener> listeners;
+  try {
+    if (!args.socket_path.empty()) {
+      listeners.push_back(
+          net::Listener::listen(net::Endpoint::unix_socket(args.socket_path)));
+    }
+    if (args.listen_endpoint.has_value()) {
+      listeners.push_back(net::Listener::listen(*args.listen_endpoint));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fppn_serve: %s\n", e.what());
     return 1;
   }
-  ::fcntl(g_listen_fd, F_SETFL, O_NONBLOCK);
-  // A stale socket file from a previous run would make bind fail; the
-  // daemon owns its path, so clear it first.
-  ::unlink(args.socket_path.c_str());
-  sockaddr_un addr = socket_address(args.socket_path);
-  if (::bind(g_listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(g_listen_fd, 16) < 0) {
-    std::fprintf(stderr, "fppn_serve: cannot listen on '%s': %s\n",
-                 args.socket_path.c_str(), std::strerror(errno));
-    ::close(g_listen_fd);
-    return 1;
-  }
+
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
-  std::fprintf(stderr, "fppn_serve: listening on '%s' (%d worker(s), m=%lld)\n",
-               args.socket_path.c_str(), args.workers,
-               static_cast<long long>(args.processors));
+  for (const net::Listener& listener : listeners) {
+    const net::Endpoint& ep = listener.endpoint();
+    if (ep.kind == net::Endpoint::Kind::kUnix) {
+      std::fprintf(stderr, "fppn_serve: listening on '%s' (%d worker(s), m=%lld)\n",
+                   ep.path.c_str(), args.solver_threads,
+                   static_cast<long long>(args.processors));
+    } else {
+      // The bound port (ephemeral binds resolve to a real one) — tests
+      // and scripts parse it from this line.
+      std::fprintf(stderr,
+                   "fppn_serve: listening on tcp %s:%u (%d worker(s), m=%lld)\n",
+                   ep.host.c_str(), static_cast<unsigned>(ep.port),
+                   args.solver_threads, static_cast<long long>(args.processors));
+    }
+  }
 
   engine::Engine engine;
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(args.workers));
-  for (int i = 0; i < args.workers; ++i) {
-    workers.emplace_back(worker_loop, std::ref(engine), std::cref(args));
+  engine::ServiceOptions service_options;
+  service_options.processors = args.processors;
+  service_options.seed = args.seed;
+  service_options.search_workers = args.jobs;
+  service_options.optimize = args.optimize;
+  service_options.verbose = args.verbose;
+  if (!args.cache_dir.empty()) {
+    service_options.cache_dir = args.cache_dir;
+    service_options.cache_max_entries = args.cache_max_entries;
+    service_options.cache_max_bytes = args.cache_max_bytes;
   }
-  for (std::thread& t : workers) {
-    t.join();
+  service_options.max_request_bytes = args.max_request_bytes;
+  engine::SolveService service(engine, service_options);
+
+  net::ServerOptions server_options;
+  server_options.solver_threads = args.solver_threads;
+  server_options.queue_capacity = args.queue_capacity;
+  server_options.max_request_bytes = args.max_request_bytes;
+  server_options.stop_fd = g_stop_pipe[0];
+
+  net::ServerProtocol protocol;
+  protocol.overloaded = [&service] { return service.overloaded_line(); };
+  protocol.oversized = [&service](std::size_t bytes) {
+    return service.oversized_line(bytes);
+  };
+  protocol.read_error = [&service](int error) {
+    return service.read_error_line(error);
+  };
+
+  net::Server server(server_options, protocol,
+                     [&service](std::string request, double queue_wait_ms) {
+                       return service.handle(request, queue_wait_ms);
+                     });
+  for (net::Listener& listener : listeners) {
+    server.add_listener(std::move(listener));
   }
-  ::close(g_listen_fd);
-  ::unlink(args.socket_path.c_str());
-  const sched::CacheStats cache = engine.memory_cache().stats();
+  listeners.clear();
+
+  std::thread gc_thread;
+  if (!args.cache_dir.empty()) {
+    gc_thread = std::thread(gc_loop, std::ref(engine), std::cref(args));
+  }
+
+  server.run();  // returns drained: every accepted request answered
+
+  if (gc_thread.joinable()) {
+    gc_thread.join();
+  }
+  const engine::ServiceStats stats = service.stats();
   std::fprintf(stderr, "fppn_serve: drained; cache served %zu hit(s), %zu miss(es)\n",
-               cache.hits, cache.misses);
+               static_cast<std::size_t>(stats.cache_hits),
+               static_cast<std::size_t>(stats.cache_misses));
   return 0;
 }
 
-/// Client mode: send the request file, stream the response to stdout.
-/// Exit 0 on an "ok" response, 1 on connect/request errors or an error
-/// response — so scripts can assert success without parsing.
+/// Client mode: send the request (a file's bytes, or the stats verb),
+/// stream the response to stdout. Exit 0 on the expected response kind
+/// ("fppn-serve ok" / "fppn-serve stats"), 1 otherwise — so scripts can
+/// assert success without parsing.
 int run_client(const ServeArgs& args) {
-  std::ifstream in(args.request_file);
-  if (!in) {
-    std::fprintf(stderr, "fppn_serve: cannot open '%s'\n", args.request_file.c_str());
-    return 1;
+  std::string request_text;
+  if (args.stats_request) {
+    request_text = "stats\n";
+  } else {
+    std::ifstream in(args.request_file);
+    if (!in) {
+      std::fprintf(stderr, "fppn_serve: cannot open '%s'\n", args.request_file.c_str());
+      return 1;
+    }
+    std::ostringstream request;
+    request << in.rdbuf();
+    request_text = request.str();
   }
-  std::ostringstream request;
-  request << in.rdbuf();
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  // A Unix socket path wins when both endpoints are given.
+  const bool use_unix = !args.socket_path.empty();
+  const net::Endpoint endpoint = use_unix
+                                     ? net::Endpoint::unix_socket(args.socket_path)
+                                     : *args.listen_endpoint;
+  const std::string& target = use_unix ? args.socket_path : args.listen_text;
+  const int fd = net::connect_endpoint(endpoint);
   if (fd < 0) {
-    std::fprintf(stderr, "fppn_serve: socket: %s\n", std::strerror(errno));
+    std::fprintf(stderr, "fppn_serve: cannot connect to '%s': %s\n", target.c_str(),
+                 std::strerror(errno));
     return 1;
   }
-  sockaddr_un addr = socket_address(args.socket_path);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::fprintf(stderr, "fppn_serve: cannot connect to '%s': %s\n",
-                 args.socket_path.c_str(), std::strerror(errno));
-    ::close(fd);
-    return 1;
-  }
-  write_all(fd, request.str());
+  std::signal(SIGPIPE, SIG_IGN);
+  write_all(fd, request_text);
   ::shutdown(fd, SHUT_WR);  // EOF-frames the request
   const std::string response = read_to_eof(fd);
   ::close(fd);
   std::fputs(response.c_str(), stdout);
-  return response.rfind("fppn-serve ok", 0) == 0 ? 0 : 1;
+  const char* expected = args.stats_request ? "fppn-serve stats" : "fppn-serve ok";
+  return response.rfind(expected, 0) == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const ServeArgs args = parse_args(argc, argv);
-  return args.request_file.empty() ? run_server(args) : run_client(args);
+  return args.client_mode() ? run_client(args) : run_server(args);
 }
