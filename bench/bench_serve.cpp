@@ -2,12 +2,17 @@
 // (reactor + bounded queue + 4 solver threads) with engine::SolveService
 // behind it, driven by 32 concurrent socket clients over generated
 // scenario mixes — cold requests/sec, warm (all-cached) requests/sec,
-// p50/p99 end-to-end latency, and three hard gates emitted into
+// p50/p99 end-to-end latency, and five hard gates emitted into
 // BENCH_serve.json: every warm repeat answered with `evaluated 0`, a
-// saturated queue answering the overload line immediately, and the
-// service counters agreeing with the driven load.
+// saturated queue answering the overload line immediately, the service
+// counters agreeing with the driven load, a slow-loris client cut within
+// 2x the request deadline while healthy clients are served
+// (serve_deadline_enforced_agree), and a seeded fault-injection sweep
+// finishing crash-free with uncorrupted responses
+// (serve_chaos_crash_free_agree).
 #include <benchmark/benchmark.h>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,6 +21,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -30,6 +36,7 @@
 #include "gen/scenario.hpp"
 #include "net/listener.hpp"
 #include "net/server.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace {
 
@@ -92,7 +99,7 @@ std::string roundtrip(const net::Endpoint& endpoint, const std::string& request)
 class ServeFixture {
  public:
   explicit ServeFixture(const std::string& tag, int solver_threads = kSolverThreads,
-                        std::size_t queue_capacity = 64) {
+                        std::size_t queue_capacity = 64, int request_timeout_ms = 0) {
     socket_dir_ = (fs::temp_directory_path() /
                    ("fppn_bench_serve_" + tag + "_" + std::to_string(::getpid())))
                       .string();
@@ -108,6 +115,7 @@ class ServeFixture {
     net::ServerOptions options;
     options.solver_threads = solver_threads;
     options.queue_capacity = queue_capacity;
+    options.request_timeout_ms = request_timeout_ms;
     net::ServerProtocol protocol;
     protocol.overloaded = [this] { return service_->overloaded_line(); };
     protocol.oversized = [this](std::size_t bytes) {
@@ -116,9 +124,24 @@ class ServeFixture {
     protocol.read_error = [this](int error) {
       return service_->read_error_line(error);
     };
+    protocol.deadline_exceeded = [this] {
+      return service_->deadline_exceeded_line();
+    };
+    protocol.timed_out = [this](net::Reactor::TimeoutKind kind) {
+      service_->note_timeout(kind == net::Reactor::TimeoutKind::kIdle
+                                 ? engine::ServeTimeout::kIdle
+                                 : kind == net::Reactor::TimeoutKind::kRequest
+                                       ? engine::ServeTimeout::kRequest
+                                       : engine::ServeTimeout::kWrite);
+    };
     server_ = std::make_unique<net::Server>(
-        options, protocol, [this](std::string request, double queue_wait_ms) {
-          return service_->handle(std::move(request), queue_wait_ms);
+        options, protocol,
+        [this](std::string request, const net::RequestInfo& info) {
+          engine::RequestLoad load;
+          load.queue_wait_ms = info.queue_wait_ms;
+          load.queue_depth = info.queue_depth;
+          load.queue_capacity = info.queue_capacity;
+          return service_->handle(std::move(request), load);
         });
     server_->add_listener(
         net::Listener::listen(net::Endpoint::unix_socket(socket_path_)));
@@ -258,14 +281,14 @@ bool print_overload_report(benchjson::Report& report) {
   net::ServerProtocol protocol;
   protocol.overloaded = [&service] { return service.overloaded_line(); };
   net::Server server(options, protocol,
-                     [&](std::string request, double queue_wait_ms) {
+                     [&](std::string request, const net::RequestInfo& info) {
                        if (request == "HOLD") {
                          ++active;
                          std::unique_lock<std::mutex> lock(mu);
                          cv.wait(lock, [&] { return release; });
                          return std::string("held\n");
                        }
-                       return service.handle(std::move(request), queue_wait_ms);
+                       return service.handle(std::move(request), info.queue_wait_ms);
                      });
   server.add_listener(net::Listener::listen(net::Endpoint::unix_socket(socket_path)));
   std::thread server_thread([&] { server.run(); });
@@ -319,6 +342,130 @@ bool print_overload_report(benchjson::Report& report) {
   return ok;
 }
 
+/// Deadline gate: a slow-loris client dripping one byte every 25 ms
+/// (so its request never completes) against a server with a 250 ms
+/// request deadline, while 16 healthy clients round-trip warm solves.
+/// The loris must be disconnected within 2x the deadline, every healthy
+/// client must be answered, and the service counters must record the
+/// timeout — the daemon's liveness-under-abuse contract.
+bool print_deadline_report(benchjson::Report& report) {
+  constexpr int kDeadlineMs = 250;
+  constexpr int kHealthy = 16;
+  ServeFixture fixture("deadline", kSolverThreads, 64, kDeadlineMs);
+  const std::string request = gen::scenario_text(gen::make_scenario(7));
+  (void)roundtrip(fixture.endpoint(), request);  // warm: healthy trips hit cache
+
+  bool loris_closed = false;
+  double loris_ms = 0.0;
+  std::thread loris([&] {
+    const int fd = net::connect_endpoint(fixture.endpoint());
+    if (fd < 0) {
+      return;
+    }
+    const Clock::time_point t0 = Clock::now();
+    while (seconds_since(t0) * 1000.0 < 4.0 * kDeadlineMs) {
+      if (::write(fd, "x", 1) < 0 && errno != EINTR && errno != EAGAIN) {
+        loris_closed = true;  // EPIPE/ECONNRESET: the server hung up
+        break;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 25) > 0) {
+        char buf[16];
+        if (::read(fd, buf, sizeof(buf)) == 0) {
+          loris_closed = true;  // EOF: ditto
+          break;
+        }
+      }
+    }
+    loris_ms = seconds_since(t0) * 1000.0;
+    ::close(fd);
+  });
+
+  std::atomic<int> healthy_ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kHealthy);
+  for (int i = 0; i < kHealthy; ++i) {
+    clients.emplace_back([&] {
+      if (roundtrip(fixture.endpoint(), request).rfind("fppn-serve ok", 0) == 0) {
+        ++healthy_ok;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  loris.join();
+
+  const engine::ServiceStats stats = fixture.service().stats();
+  const bool ok = loris_closed && loris_ms <= 2.0 * kDeadlineMs &&
+                  healthy_ok.load() == kHealthy && stats.request_timeouts >= 1;
+  std::printf(
+      "deadline: slow-loris cut after %.0fms (deadline %dms, bound %dms), "
+      "%d/%d healthy clients answered, %llu request timeout(s) counted\n",
+      loris_ms, kDeadlineMs, 2 * kDeadlineMs, healthy_ok.load(), kHealthy,
+      static_cast<unsigned long long>(stats.request_timeouts));
+  report.metric("serve_loris_cut_ms", loris_ms);
+  report.metric("serve_request_timeouts",
+                static_cast<long long>(stats.request_timeouts));
+  report.metric("serve_shed", static_cast<long long>(stats.shed));
+  report.metric("serve_degraded", static_cast<long long>(stats.degraded));
+  report.metric("serve_deadline_enforced_agree", static_cast<long long>(ok ? 1 : 0));
+  return ok;
+}
+
+/// Chaos gate: a short seeded fault-injection sweep over the full
+/// in-process stack — injected EINTR/EAGAIN storms, synthetic
+/// ECONNRESETs, and short reads/writes on the serving path. Crash-free
+/// means every round's server drains with the injector still armed;
+/// clean means no client ever read bytes that are not a prefix of a real
+/// "fppn-serve " response. The deep 200-seed ASan sweep lives in
+/// serve_chaos_test; this gate keeps the bench honest about the same
+/// invariant.
+bool print_chaos_report(benchjson::Report& report) {
+  constexpr int kSeeds = 8;
+  const std::string request = gen::scenario_text(gen::make_scenario(11));
+  const std::string header = "fppn-serve ";
+  int dirty = 0;
+  unsigned long long injected = 0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    {
+      ServeFixture fixture("chaos" + std::to_string(seed), /*solver_threads=*/2,
+                           /*queue_capacity=*/8, /*request_timeout_ms=*/500);
+      testing::FaultInjector::instance().arm(
+          testing::FaultConfig::uniform(static_cast<std::uint64_t>(seed), 96));
+      const std::string replies[] = {
+          roundtrip(fixture.endpoint(), request),
+          roundtrip(fixture.endpoint(), "stats"),
+          roundtrip(fixture.endpoint(), "garbage request\n"),
+      };
+      for (const std::string& r : replies) {
+        const std::size_t n = std::min(r.size(), header.size());
+        if (r != "<connect failed>" && r.compare(0, n, header, 0, n) != 0) {
+          ++dirty;
+        }
+      }
+      // An abandoned client: half a request, closed without reading —
+      // the response lands on a dead peer while faults are firing.
+      const int fd = net::connect_endpoint(fixture.endpoint());
+      if (fd >= 0) {
+        write_all(fd, request.substr(0, request.size() / 2));
+        ::close(fd);
+      }
+      injected += testing::FaultInjector::instance().injected_total();
+    }  // the fixture drains with the injector still armed
+    testing::FaultInjector::instance().disarm();
+  }
+  const bool ok = dirty == 0;
+  std::printf(
+      "chaos: %d seeds, 4 clients each under fault injection (96/1024): "
+      "%llu fault(s) injected, %d corrupt read(s), every round drained\n",
+      kSeeds, injected, dirty);
+  report.metric("serve_chaos_seeds", static_cast<long long>(kSeeds));
+  report.metric("serve_chaos_injected_faults", static_cast<long long>(injected));
+  report.metric("serve_chaos_crash_free_agree", static_cast<long long>(ok ? 1 : 0));
+  return ok;
+}
+
 void BM_WarmServeRoundtrip(benchmark::State& state) {
   static ServeFixture* fixture = [] {
     auto* f = new ServeFixture("micro");
@@ -352,11 +499,13 @@ int main(int argc, char** argv) {
   benchjson::Report report("serve");
   const bool throughput_ok = print_throughput_report(report);
   const bool overload_ok = print_overload_report(report);
+  const bool deadline_ok = print_deadline_report(report);
+  const bool chaos_ok = print_chaos_report(report);
   const std::string json_path = report.write();
   if (!json_path.empty()) {
     std::printf("\nwrote %s\n", json_path.c_str());
   }
-  if (!throughput_ok || !overload_ok) {
+  if (!throughput_ok || !overload_ok || !deadline_ok || !chaos_ok) {
     std::fprintf(stderr, "FAIL: serve gates did not hold\n");
     return 1;
   }

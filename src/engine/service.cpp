@@ -46,10 +46,20 @@ SolveService::SolveService(Engine& engine, ServiceOptions options)
   latency_ring_.reserve(256);
 }
 
-std::string SolveService::handle(const std::string& request, double queue_wait_ms) {
+std::string SolveService::handle(const std::string& request,
+                                 const RequestLoad& load) {
   if (trimmed(request) == "stats") {
     return render_stats();
   }
+  const double queue_wait_ms = load.queue_wait_ms;
+
+  // Graceful degradation: an optimize-preset service under sustained
+  // queue pressure (queue at least half full when this request was
+  // popped) answers with the quick preset instead — a worse schedule now
+  // beats a shed request or a deadline miss later. Opt-in and counted.
+  const bool degrade = options_.degrade_under_load && options_.optimize &&
+                       load.queue_capacity > 0 &&
+                       2 * load.queue_depth >= load.queue_capacity;
 
   const Clock::time_point handle_begin = Clock::now();
   std::string response;
@@ -62,7 +72,7 @@ std::string SolveService::handle(const std::string& request, double queue_wait_m
     solve_request.config.processors = options_.processors;
     solve_request.config.seed = options_.seed;
     solve_request.config.workers = options_.search_workers;
-    solve_request.config.optimize = options_.optimize;
+    solve_request.config.optimize = options_.optimize && !degrade;
     if (options_.cache_dir.has_value()) {
       solve_request.config.cache_dir = options_.cache_dir;
       solve_request.config.cache_max_entries = options_.cache_max_entries;
@@ -104,7 +114,7 @@ std::string SolveService::handle(const std::string& request, double queue_wait_m
   }
 
   const double total_ms = queue_wait_ms + ms_since(handle_begin);
-  record(ok, total_ms, report.cache);
+  record(ok, degrade, total_ms, report.cache);
 
   if (options_.verbose) {
     std::uint64_t number = 0;
@@ -113,15 +123,19 @@ std::string SolveService::handle(const std::string& request, double queue_wait_m
       number = request_counter_;
     }
     if (ok) {
+      // " degraded" is the degraded-response marker documented in
+      // docs/FILE_FORMATS.md — absent on full-budget responses, so the
+      // historical line stays byte-identical.
       std::fprintf(stderr,
                    "fppn_serve: #%llu ok fp=%016llx winner=%s evaluated=%zu "
                    "cached=%zu queue-wait=%.2fms parse=%.2fms derive=%.2fms "
-                   "search=%.2fms total=%.2fms\n",
+                   "search=%.2fms total=%.2fms%s\n",
                    static_cast<unsigned long long>(number),
                    static_cast<unsigned long long>(report.fingerprint),
                    report.search.best.strategy.c_str(), report.search.evaluated,
                    report.search.cache_hits, queue_wait_ms, report.parse_ms,
-                   report.derive_ms, report.search_ms, total_ms);
+                   report.derive_ms, report.search_ms, total_ms,
+                   degrade ? " degraded" : "");
     } else {
       std::fprintf(stderr,
                    "fppn_serve: #%llu error %s queue-wait=%.2fms total=%.2fms\n",
@@ -132,7 +146,7 @@ std::string SolveService::handle(const std::string& request, double queue_wait_m
   return response;
 }
 
-void SolveService::record(bool ok, double total_ms,
+void SolveService::record(bool ok, bool degraded, double total_ms,
                           const sched::CacheStats& cache_delta) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++request_counter_;
@@ -141,6 +155,9 @@ void SolveService::record(bool ok, double total_ms,
     ++counters_.ok;
   } else {
     ++counters_.errors;
+  }
+  if (degraded) {
+    ++counters_.degraded;
   }
   counters_.cache_hits += cache_delta.hits;
   counters_.cache_misses += cache_delta.misses;
@@ -193,6 +210,41 @@ std::string SolveService::read_error_line(int error) {
          std::strerror(error) + "\n";
 }
 
+std::string SolveService::deadline_exceeded_line() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.shed;
+  }
+  if (options_.verbose) {
+    std::fprintf(stderr, "fppn_serve: shed request: queue deadline exceeded\n");
+  }
+  return "fppn-serve error: deadline exceeded\n";
+}
+
+void SolveService::note_timeout(ServeTimeout kind) {
+  const char* name = "idle";
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    switch (kind) {
+      case ServeTimeout::kIdle:
+        ++counters_.idle_timeouts;
+        break;
+      case ServeTimeout::kRequest:
+        ++counters_.request_timeouts;
+        name = "request";
+        break;
+      case ServeTimeout::kWrite:
+        ++counters_.write_timeouts;
+        name = "write";
+        break;
+    }
+  }
+  if (options_.verbose) {
+    std::fprintf(stderr, "fppn_serve: closed connection: %s deadline exceeded\n",
+                 name);
+  }
+}
+
 ServiceStats SolveService::stats() const {
   std::vector<double> samples;
   ServiceStats snapshot;
@@ -213,18 +265,27 @@ std::string SolveService::render_stats() {
       static_cast<double>(s.cache_hits) + static_cast<double>(s.cache_misses);
   const double hit_rate =
       lookups > 0.0 ? static_cast<double>(s.cache_hits) / lookups : 0.0;
-  char line[512];
+  // The robustness counters sit between the transport rejects and the
+  // cache block; the line stays one append-only token stream, so the
+  // golden prefix checks (through "oversized N ") keep holding.
+  char line[768];
   std::snprintf(line, sizeof(line),
                 "fppn-serve stats requests %llu ok %llu errors %llu overloaded "
-                "%llu read-errors %llu oversized %llu cache-hits %llu "
-                "cache-misses %llu hit-rate %.3f p50-ms %.3f p99-ms %.3f "
-                "uptime-ms %.1f\n",
+                "%llu read-errors %llu oversized %llu shed %llu degraded %llu "
+                "idle-timeouts %llu request-timeouts %llu write-timeouts %llu "
+                "cache-hits %llu cache-misses %llu hit-rate %.3f p50-ms %.3f "
+                "p99-ms %.3f uptime-ms %.1f\n",
                 static_cast<unsigned long long>(s.requests),
                 static_cast<unsigned long long>(s.ok),
                 static_cast<unsigned long long>(s.errors),
                 static_cast<unsigned long long>(s.overloaded),
                 static_cast<unsigned long long>(s.read_errors),
                 static_cast<unsigned long long>(s.oversized),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.degraded),
+                static_cast<unsigned long long>(s.idle_timeouts),
+                static_cast<unsigned long long>(s.request_timeouts),
+                static_cast<unsigned long long>(s.write_timeouts),
                 static_cast<unsigned long long>(s.cache_hits),
                 static_cast<unsigned long long>(s.cache_misses), hit_rate,
                 s.p50_ms, s.p99_ms, s.uptime_ms);

@@ -54,6 +54,28 @@ struct ServiceOptions {
   std::uint64_t cache_max_bytes = 0;
   /// Echoed in the oversize error line; 0 = unlimited.
   std::size_t max_request_bytes = 0;
+  /// Graceful degradation: with --optimize on and the work queue at
+  /// least half full at pop time, solve this request with the quick
+  /// preset instead (counted in `degraded`, marked in --verbose lines) —
+  /// trading per-request quality for staying under the queue deadline
+  /// instead of shedding. Off by default: degradation must be opted into.
+  bool degrade_under_load = false;
+};
+
+/// The load signals net::Server measured for one request (mirror of
+/// net::RequestInfo, redeclared so the engine layer keeps zero net
+/// dependencies — the daemon's wiring lambda copies the fields).
+struct RequestLoad {
+  double queue_wait_ms = 0.0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+};
+
+/// Which reactor deadline expired (mirror of net::Reactor::TimeoutKind).
+enum class ServeTimeout {
+  kIdle,
+  kRequest,
+  kWrite,
 };
 
 /// Snapshot of the aggregate counters (see the counting model above).
@@ -64,6 +86,11 @@ struct ServiceStats {
   std::uint64_t overloaded = 0;   ///< rejected: work queue full
   std::uint64_t read_errors = 0;  ///< rejected: torn request (hard read failure)
   std::uint64_t oversized = 0;    ///< rejected: --max-request-bytes exceeded
+  std::uint64_t shed = 0;         ///< rejected: queue wait passed --queue-deadline-ms
+  std::uint64_t degraded = 0;     ///< answered, but with the degraded quick preset
+  std::uint64_t idle_timeouts = 0;     ///< closed: silent after accept
+  std::uint64_t request_timeouts = 0;  ///< closed: request never completed
+  std::uint64_t write_timeouts = 0;    ///< closed: response write stalled
   std::uint64_t cache_hits = 0;   ///< summed over per-solve cache deltas
   std::uint64_t cache_misses = 0;
   double p50_ms = 0.0;            ///< end-to-end latency percentiles
@@ -81,14 +108,30 @@ class SolveService {
   /// Handles one request: the `stats` verb (request text "stats",
   /// surrounding whitespace ignored) or a `.fppn` network to solve.
   /// Returns the full response text; never throws (solve errors become
-  /// "fppn-serve error:" responses, exactly the PR 8 grammar).
-  [[nodiscard]] std::string handle(const std::string& request, double queue_wait_ms);
+  /// "fppn-serve error:" responses, exactly the PR 8 grammar). The load
+  /// signals drive the degrade-under-load decision and the latency
+  /// accounting.
+  [[nodiscard]] std::string handle(const std::string& request,
+                                   const RequestLoad& load);
+
+  /// Convenience overload for callers with only a queue wait to report.
+  [[nodiscard]] std::string handle(const std::string& request, double queue_wait_ms) {
+    RequestLoad load;
+    load.queue_wait_ms = queue_wait_ms;
+    return handle(request, load);
+  }
 
   // --- transport-reject response lines (net::ServerProtocol hooks) ----
   // Each renders the response *and* counts the event.
   [[nodiscard]] std::string overloaded_line();
   [[nodiscard]] std::string oversized_line(std::size_t bytes_seen);
   [[nodiscard]] std::string read_error_line(int error);
+  /// Queue-deadline shed response (net::ServerProtocol::deadline_exceeded).
+  [[nodiscard]] std::string deadline_exceeded_line();
+
+  /// Counts a reactor-deadline close (net::ServerProtocol::timed_out).
+  /// Notification only: the peer is gone, so there is no response line.
+  void note_timeout(ServeTimeout kind);
 
   /// The `stats` verb response (also what handle() returns for it).
   [[nodiscard]] std::string render_stats();
@@ -96,7 +139,8 @@ class SolveService {
   [[nodiscard]] ServiceStats stats() const;
 
  private:
-  void record(bool ok, double total_ms, const sched::CacheStats& cache_delta);
+  void record(bool ok, bool degraded, double total_ms,
+              const sched::CacheStats& cache_delta);
 
   Engine& engine_;
   const ServiceOptions options_;

@@ -7,10 +7,12 @@
 namespace fppn::io {
 
 /// Writes `content` to `path` through a unique temp file (pid +
-/// process-wide counter suffix) followed by an atomic rename, so
-/// concurrent readers — and other processes sharing the directory, even
-/// over a network filesystem — never observe a torn file; racing writers
-/// each publish a complete file and the last rename wins. Throws
+/// process-wide counter suffix), fsyncs it, then publishes with an
+/// atomic rename, so concurrent readers — and other processes sharing
+/// the directory, even over a network filesystem — never observe a torn
+/// file; racing writers each publish a complete file and the last rename
+/// wins. The write loop retries EINTR and continues short writes; every
+/// step is a fault-injection site (testing::FaultInjector). Throws
 /// std::runtime_error with the failing path on any I/O failure; the temp
 /// file is removed on failure. Thread-safe.
 void write_file_atomic(const std::string& path, const std::string& content);

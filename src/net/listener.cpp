@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "testing/fault_injector.hpp"
+
 namespace fppn {
 namespace net {
 
@@ -204,7 +206,10 @@ int Listener::accept_connection() const {
   if (fd_ < 0) {
     return -1;
   }
-  const int conn = ::accept(fd_, nullptr, nullptr);
+  // Transient failures (EINTR, EAGAIN, ECONNABORTED) all return -1: the
+  // listener stays in the poll set and level-triggered readiness retries
+  // the accept on the next loop — no explicit retry loop needed.
+  const int conn = testing::fault::accept(fd_);
   if (conn < 0) {
     return -1;
   }

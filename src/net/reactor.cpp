@@ -3,8 +3,12 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <fcntl.h>
+#include <limits>
+
+#include "testing/fault_injector.hpp"
 
 namespace fppn {
 namespace net {
@@ -73,6 +77,85 @@ void Reactor::apply_pending_responses() {
     it->second.response = std::move(text);
     it->second.write_offset = 0;
     it->second.state = ConnState::kWriting;
+    set_deadline(id, it->second, TimeoutKind::kWrite, options_.write_timeout_ms);
+  }
+}
+
+void Reactor::set_deadline(std::uint64_t id, Connection& conn, TimeoutKind kind,
+                           int timeout_ms) {
+  if (timeout_ms <= 0) {
+    conn.deadline_seq = 0;  // any live heap entry is now stale
+    return;
+  }
+  conn.deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  conn.deadline_kind = kind;
+  conn.deadline_seq = next_deadline_seq_++;
+  deadlines_.push_back(DeadlineEntry{conn.deadline, id, conn.deadline_seq});
+  std::push_heap(deadlines_.begin(), deadlines_.end(),
+                 [](const DeadlineEntry& a, const DeadlineEntry& b) {
+                   return a.when > b.when;
+                 });
+}
+
+int Reactor::next_deadline_timeout_ms() {
+  const auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.when > b.when;
+  };
+  while (!deadlines_.empty()) {
+    const DeadlineEntry& top = deadlines_.front();
+    const auto it = connections_.find(top.conn);
+    if (it == connections_.end() || it->second.deadline_seq != top.seq) {
+      // Stale (re-armed or closed): lazy deletion.
+      std::pop_heap(deadlines_.begin(), deadlines_.end(), later);
+      deadlines_.pop_back();
+      continue;
+    }
+    const auto delta =
+        std::chrono::ceil<std::chrono::milliseconds>(top.when - Clock::now())
+            .count();
+    if (delta <= 0) {
+      return 0;
+    }
+    return static_cast<int>(std::min<long long>(
+        delta, static_cast<long long>(std::numeric_limits<int>::max())));
+  }
+  return -1;  // no deadline armed: block like the timerless reactor
+}
+
+void Reactor::expire_deadlines() {
+  const auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.when > b.when;
+  };
+  const Clock::time_point now = Clock::now();
+  while (!deadlines_.empty()) {
+    const DeadlineEntry top = deadlines_.front();
+    const auto it = connections_.find(top.conn);
+    const bool live =
+        it != connections_.end() && it->second.deadline_seq == top.seq;
+    if (live && top.when > now) {
+      return;  // earliest live deadline is in the future
+    }
+    std::pop_heap(deadlines_.begin(), deadlines_.end(), later);
+    deadlines_.pop_back();
+    if (!live) {
+      continue;
+    }
+    const TimeoutKind kind = it->second.deadline_kind;
+    switch (kind) {
+      case TimeoutKind::kIdle:
+        ++counters_.idle_timeouts;
+        break;
+      case TimeoutKind::kRequest:
+        ++counters_.request_timeouts;
+        break;
+      case TimeoutKind::kWrite:
+        ++counters_.write_timeouts;
+        break;
+    }
+    if (events_.on_timeout) {
+      events_.on_timeout(top.conn, kind);
+    }
+    close_connection(top.conn);
   }
 }
 
@@ -106,7 +189,9 @@ void Reactor::accept_ready(const Listener& listener) {
     ++counters_.accepted;
     Connection conn;
     conn.fd = fd;
-    connections_.emplace(next_id_++, std::move(conn));
+    const std::uint64_t id = next_id_++;
+    auto [it, inserted] = connections_.emplace(id, std::move(conn));
+    set_deadline(id, it->second, TimeoutKind::kIdle, options_.idle_timeout_ms);
   }
 }
 
@@ -122,10 +207,17 @@ void Reactor::close_connection(std::uint64_t id) {
 void Reactor::handle_readable(std::uint64_t id, Connection& conn) {
   char buf[kReadChunk];
   for (;;) {
-    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    const ssize_t n = testing::fault::read(conn.fd, buf, sizeof(buf));
     if (n > 0) {
       if (conn.discard_input) {
         continue;  // oversized request: drain the peer, keep nothing
+      }
+      if (!conn.saw_request_byte) {
+        // The request began: the idle window is over, the request window
+        // starts (it is NOT extended per byte — a trickler cannot stay
+        // alive by dripping one byte per interval).
+        conn.saw_request_byte = true;
+        set_deadline(id, conn, TimeoutKind::kRequest, options_.request_timeout_ms);
       }
       conn.request.append(buf, static_cast<std::size_t>(n));
       if (options_.max_request_bytes != 0 &&
@@ -136,6 +228,7 @@ void Reactor::handle_readable(std::uint64_t id, Connection& conn) {
         conn.request.shrink_to_fit();
         conn.discard_input = true;
         conn.state = ConnState::kAwaiting;
+        set_deadline(id, conn, TimeoutKind::kIdle, 0);  // solver window: no timer
         if (events_.on_oversized) {
           events_.on_oversized(id, seen);
         } else {
@@ -150,6 +243,9 @@ void Reactor::handle_readable(std::uint64_t id, Connection& conn) {
       if (conn.state == ConnState::kReading) {
         ++counters_.requests;
         conn.state = ConnState::kAwaiting;
+        // Dispatched: the queue-deadline shed in net::Server owns the
+        // waiting window, not a reactor timer.
+        set_deadline(id, conn, TimeoutKind::kIdle, 0);
         std::string request = std::move(conn.request);
         conn.request.clear();
         if (events_.on_request) {
@@ -176,6 +272,7 @@ void Reactor::handle_readable(std::uint64_t id, Connection& conn) {
       const int err = errno;
       conn.request.clear();
       conn.state = ConnState::kAwaiting;
+      set_deadline(id, conn, TimeoutKind::kIdle, 0);
       if (events_.on_read_error) {
         events_.on_read_error(id, err);
       } else {
@@ -194,10 +291,17 @@ void Reactor::handle_readable(std::uint64_t id, Connection& conn) {
 
 void Reactor::handle_writable(std::uint64_t id, Connection& conn) {
   while (conn.write_offset < conn.response.size()) {
-    const ssize_t n = ::write(conn.fd, conn.response.data() + conn.write_offset,
+    const ssize_t n =
+        testing::fault::write(conn.fd, conn.response.data() + conn.write_offset,
                               conn.response.size() - conn.write_offset);
     if (n >= 0) {
       conn.write_offset += static_cast<std::size_t>(n);
+      if (n > 0) {
+        // Progress-based write deadline: each successful write re-arms
+        // it, so a slow-but-draining reader of a huge response survives
+        // while a stalled one is cut within write_timeout_ms.
+        set_deadline(id, conn, TimeoutKind::kWrite, options_.write_timeout_ms);
+      }
       continue;
     }
     if (errno == EINTR) {
@@ -287,7 +391,12 @@ void Reactor::run() {
       rows.push_back({Tag::kConn, 0, id});
     }
 
-    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+    // The earliest live deadline caps the poll timeout; with none armed
+    // this is -1 and the loop blocks exactly as the timerless reactor
+    // always has.
+    const int timeout_ms = next_deadline_timeout_ms();
+    if (testing::fault::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             timeout_ms) < 0) {
       if (errno == EINTR) {
         continue;
       }
@@ -333,6 +442,9 @@ void Reactor::run() {
         }
       }
     }
+    // After I/O progressed (and possibly re-armed deadlines): cut every
+    // connection whose window elapsed.
+    expire_deadlines();
   }
 
   for (auto& [id, conn] : connections_) {

@@ -25,6 +25,23 @@
 // submit_response() and request_stop() are the only thread-safe entry
 // points — everything else is reactor-thread state.
 //
+// Deadlines: three optional per-connection timers (Options, all in ms,
+// 0 = off) arm a lazy min-heap whose earliest entry drives the poll
+// timeout — with no deadline armed the loop still blocks forever, so
+// the timerless configuration behaves exactly as before:
+//
+//   idle     accept -> first request byte   (a connected-but-silent peer)
+//   request  first byte -> complete request (a slow-loris trickler)
+//   write    no write progress while flushing (a never-draining reader)
+//
+// An expired connection is counted (Counters::*_timeouts), reported via
+// on_timeout, and closed — mid-read there is nothing to answer, and a
+// stalled reader would never take an answer anyway. Requests already
+// dispatched (kAwaiting) carry no reactor deadline: queue-level shedding
+// in net::Server owns that window. The write deadline is progress-based —
+// every successful write re-arms it — so a huge response to a slow-but-
+// draining reader survives while a stalled one is cut.
+//
 // Shutdown: request_stop() (or a readable stop fd, the daemon's
 // self-pipe) begins the drain — listeners close first, connections still
 // reading are dropped, and the loop runs on until every dispatched
@@ -32,6 +49,7 @@
 // "drained", not merely "stopped".
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -48,6 +66,13 @@ namespace net {
 
 class Reactor {
  public:
+  /// Which per-connection deadline expired (see the file comment).
+  enum class TimeoutKind {
+    kIdle,     ///< accepted, no request byte within idle_timeout_ms
+    kRequest,  ///< request started, not complete within request_timeout_ms
+    kWrite,    ///< no write progress within write_timeout_ms
+  };
+
   /// Event hooks, all invoked on the reactor thread. on_request hands
   /// over the complete request text; the other two report a connection
   /// whose request can never complete — the receiver decides the error
@@ -56,6 +81,9 @@ class Reactor {
     std::function<void(std::uint64_t conn, std::string request)> on_request;
     std::function<void(std::uint64_t conn, std::size_t bytes)> on_oversized;
     std::function<void(std::uint64_t conn, int error)> on_read_error;
+    /// A deadline expired; the connection is closed right after this
+    /// returns (notification only — there is no peer left to answer).
+    std::function<void(std::uint64_t conn, TimeoutKind kind)> on_timeout;
     /// The drain began: listeners are gone, no new requests will arrive.
     std::function<void()> on_drain;
   };
@@ -63,6 +91,9 @@ class Reactor {
   struct Options {
     /// Requests larger than this raise on_oversized; 0 = unlimited.
     std::size_t max_request_bytes = 0;
+    int idle_timeout_ms = 0;     ///< accept -> first byte; 0 = off
+    int request_timeout_ms = 0;  ///< first byte -> full request; 0 = off
+    int write_timeout_ms = 0;    ///< stalled response write; 0 = off
   };
 
   /// Monotonic counters, written only by the reactor thread; read them
@@ -74,6 +105,9 @@ class Reactor {
     std::uint64_t read_errors = 0;   ///< hard read() failures
     std::uint64_t write_errors = 0;  ///< responses the peer never took
     std::uint64_t aborted = 0;       ///< reading connections dropped by drain
+    std::uint64_t idle_timeouts = 0;     ///< closed: silent after accept
+    std::uint64_t request_timeouts = 0;  ///< closed: request never completed
+    std::uint64_t write_timeouts = 0;    ///< closed: response write stalled
   };
 
   Reactor(Events events, Options options)
@@ -102,6 +136,8 @@ class Reactor {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   enum class ConnState {
     kReading,   ///< accumulating request bytes
     kAwaiting,  ///< request dispatched; response not yet submitted
@@ -118,6 +154,21 @@ class Reactor {
     /// blocked mid-send, and draining its bytes is what unblocks it.
     bool discard_input = false;
     bool saw_eof = false;
+    bool saw_request_byte = false;  ///< idle -> request deadline transition
+    /// Armed deadline (valid when deadline_seq != 0). deadline_seq pairs
+    /// the connection with its live heap entry — re-arming bumps it, so
+    /// stale heap entries are recognized and skipped (lazy deletion).
+    Clock::time_point deadline{};
+    TimeoutKind deadline_kind = TimeoutKind::kIdle;
+    std::uint64_t deadline_seq = 0;
+  };
+
+  /// Lazy min-heap entry: (when, conn, seq). An entry whose connection is
+  /// gone or whose seq no longer matches is skipped on pop.
+  struct DeadlineEntry {
+    Clock::time_point when;
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
   };
 
   void open_wakeup_pipe();
@@ -128,6 +179,14 @@ class Reactor {
   void handle_readable(std::uint64_t id, Connection& conn);
   void handle_writable(std::uint64_t id, Connection& conn);
   void close_connection(std::uint64_t id);
+
+  /// Arms (timeout_ms > 0) or clears (timeout_ms <= 0) `conn`'s deadline.
+  void set_deadline(std::uint64_t id, Connection& conn, TimeoutKind kind,
+                    int timeout_ms);
+  /// Drops stale heap tops; returns the poll timeout in ms (-1 = none).
+  int next_deadline_timeout_ms();
+  /// Counts, reports and closes every connection whose deadline passed.
+  void expire_deadlines();
 
   Events events_;
   Options options_;
@@ -140,6 +199,8 @@ class Reactor {
   std::uint64_t next_id_ = 1;
   bool draining_ = false;
   Counters counters_;
+  std::vector<DeadlineEntry> deadlines_;  ///< std::*_heap min-heap by `when`
+  std::uint64_t next_deadline_seq_ = 1;
 
   std::mutex mu_;
   std::vector<std::pair<std::uint64_t, std::string>> pending_responses_;

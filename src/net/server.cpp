@@ -49,10 +49,17 @@ Server::Server(ServerOptions options, ServerProtocol protocol, Handler handler)
                               : std::string("error: request read failed: ") +
                                     std::strerror(error) + "\n");
               },
+              /*on_timeout=*/
+              [this](std::uint64_t, Reactor::TimeoutKind kind) {
+                if (protocol_.timed_out) {
+                  protocol_.timed_out(kind);
+                }
+              },
               /*on_drain=*/
               [this] { queue_.close(); },
           },
-          Reactor::Options{options.max_request_bytes}) {
+          Reactor::Options{options.max_request_bytes, options.idle_timeout_ms,
+                           options.request_timeout_ms, options.write_timeout_ms}) {
   if (options_.stop_fd >= 0) {
     reactor_.watch_stop_fd(options_.stop_fd);
   }
@@ -64,9 +71,22 @@ void Server::add_listener(Listener listener) {
 
 void Server::solver_loop() {
   while (auto job = queue_.pop()) {
-    const double queue_wait_ms = ms_since(job->enqueued);
-    std::string response = handler_ ? handler_(std::move(job->request), queue_wait_ms)
-                                    : std::string();
+    RequestInfo info;
+    info.queue_wait_ms = ms_since(job->enqueued);
+    info.queue_depth = queue_.size();
+    info.queue_capacity = options_.queue_capacity;
+    if (options_.queue_deadline_ms > 0 &&
+        info.queue_wait_ms > static_cast<double>(options_.queue_deadline_ms)) {
+      // Stale-work shedding: the deadline passed while queued, so answer
+      // without burning a solver slot on it.
+      reactor_.submit_response(
+          job->conn, protocol_.deadline_exceeded
+                         ? protocol_.deadline_exceeded()
+                         : std::string("error: deadline exceeded\n"));
+      continue;
+    }
+    std::string response =
+        handler_ ? handler_(std::move(job->request), info) : std::string();
     reactor_.submit_response(job->conn, std::move(response));
   }
 }

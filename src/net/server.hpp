@@ -47,22 +47,46 @@ struct ServerOptions {
   /// Readable => drain (the daemon's signal self-pipe). Not owned;
   /// -1 = stop() only.
   int stop_fd = -1;
+  // Per-connection reactor deadlines, forwarded to Reactor::Options
+  // (all in ms, 0 = off; see net/reactor.hpp for the exact windows).
+  int idle_timeout_ms = 0;
+  int request_timeout_ms = 0;
+  int write_timeout_ms = 0;
+  /// A popped request whose queue wait already exceeds this is answered
+  /// with protocol.deadline_exceeded instead of the handler — stale-work
+  /// shedding: the client has likely given up, so solving would burn a
+  /// solver slot on an answer nobody reads. 0 = off.
+  int queue_deadline_ms = 0;
 };
 
 /// The response lines for transport-level rejections. All hooks are
-/// invoked on the reactor thread; null hooks fall back to a terse
-/// "error: ..." line (tests of the bare net layer).
+/// invoked on the reactor thread except deadline_exceeded (solver
+/// thread); null hooks fall back to a terse "error: ..." line (tests of
+/// the bare net layer). timed_out is a notification, not a response —
+/// the expired connection is already being closed.
 struct ServerProtocol {
   std::function<std::string()> overloaded;
   std::function<std::string(std::size_t bytes_seen)> oversized;
   std::function<std::string(int error)> read_error;
+  std::function<std::string()> deadline_exceeded;
+  std::function<void(Reactor::TimeoutKind kind)> timed_out;
+};
+
+/// What the server knows about a request when it hands it to the
+/// handler — the load signals behind stale-work shedding and graceful
+/// degradation decisions.
+struct RequestInfo {
+  double queue_wait_ms = 0.0;     ///< enqueue -> pop
+  std::size_t queue_depth = 0;    ///< requests still queued at pop time
+  std::size_t queue_capacity = 0; ///< the bounded queue's capacity
 };
 
 class Server {
  public:
-  /// `handler(request, queue_wait_ms)` returns the full response text;
-  /// it runs concurrently on every solver thread.
-  using Handler = std::function<std::string(std::string request, double queue_wait_ms)>;
+  /// `handler(request, info)` returns the full response text; it runs
+  /// concurrently on every solver thread.
+  using Handler =
+      std::function<std::string(std::string request, const RequestInfo& info)>;
 
   Server(ServerOptions options, ServerProtocol protocol, Handler handler);
 

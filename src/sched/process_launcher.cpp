@@ -4,6 +4,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <optional>
 #include <stdexcept>
@@ -32,10 +33,15 @@ pid_t spawn_worker(const std::vector<std::string>& argv_strings) {
 }
 
 /// Reaps `pid` and returns the failure clause for shard `s`, or nullopt
-/// on a clean exit 0.
+/// on a clean exit 0. EINTR is retried: a signal hitting the
+/// orchestrator mid-wait is not a worker failure.
 std::optional<std::string> reap_worker(pid_t pid, int s) {
   int status = 0;
-  if (::waitpid(pid, &status, 0) < 0) {
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  if (reaped < 0) {
     return "cannot wait for shard worker " + std::to_string(s);
   }
   if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
@@ -49,8 +55,28 @@ std::optional<std::string> reap_worker(pid_t pid, int s) {
 
 }  // namespace
 
-ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard) {
-  return [command_for_shard](const ShardPlan& plan) {
+/// Backoff before retry attempt k (k >= 2): bounded exponential growth
+/// from the policy's initial value.
+void backoff_before_attempt(const LaunchPolicy& policy, int attempt) {
+  if (policy.backoff_initial_ms <= 0) {
+    return;
+  }
+  long long ms = static_cast<long long>(policy.backoff_initial_ms);
+  for (int k = 2; k < attempt && ms < policy.backoff_max_ms; ++k) {
+    ms *= 2;
+  }
+  if (policy.backoff_max_ms > 0 && ms > policy.backoff_max_ms) {
+    ms = policy.backoff_max_ms;
+  }
+  ::usleep(static_cast<useconds_t>(ms * 1000));
+}
+
+ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard,
+                                     LaunchPolicy policy) {
+  if (policy.max_attempts < 1) {
+    policy.max_attempts = 1;
+  }
+  return [command_for_shard, policy](const ShardPlan& plan) {
     std::vector<pid_t> pids;
     pids.reserve(static_cast<std::size_t>(plan.shards));
     for (int s = 0; s < plan.shards; ++s) {
@@ -77,28 +103,48 @@ ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard) {
     // Wait for EVERY worker and collect EVERY failure: reporting only the
     // last failed shard would hide the others and leave unreaped children
     // behind an early throw.
-    std::vector<int> failed_shards;
+    struct FailedShard {
+      int shard = 0;
+      std::string failure;
+    };
+    std::vector<FailedShard> failed_shards;
     for (std::size_t s = 0; s < pids.size(); ++s) {
-      if (reap_worker(pids[s], static_cast<int>(s)).has_value()) {
-        failed_shards.push_back(static_cast<int>(s));
+      if (auto failure = reap_worker(pids[s], static_cast<int>(s))) {
+        failed_shards.push_back(FailedShard{static_cast<int>(s), *failure});
       }
     }
-    // One retry per failed shard — a fresh fork/exec of the same
-    // deterministic plan slice (the worker recomputes it from the same
-    // inputs, so a retry can never evaluate different candidates). This
-    // absorbs transient failures (OOM kill, fork pressure, a node blip in
-    // a distributed --shard-dir run); a shard that fails twice is a real
-    // error and goes into the aggregate report.
+    // Failover: re-run each failed shard up to policy.max_attempts total
+    // attempts, with bounded exponential backoff between them — a fresh
+    // fork/exec of the same deterministic plan slice (the worker
+    // recomputes it from the same inputs, so a retry can never evaluate
+    // different candidates and the merged winner stays bit-identical).
+    // This absorbs transient failures (OOM kill, fork pressure, a node
+    // blip in a distributed --shard-dir run); a shard that exhausts its
+    // attempts is a real error and goes into the aggregate report.
     std::vector<std::string> failures;
-    for (const int s : failed_shards) {
-      const pid_t pid = spawn_worker(command_for_shard(s));
-      if (pid < 0) {
-        failures.push_back("cannot fork shard worker " + std::to_string(s) +
-                           " (retry)");
-        continue;
+    for (const FailedShard& first : failed_shards) {
+      const int s = first.shard;
+      std::string last_failure = first.failure;
+      bool recovered = false;
+      for (int attempt = 2; attempt <= policy.max_attempts && !recovered; ++attempt) {
+        backoff_before_attempt(policy, attempt);
+        if (policy.on_retry) {
+          policy.on_retry(s, attempt, last_failure);
+        }
+        const pid_t pid = spawn_worker(command_for_shard(s));
+        if (pid < 0) {
+          last_failure = "cannot fork shard worker " + std::to_string(s) +
+                         " (retry)";
+          continue;
+        }
+        if (auto failure = reap_worker(pid, s)) {
+          last_failure = *failure;
+        } else {
+          recovered = true;
+        }
       }
-      if (auto failure = reap_worker(pid, s)) {
-        failures.push_back(*failure);
+      if (!recovered) {
+        failures.push_back(last_failure);
       }
     }
     if (!failures.empty()) {

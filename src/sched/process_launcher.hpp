@@ -4,19 +4,24 @@
 // processes of itself), extracted so the wait/collect logic is testable
 // without going through the tool binary.
 //
-// Failure reporting: the launcher waits for EVERY worker before deciding
-// the outcome, retries each failed shard ONCE (a fresh fork/exec of the
-// same deterministic plan slice — workers recompute the plan from the
-// same inputs, so a retry can never evaluate different candidates; this
-// absorbs transient failures like an OOM kill or fork pressure), and the
-// error it throws names EVERY shard that failed twice (exit status or
-// killing signal), not just the last one — with dozens of shards,
-// "worker 3 failed" hiding "workers 5, 7 and 9 also failed" turns one
-// debugging session into four. A fork failure stops and reaps the
+// Failure reporting and failover: the launcher waits for EVERY worker
+// before deciding the outcome, then re-runs each failed shard — a fresh
+// fork/exec of the same deterministic plan slice (workers recompute the
+// plan from the same inputs, so a retry can never evaluate different
+// candidates and the merged winner stays bit-identical) — up to
+// LaunchPolicy::max_attempts total attempts with bounded exponential
+// backoff between them. This absorbs transient failures like an OOM
+// kill, fork pressure, or an injected worker death; the error it throws
+// names EVERY shard that exhausted its attempts (exit status or killing
+// signal), not just the last one — with dozens of shards, "worker 3
+// failed" hiding "workers 5, 7 and 9 also failed" turns one debugging
+// session into four. A first-wave fork failure stops and reaps the
 // already-spawned workers before throwing, so no orphan races the shard
 // directory cleanup.
 //
-// POSIX-only (fork/execvp/waitpid), like the tool it serves.
+// POSIX-only (fork/execvp/waitpid), like the tool it serves. waitpid is
+// EINTR-retried: a signal delivered to the orchestrator mid-wait must
+// not count a healthy worker as failed.
 #pragma once
 
 #include <functional>
@@ -32,14 +37,32 @@ namespace sched {
 /// resolved via PATH when not absolute). Must return a non-empty vector.
 using ShardCommandBuilder = std::function<std::vector<std::string>(int shard_index)>;
 
+/// Failover knobs for process_shard_launcher. The defaults reproduce the
+/// historical behavior: one concurrent first wave plus one sequential
+/// retry per failed shard.
+struct LaunchPolicy {
+  /// Total attempts per shard (first wave included); the CLI's
+  /// --shard-retries R maps to max_attempts = R + 1. Values < 1 mean 1.
+  int max_attempts = 2;
+  /// Sleep before retry attempt k (k = 2, 3, ...):
+  /// min(backoff_initial_ms << (k - 2), backoff_max_ms). 0 = no backoff.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Observability hook, called before each retry spawn with the failure
+  /// clause of the previous attempt. Runs on the orchestrator thread.
+  std::function<void(int shard, int attempt, const std::string& failure)> on_retry;
+};
+
 /// ShardLauncher that runs `command_for_shard(s)` for every shard of the
-/// plan as a separate process and waits for all of them, retrying each
-/// failed shard once before giving up on it. Throws std::runtime_error
-/// listing every shard whose worker did not exit 0 on either attempt
-/// (";"-joined, one clause per failure), or whose wait failed, after all
-/// workers have been reaped. Thread-compatible: each returned launcher is
-/// used by one orchestrator at a time.
-[[nodiscard]] ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard);
+/// plan as a separate process and waits for all of them, re-running each
+/// failed shard per `policy` before giving up on it. Throws
+/// std::runtime_error listing every shard whose worker did not exit 0 on
+/// any attempt (";"-joined, one clause per failure — the last attempt's),
+/// or whose wait failed, after all workers have been reaped.
+/// Thread-compatible: each returned launcher is used by one orchestrator
+/// at a time.
+[[nodiscard]] ShardLauncher process_shard_launcher(ShardCommandBuilder command_for_shard,
+                                                   LaunchPolicy policy = {});
 
 }  // namespace sched
 }  // namespace fppn

@@ -1,6 +1,7 @@
 #include "sched/schedule_cache.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +11,7 @@
 
 #include "io/atomic_file.hpp"
 #include "io/schedule_format.hpp"
+#include "testing/fault_injector.hpp"
 
 namespace fppn {
 namespace sched {
@@ -222,7 +224,7 @@ void ScheduleCache::reconcile_index_locked(io::CacheIndex& index) const {
   }
 }
 
-std::size_t ScheduleCache::evict_locked(io::CacheIndex& index) {
+ScheduleCache::EvictOutcome ScheduleCache::evict_locked(io::CacheIndex& index) {
   // Total entry-file bytes, consulted only under a byte bound. A file that
   // vanished between indexing and stat counts as zero — eviction then
   // simply drops its record.
@@ -234,36 +236,54 @@ std::size_t ScheduleCache::evict_locked(io::CacheIndex& index) {
       total_bytes += ec ? 0 : static_cast<std::uint64_t>(size);
     }
   }
+  // `bound_slack` widens the effective bound by the entries whose unlink
+  // failed: they still occupy the directory, but evicting ever-more valid
+  // entries to compensate would trade a transient filesystem blip for
+  // real cache loss. The next pass retries the stuck victims.
+  std::size_t entry_slack = 0;
+  std::uint64_t byte_slack = 0;
   const auto within_bounds = [&]() {
-    if (max_entries_ > 0 && index.entries.size() > max_entries_) {
+    if (max_entries_ > 0 && index.entries.size() > max_entries_ + entry_slack) {
       return false;
     }
-    if (max_bytes_ > 0 && total_bytes > max_bytes_) {
+    if (max_bytes_ > 0 && total_bytes > max_bytes_ + byte_slack) {
       return false;
     }
     return true;
   };
+  EvictOutcome out;
   if (within_bounds()) {
-    return 0;
+    return out;
   }
-  std::size_t evicted = 0;
   for (const io::CacheIndexEntry& victim : index.oldest_first()) {
     if (within_bounds()) {
       break;
     }
     const fs::path path = fs::path(directory_) / victim.file;
+    std::uint64_t victim_bytes = 0;
     if (max_bytes_ > 0) {
       std::error_code size_ec;
       const std::uintmax_t size = fs::file_size(path, size_ec);
-      total_bytes -= size_ec ? 0 : static_cast<std::uint64_t>(size);
+      victim_bytes = size_ec ? 0 : static_cast<std::uint64_t>(size);
     }
-    std::error_code ec;
-    fs::remove(path, ec);  // already-gone is fine
+    if (testing::fault::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      std::error_code probe_ec;
+      if (fs::exists(path, probe_ec)) {
+        // Unlink failed and the file is still there: keep its index
+        // record (dropping it would orphan the file outside the bound
+        // forever) and count the failure — the next pass retries.
+        ++out.failed;
+        entry_slack += 1;
+        byte_slack += victim_bytes;
+        continue;
+      }
+    }
+    total_bytes -= victim_bytes;
     index.erase(victim.file);
-    ++evicted;
+    ++out.evicted;
   }
-  stats_.evictions += evicted;
-  return evicted;
+  stats_.evictions += out.evicted;
+  return out;
 }
 
 void ScheduleCache::save_index_locked(const io::CacheIndex& index) const {
@@ -310,10 +330,19 @@ CacheGcStats ScheduleCache::gc() {
   io::CacheIndex index = load_index_locked(&out.index_rebuilt);
   reconcile_index_locked(index);
   if (max_entries_ > 0 || max_bytes_ > 0) {
-    out.evicted = evict_locked(index);
+    const EvictOutcome eviction = evict_locked(index);
+    out.evicted = eviction.evicted;
+    out.evict_failures = eviction.failed;
   }
   out.kept = index.entries.size();
-  save_index_locked(index);
+  try {
+    save_index_locked(index);
+  } catch (const std::runtime_error&) {
+    // Degraded, not fatal: the index is advisory (a stale or missing one
+    // is rebuilt from the entry files), so a publish failure must not
+    // abort maintenance — report it and let the next pass retry.
+    out.index_write_failed = true;
+  }
   return out;
 }
 

@@ -105,11 +105,17 @@ struct CacheStats {
   std::size_t evictions = 0;     ///< entry files removed by the size bound / gc
 };
 
-/// Outcome of one gc() pass over a disk-backed cache directory.
+/// Outcome of one gc() pass over a disk-backed cache directory. Unlink
+/// and index-publish failures are *warnings*, not errors: the pass keeps
+/// going, the victim stays indexed, and the next pass retries — so an
+/// injected (or real, e.g. NFS blip) filesystem failure can delay the
+/// bound but never abort maintenance.
 struct CacheGcStats {
   std::size_t kept = 0;       ///< entry files remaining after the pass
   std::size_t evicted = 0;    ///< entry files removed by this pass
   bool index_rebuilt = false; ///< the recency index was missing/corrupt
+  std::size_t evict_failures = 0;  ///< victims whose unlink failed (kept, retried next pass)
+  bool index_write_failed = false; ///< the rewritten index could not be published
 };
 
 class ScheduleCache {
@@ -160,9 +166,11 @@ class ScheduleCache {
   /// of deleted files, rebuilding a missing/corrupt index from file
   /// modification times) and, when the cache is bounded, evicts down to
   /// max_entries — the engine behind `fppn_tool cache-gc`. No-op for
-  /// memory-only caches (returns all-zero stats). Throws
-  /// std::runtime_error only when the rewritten index cannot be
-  /// published.
+  /// memory-only caches (returns all-zero stats). Never throws for
+  /// filesystem failures: a victim that cannot be unlinked stays indexed
+  /// and counts in evict_failures (retried next pass), and an index that
+  /// cannot be published sets index_write_failed — the callers report
+  /// both as warnings and keep serving.
   CacheGcStats gc();
 
   /// Every cached schedule for `graph_fingerprint` that is feasible for
@@ -211,8 +219,14 @@ class ScheduleCache {
 
   /// Removes oldest entries (and their files) until the index holds at
   /// most max_entries_ records (when bounded) whose files sum to at most
-  /// max_bytes_ (when bounded). Caller holds the lock.
-  std::size_t evict_locked(io::CacheIndex& index);
+  /// max_bytes_ (when bounded). A victim whose file cannot be removed is
+  /// skipped and kept in the index (counted in `failed`) — the bound is
+  /// then enforced by the next pass. Caller holds the lock.
+  struct EvictOutcome {
+    std::size_t evicted = 0;
+    std::size_t failed = 0;
+  };
+  EvictOutcome evict_locked(io::CacheIndex& index);
 
   /// Publishes the index atomically. Caller holds the lock.
   void save_index_locked(const io::CacheIndex& index) const;

@@ -1,6 +1,7 @@
 #include "taskgraph/derivation.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "fppn/semantics.hpp"
@@ -38,6 +39,9 @@ DerivedTaskGraph derive_task_graph(const Network& net, const WcetMap& wcet,
     throw std::invalid_argument("task graph derivation: " + why);
   }
   const std::size_t n = net.process_count();
+  if (n == 0) {
+    throw std::invalid_argument("task graph derivation: network has no processes");
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const ProcessId p{i};
     const auto it = wcet.find(p);
@@ -106,7 +110,12 @@ DerivedTaskGraph derive_task_graph(const Network& net, const WcetMap& wcet,
       pp.relative_deadline = spec.deadline;
       continue;
     }
-    const ProcessId u = *net.user_of(p);
+    const std::optional<ProcessId> user = net.user_of(p);
+    if (!user) {
+      throw std::invalid_argument("task graph derivation: sporadic process '" +
+                                  net.process(p).name + "' has no user");
+    }
+    const ProcessId u = *user;
     ServerInfo info;
     info.sporadic = p;
     info.user = u;

@@ -4,16 +4,21 @@
 // test's own: deterministic backpressure (a full queue answers the
 // overload line immediately, while the occupied solver and the queued
 // request both finish), drain semantics (stop() finishes the backlog
-// before run() returns), queue-wait measurement, and large responses
-// surviving a slow reader end to end.
+// before run() returns), queue-wait measurement, queue-deadline shedding
+// (stale requests answered without ever reaching the handler), a
+// slow-loris client cut by the request deadline while healthy traffic is
+// served, and large responses surviving a slow reader end to end.
 #include <gtest/gtest.h>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <mutex>
@@ -29,6 +34,7 @@ namespace {
 namespace fs = std::filesystem;
 using fppn::net::Endpoint;
 using fppn::net::Listener;
+using fppn::net::RequestInfo;
 using fppn::net::Server;
 using fppn::net::ServerOptions;
 using fppn::net::ServerProtocol;
@@ -112,7 +118,7 @@ TEST(NetServer, FullQueueAnswersOverloadImmediatelyWhileWorkFinishes) {
   options.queue_capacity = 1;
   ServerProtocol protocol;
   protocol.overloaded = [] { return std::string("OVERLOADED\n"); };
-  Server server(options, protocol, [&](std::string request, double) {
+  Server server(options, protocol, [&](std::string request, const RequestInfo&) {
     ++active;
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return release; });
@@ -168,7 +174,7 @@ TEST(NetServer, StopDrainsTheBacklogBeforeReturning) {
   ServerOptions options;
   options.solver_threads = 1;
   options.queue_capacity = 8;
-  Server server(options, ServerProtocol{}, [&](std::string request, double) {
+  Server server(options, ServerProtocol{}, [&](std::string request, const RequestInfo&) {
     ++handled;
     ::usleep(20 * 1000);  // keep a real backlog behind the single solver
     return "done:" + request + "\n";
@@ -221,9 +227,9 @@ TEST(NetServer, ReportsNonNegativeQueueWait) {
   std::atomic<bool> wait_non_negative{false};
   ServerOptions options;
   Server server(options, ServerProtocol{},
-                [&](std::string request, double queue_wait_ms) {
+                [&](std::string request, const RequestInfo& info) {
                   saw_request = true;
-                  wait_non_negative = queue_wait_ms >= 0.0;
+                  wait_non_negative = info.queue_wait_ms >= 0.0;
                   return "ok:" + request + "\n";
                 });
   server.add_listener(Listener::listen(Endpoint::unix_socket(socket_path)));
@@ -248,8 +254,9 @@ TEST(NetServer, OversizedRequestsUseTheProtocolHook) {
     reported_bytes = bytes_seen;
     return std::string("TOO-BIG\n");
   };
-  Server server(options, protocol,
-                [](std::string request, double) { return "ok:" + request + "\n"; });
+  Server server(options, protocol, [](std::string request, const RequestInfo&) {
+    return "ok:" + request + "\n";
+  });
   server.add_listener(Listener::listen(Endpoint::unix_socket(socket_path)));
   std::thread server_thread([&] { server.run(); });
 
@@ -261,6 +268,144 @@ TEST(NetServer, OversizedRequestsUseTheProtocolHook) {
   server_thread.join();
 }
 
+TEST(NetServer, QueueDeadlineShedsStaleWorkWithoutSolving) {
+  const TempDir dir("shed");
+  const std::string socket_path = dir.path() + "/s.sock";
+
+  // One solver held busy for far longer than the queue deadline: every
+  // request queued behind it is stale by the time it pops, so it must be
+  // answered with the shed line and the handler must never see it —
+  // solving work nobody is waiting for anymore burns the solver slot the
+  // fresh requests need.
+  std::atomic<int> handled{0};
+  ServerOptions options;
+  options.solver_threads = 1;
+  options.queue_capacity = 4;
+  options.queue_deadline_ms = 30;
+  ServerProtocol protocol;
+  protocol.deadline_exceeded = [] { return std::string("SHED\n"); };
+  Server server(options, protocol, [&](std::string request, const RequestInfo&) {
+    ++handled;
+    if (request == "slow") {
+      ::usleep(150 * 1000);
+    }
+    return "ok:" + request + "\n";
+  });
+  server.add_listener(Listener::listen(Endpoint::unix_socket(socket_path)));
+  std::thread server_thread([&] { server.run(); });
+
+  std::string slow_response;
+  std::thread slow_client([&] { slow_response = roundtrip(socket_path, "slow"); });
+  for (int i = 0; i < 500 && handled.load() == 0; ++i) {
+    ::usleep(5 * 1000);
+  }
+  ASSERT_EQ(handled.load(), 1);
+
+  // These queue up behind the 150 ms solve, so their queue wait blows
+  // the 30 ms deadline before they ever pop.
+  constexpr int kStale = 3;
+  std::vector<std::string> stale(kStale);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kStale; ++i) {
+    clients.emplace_back([&, i] {
+      stale[static_cast<std::size_t>(i)] =
+          roundtrip(socket_path, "stale-" + std::to_string(i));
+    });
+  }
+  slow_client.join();
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(slow_response, "ok:slow\n");  // admitted in time: still solved
+  for (int i = 0; i < kStale; ++i) {
+    EXPECT_EQ(stale[static_cast<std::size_t>(i)], "SHED\n");
+  }
+  EXPECT_EQ(handled.load(), 1);  // the stale requests never reached the handler
+
+  // Shedding is per request, not a poisoned state: fresh traffic solves.
+  EXPECT_EQ(roundtrip(socket_path, "fresh"), "ok:fresh\n");
+  server.stop();
+  server_thread.join();
+}
+
+TEST(NetServer, SlowLorisIsCutWhileHealthyClientsAreServed) {
+  const TempDir dir("loris");
+  const std::string socket_path = dir.path() + "/s.sock";
+  constexpr int kDeadlineMs = 250;
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ServerOptions options;
+  options.solver_threads = 2;
+  options.request_timeout_ms = kDeadlineMs;
+  Server server(options, ServerProtocol{},
+                [](std::string request, const RequestInfo&) {
+                  return "ok:" + request + "\n";
+                });
+  server.add_listener(Listener::listen(Endpoint::unix_socket(socket_path)));
+  std::thread server_thread([&] { server.run(); });
+
+  // The attack: one byte every 25 ms, never completing a request. The
+  // acceptance bar is that it is disconnected within 2x the deadline
+  // *while* 16 healthy clients are answered normally — the loris must
+  // not be able to park itself in the reactor at the healthy traffic's
+  // expense.
+  std::atomic<bool> loris_closed{false};
+  std::atomic<double> loris_lifetime_ms{0.0};
+  std::thread loris([&] {
+    const int fd = fppn::net::connect_endpoint(Endpoint::unix_socket(socket_path));
+    if (fd < 0) {
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count() < 4.0 * kDeadlineMs) {
+      if (::write(fd, "x", 1) < 0 && errno != EINTR && errno != EAGAIN) {
+        loris_closed = true;
+        break;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 25) > 0) {
+        char buf[16];
+        if (::read(fd, buf, sizeof(buf)) == 0) {
+          loris_closed = true;
+          break;
+        }
+      }
+    }
+    loris_lifetime_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    ::close(fd);
+  });
+
+  constexpr int kClients = 16;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      responses[static_cast<std::size_t>(i)] =
+          roundtrip(socket_path, "healthy-" + std::to_string(i));
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  loris.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)],
+              "ok:healthy-" + std::to_string(i) + "\n");
+  }
+  EXPECT_TRUE(loris_closed.load());
+  EXPECT_LE(loris_lifetime_ms.load(), 2.0 * kDeadlineMs) << loris_lifetime_ms.load();
+  server.stop();
+  server_thread.join();
+  EXPECT_EQ(server.reactor_counters().request_timeouts, 1u);
+  EXPECT_EQ(server.reactor_counters().requests,
+            static_cast<std::uint64_t>(kClients));
+}
+
 TEST(NetServer, LargeResponseSurvivesASlowReader) {
   const TempDir dir("big");
   const std::string socket_path = dir.path() + "/s.sock";
@@ -268,7 +413,7 @@ TEST(NetServer, LargeResponseSurvivesASlowReader) {
   const std::string payload(2 * 1024 * 1024, 'p');
   ServerOptions options;
   Server server(options, ServerProtocol{},
-                [&](std::string, double) { return payload; });
+                [&](std::string, const RequestInfo&) { return payload; });
   server.add_listener(Listener::listen(Endpoint::unix_socket(socket_path)));
   std::thread server_thread([&] { server.run(); });
 

@@ -1,6 +1,12 @@
 // Process shard launcher: every failed worker is reported in one error
 // (not just the last one), successes stay quiet, signal deaths are named
 // as such, and a failed shard is retried exactly once before it counts.
+// The LaunchPolicy failover tests extend that: a shard that fails twice
+// recovers on its third attempt under max_attempts = 3, the on_retry hook
+// observes every retry, and — the determinism contract — a sharded solve
+// whose workers are KILLed twice per shard still merges the bit-identical
+// winner of the undisturbed run, because every retry re-executes the same
+// deterministic plan slice.
 #include "sched/process_launcher.hpp"
 
 #include <gtest/gtest.h>
@@ -8,9 +14,12 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "engine/engine.hpp"
 
 namespace fppn {
 namespace {
@@ -118,6 +127,152 @@ TEST(ProcessShardLauncher, RetryReRunsOnlyTheFailedShards) {
   EXPECT_EQ((*calls)[0], 1);
   EXPECT_EQ((*calls)[1], 2);
   EXPECT_EQ((*calls)[2], 1);
+}
+
+TEST(ProcessShardLauncher, FailsTwiceThenRecoversUnderMaxAttemptsThree) {
+  // Two consecutive failures within a three-attempt budget must recover;
+  // the on_retry hook sees both retries with the failure they follow.
+  const fs::path counter = fs::temp_directory_path() /
+                           ("fppn_launcher_twice_" + std::to_string(::getpid()));
+  fs::remove(counter);
+  auto retries = std::make_shared<std::vector<std::string>>();
+  sched::LaunchPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_initial_ms = 1;  // keep the test fast; growth is tested below
+  policy.on_retry = [retries](int shard, int attempt, const std::string& failure) {
+    retries->push_back("shard " + std::to_string(shard) + " attempt " +
+                       std::to_string(attempt) + ": " + failure);
+  };
+  const sched::ShardLauncher launcher = sched::process_shard_launcher(
+      [counter](int shard) -> std::vector<std::string> {
+        if (shard == 0) {
+          // Attempts 1 and 2 bump the counter and die; attempt 3 succeeds.
+          return {"/bin/sh", "-c",
+                  "n=$(cat '" + counter.string() + "' 2>/dev/null || echo 0); "
+                  "if [ \"$n\" -lt 2 ]; then echo $((n+1)) > '" +
+                      counter.string() + "'; exit 6; fi; exit 0"};
+        }
+        return {"/bin/sh", "-c", "exit 0"};
+      },
+      policy);
+  EXPECT_NO_THROW(launcher(plan_of(2)));
+  std::ifstream in(counter);
+  int failures = 0;
+  in >> failures;
+  EXPECT_EQ(failures, 2);  // both early attempts really ran and died
+  ASSERT_EQ(retries->size(), 2u);
+  EXPECT_EQ((*retries)[0], "shard 0 attempt 2: shard worker 0 failed (exit status 6)");
+  EXPECT_EQ((*retries)[1], "shard 0 attempt 3: shard worker 0 failed (exit status 6)");
+  fs::remove(counter);
+}
+
+TEST(ProcessShardLauncher, ExhaustedAttemptsReportTheLastFailure) {
+  sched::LaunchPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_initial_ms = 0;  // no backoff: the knob's off-switch
+  const sched::ShardLauncher launcher =
+      sched::process_shard_launcher(exiting_with({4}), policy);
+  try {
+    launcher(plan_of(1));
+    FAIL() << "expected the launcher to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard worker 0 failed (exit status 4)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProcessShardLauncher, BackoffGrowsExponentiallyAndIsBounded) {
+  sched::LaunchPolicy policy;
+  policy.backoff_initial_ms = 10;
+  policy.backoff_max_ms = 35;
+  // min(10 << (k - 2), 35): 10, 20, 35, 35, ... — bounded growth, no
+  // unbounded sleep even for deep retry budgets.
+  const auto sleep_for = [&policy](int attempt) {
+    long long ms = policy.backoff_initial_ms;
+    for (int k = 2; k < attempt && ms < policy.backoff_max_ms; ++k) {
+      ms *= 2;
+    }
+    return ms > policy.backoff_max_ms ? policy.backoff_max_ms : ms;
+  };
+  EXPECT_EQ(sleep_for(2), 10);
+  EXPECT_EQ(sleep_for(3), 20);
+  EXPECT_EQ(sleep_for(4), 35);
+  EXPECT_EQ(sleep_for(7), 35);
+}
+
+TEST(ProcessShardLauncher, WorkerKillsStillMergeTheBitIdenticalWinner) {
+  // The acceptance test of the failover design: a sharded solve through
+  // REAL `fppn_tool search-worker` processes, with shards 0 and 2 KILLed
+  // on their first two attempts, must merge exactly the winner of the
+  // undisturbed unsharded solve — a retry re-runs the same deterministic
+  // plan slice, so worker deaths can delay the answer but never change it.
+  const std::string fig1 =
+      std::string(FPPN_TEST_SOURCE_DIR) + "/../examples/fig1.fppn";
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("fppn_launcher_failover_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  engine::SolveRequest request;
+  request.network_path = fig1;
+  request.config.processors = 2;
+  request.config.seed = 1;
+  request.config.workers = 2;
+
+  engine::Engine baseline_engine;
+  const engine::SolveReport baseline = baseline_engine.solve(request);
+
+  constexpr int kShards = 3;
+  engine::SolveRequest sharded = request;
+  sharded.config.shards = kShards;
+  sharded.config.shard_dir = (scratch / "shards").string();
+  sharded.make_shard_launcher = [&](const std::string& shard_dir) {
+    sched::LaunchPolicy policy;
+    policy.max_attempts = 3;
+    policy.backoff_initial_ms = 1;
+    return sched::process_shard_launcher(
+        [fig1, shard_dir, scratch](int shard) -> std::vector<std::string> {
+          const std::string worker =
+              std::string("'") + FPPN_TOOL_BIN + "' search-worker '" + fig1 +
+              "' -m 2 --shards " + std::to_string(kShards) + " --shard-index " +
+              std::to_string(shard) + " --shard-dir '" + shard_dir +
+              "' --seed 1 --unfold 1 --jobs 2";
+          if (shard == 1) {
+            return {"/bin/sh", "-c", "exec " + worker};
+          }
+          // Shards 0 and 2: die by SIGKILL on the first two attempts,
+          // exec the real worker on the third.
+          const std::string counter =
+              (scratch / ("kills." + std::to_string(shard))).string();
+          return {"/bin/sh", "-c",
+                  "n=$(cat '" + counter + "' 2>/dev/null || echo 0); "
+                  "if [ \"$n\" -lt 2 ]; then echo $((n+1)) > '" + counter +
+                      "'; kill -KILL $$; fi; exec " + worker};
+        },
+        policy);
+  };
+
+  engine::Engine sharded_engine;
+  const engine::SolveReport chaotic = sharded_engine.solve(sharded);
+
+  // Both kill counters ran their full course: 2 deaths each, 4 total.
+  for (const int shard : {0, 2}) {
+    std::ifstream in(scratch / ("kills." + std::to_string(shard)));
+    int kills = 0;
+    in >> kills;
+    EXPECT_EQ(kills, 2) << "shard " << shard;
+  }
+
+  // The merged winner is bit-identical to the undisturbed solve.
+  EXPECT_TRUE(chaotic.sharded);
+  EXPECT_EQ(chaotic.search.best.detail, baseline.search.best.detail);
+  EXPECT_EQ(chaotic.search.best.strategy, baseline.search.best.strategy);
+  EXPECT_EQ(chaotic.search.best.makespan, baseline.search.best.makespan);
+  EXPECT_EQ(chaotic.search.best.feasible, baseline.search.best.feasible);
+  EXPECT_EQ(chaotic.fingerprint, baseline.fingerprint);
+  fs::remove_all(scratch);
 }
 
 TEST(ProcessShardLauncher, ExecFailureSurfacesAsExit127) {

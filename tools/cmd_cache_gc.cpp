@@ -22,6 +22,16 @@ int cmd_cache_gc(const Args& args) {
   std::printf("cache-gc '%s': %zu kept, %zu evicted%s%s\n", cache.directory().c_str(),
               gc.kept, gc.evicted, gc.index_rebuilt ? ", index rebuilt" : "",
               unbounded ? " (no bound given: index maintenance only)" : "");
+  // Filesystem failures degraded to warnings (gc() never throws for
+  // them); the next pass retries, so they are loud but not fatal.
+  if (gc.evict_failures > 0) {
+    std::fprintf(stderr,
+                 "cache-gc warning: %zu eviction(s) failed (kept, retried next pass)\n",
+                 gc.evict_failures);
+  }
+  if (gc.index_write_failed) {
+    std::fprintf(stderr, "cache-gc warning: could not publish the rebuilt index\n");
+  }
   return 0;
 }
 

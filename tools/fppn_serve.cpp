@@ -34,6 +34,22 @@
 // queue is answered immediately with "fppn-serve error: overloaded" —
 // backpressure is explicit, never an unbounded backlog.
 //
+// Deadlines (all off by default, 0 = disabled): --idle-timeout-ms closes
+// connections that send no first byte, --request-timeout-ms bounds first
+// byte to EOF (a slow-loris drip never extends it), --write-timeout-ms
+// drops peers that stop draining their response, and
+// --queue-deadline-ms sheds requests whose queue wait already exceeds
+// the deadline ("fppn-serve error: deadline exceeded" — the solve is
+// skipped entirely). --degrade-under-load answers instead of shedding:
+// when the queue is at least half full, an --optimize daemon solves
+// with the quick preset (counted as `degraded` in stats).
+//
+// --fault-seed/--fault-rate arm the deterministic fault injector
+// (src/testing/fault_injector.hpp) for chaos testing: accept/read/
+// write/poll and the cache persistence path see seeded EINTR/EAGAIN/
+// short-transfer/ECONNRESET faults. Testing-only; the seed is printed
+// so a failing run replays bit-identically.
+//
 // Shutdown: SIGINT/SIGTERM begin the drain — listeners close (the Unix
 // socket file is unlinked), queued requests finish, every response is
 // written — then the process exits 0.
@@ -61,6 +77,7 @@
 #include "engine/service.hpp"
 #include "net/listener.hpp"
 #include "net/server.hpp"
+#include "testing/fault_injector.hpp"
 
 using namespace fppn;
 
@@ -105,6 +122,20 @@ void print_usage(std::FILE* out) {
       "  --cache-max-entries N  disk cache entry bound (0 = unbounded)\n"
       "  --cache-max-bytes N    disk cache byte bound (0 = unbounded)\n"
       "  --gc-interval-ms N     background disk-cache gc period (default 5000)\n"
+      "  --idle-timeout-ms N    close connections idle before their first byte\n"
+      "                         (default 0 = no deadline)\n"
+      "  --request-timeout-ms N close connections whose request is not complete\n"
+      "                         N ms after its first byte (default 0)\n"
+      "  --write-timeout-ms N   close connections that stop reading their\n"
+      "                         response for N ms (default 0)\n"
+      "  --queue-deadline-ms N  shed requests that waited longer than N ms in\n"
+      "                         the queue: 'fppn-serve error: deadline exceeded'\n"
+      "                         (default 0 = never shed)\n"
+      "  --degrade-under-load   with --optimize: fall back to the quick preset\n"
+      "                         when the queue is at least half full\n"
+      "  --fault-seed S         fault-injection seed (testing; with --fault-rate)\n"
+      "  --fault-rate R         inject R faults per 1024 syscalls (testing;\n"
+      "                         default 0 = injector disarmed)\n"
       "  --request FILE         client mode: send FILE, print the response\n"
       "  --stats                client mode: query the stats verb\n");
 }
@@ -152,6 +183,13 @@ struct ServeArgs {
   std::size_t cache_max_entries = 0;
   std::uint64_t cache_max_bytes = 0;
   std::int64_t gc_interval_ms = 5000;
+  int idle_timeout_ms = 0;
+  int request_timeout_ms = 0;
+  int write_timeout_ms = 0;
+  int queue_deadline_ms = 0;
+  bool degrade_under_load = false;
+  std::uint64_t fault_seed = 1;
+  int fault_rate = 0;  ///< faults per 1024 intercepted calls; 0 = disarmed
 
   [[nodiscard]] bool client_mode() const {
     return !request_file.empty() || stats_request;
@@ -219,6 +257,26 @@ ServeArgs parse_args(int argc, char** argv) {
           static_cast<std::uint64_t>(parse_int_flag("--cache-max-bytes", next(), 0));
     } else if (arg == "--gc-interval-ms") {
       a.gc_interval_ms = parse_int_flag("--gc-interval-ms", next(), 1);
+    } else if (arg == "--idle-timeout-ms") {
+      a.idle_timeout_ms = static_cast<int>(parse_int_flag("--idle-timeout-ms", next(), 0));
+    } else if (arg == "--request-timeout-ms") {
+      a.request_timeout_ms =
+          static_cast<int>(parse_int_flag("--request-timeout-ms", next(), 0));
+    } else if (arg == "--write-timeout-ms") {
+      a.write_timeout_ms =
+          static_cast<int>(parse_int_flag("--write-timeout-ms", next(), 0));
+    } else if (arg == "--queue-deadline-ms") {
+      a.queue_deadline_ms =
+          static_cast<int>(parse_int_flag("--queue-deadline-ms", next(), 0));
+    } else if (arg == "--degrade-under-load") {
+      a.degrade_under_load = true;
+    } else if (arg == "--fault-seed") {
+      a.fault_seed = static_cast<std::uint64_t>(parse_int_flag("--fault-seed", next(), 0));
+    } else if (arg == "--fault-rate") {
+      a.fault_rate = static_cast<int>(parse_int_flag("--fault-rate", next(), 0));
+      if (a.fault_rate > 1024) {
+        a.fault_rate = 1024;
+      }
     } else {
       usage();
     }
@@ -281,12 +339,31 @@ void gc_loop(engine::Engine& engine, const ServeArgs& args) {
         std::fprintf(stderr, "fppn_serve: gc kept %zu evicted %zu%s\n", pass.kept,
                      pass.evicted, pass.index_rebuilt ? " (index rebuilt)" : "");
       }
+      // gc() degrades filesystem failures to warnings; the daemon keeps
+      // serving and the next pass retries the victims.
+      if (pass.evict_failures > 0) {
+        std::fprintf(stderr,
+                     "fppn_serve: gc warning: %zu eviction(s) failed (retried)\n",
+                     pass.evict_failures);
+      }
+      if (pass.index_write_failed) {
+        std::fprintf(stderr, "fppn_serve: gc warning: could not publish the index\n");
+      }
     }
   }
 }
 
 int run_server(const ServeArgs& args) {
   std::signal(SIGPIPE, SIG_IGN);
+  if (args.fault_rate > 0) {
+    testing::FaultInjector::instance().arm(
+        testing::FaultConfig::uniform(args.fault_seed,
+                                      static_cast<std::uint16_t>(args.fault_rate)));
+    // The seed is the whole replay recipe: print it up front so a chaos
+    // failure can be reproduced bit-identically.
+    std::fprintf(stderr, "fppn_serve: fault injection armed (seed %llu, rate %d/1024)\n",
+                 static_cast<unsigned long long>(args.fault_seed), args.fault_rate);
+  }
   if (::pipe(g_stop_pipe) < 0) {
     std::fprintf(stderr, "fppn_serve: pipe: %s\n", std::strerror(errno));
     return 1;
@@ -334,6 +411,7 @@ int run_server(const ServeArgs& args) {
   service_options.search_workers = args.jobs;
   service_options.optimize = args.optimize;
   service_options.verbose = args.verbose;
+  service_options.degrade_under_load = args.degrade_under_load;
   if (!args.cache_dir.empty()) {
     service_options.cache_dir = args.cache_dir;
     service_options.cache_max_entries = args.cache_max_entries;
@@ -347,6 +425,10 @@ int run_server(const ServeArgs& args) {
   server_options.queue_capacity = args.queue_capacity;
   server_options.max_request_bytes = args.max_request_bytes;
   server_options.stop_fd = g_stop_pipe[0];
+  server_options.idle_timeout_ms = args.idle_timeout_ms;
+  server_options.request_timeout_ms = args.request_timeout_ms;
+  server_options.write_timeout_ms = args.write_timeout_ms;
+  server_options.queue_deadline_ms = args.queue_deadline_ms;
 
   net::ServerProtocol protocol;
   protocol.overloaded = [&service] { return service.overloaded_line(); };
@@ -356,10 +438,30 @@ int run_server(const ServeArgs& args) {
   protocol.read_error = [&service](int error) {
     return service.read_error_line(error);
   };
+  protocol.deadline_exceeded = [&service] { return service.deadline_exceeded_line(); };
+  protocol.timed_out = [&service](net::Reactor::TimeoutKind kind) {
+    // net stays ignorant of the engine: the mapping between the mirror
+    // enums lives here in the wiring.
+    switch (kind) {
+      case net::Reactor::TimeoutKind::kIdle:
+        service.note_timeout(engine::ServeTimeout::kIdle);
+        break;
+      case net::Reactor::TimeoutKind::kRequest:
+        service.note_timeout(engine::ServeTimeout::kRequest);
+        break;
+      case net::Reactor::TimeoutKind::kWrite:
+        service.note_timeout(engine::ServeTimeout::kWrite);
+        break;
+    }
+  };
 
   net::Server server(server_options, protocol,
-                     [&service](std::string request, double queue_wait_ms) {
-                       return service.handle(request, queue_wait_ms);
+                     [&service](std::string request, const net::RequestInfo& info) {
+                       engine::RequestLoad load;
+                       load.queue_wait_ms = info.queue_wait_ms;
+                       load.queue_depth = info.queue_depth;
+                       load.queue_capacity = info.queue_capacity;
+                       return service.handle(request, load);
                      });
   for (net::Listener& listener : listeners) {
     server.add_listener(std::move(listener));

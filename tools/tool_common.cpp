@@ -37,6 +37,9 @@ void print_usage(std::FILE* out) {
                "                   manifests pre-populated (e.g. from other\n"
                "                   machines) no workers are spawned, only merged\n"
                "  --shard-index I  shard owned by this process (search-worker)\n"
+               "  --shard-retries R  re-run a failed shard worker up to R times\n"
+               "                   (default 1; same deterministic slice, so the\n"
+               "                   merged winner is unchanged)\n"
                "  --runtime NAME   execution backend (simulate)\n"
                "  --frames F       schedule-frame repetitions (simulate)\n"
                "  --overhead F1,Fn frame overhead model (simulate)\n"
@@ -268,6 +271,9 @@ Args parse_args(int argc, char** argv) {
           parse_int_flag("--shard-index", next(), 0, std::numeric_limits<int>::max()));
     } else if (arg == "--shard-dir") {
       a.shard_dir = next();
+    } else if (arg == "--shard-retries") {
+      a.shard_retries = static_cast<int>(
+          parse_int_flag("--shard-retries", next(), 0, std::numeric_limits<int>::max()));
     } else if (arg == "--seed") {
       a.seed = parse_u64_flag("--seed", next());
     } else if (arg == "--wcet") {
@@ -346,9 +352,13 @@ engine::SolveRequest solve_request(const Args& args) {
     // this binary with the search-relevant flags of this invocation.
     const Args captured = args;
     request.make_shard_launcher = [captured](const std::string& shard_dir) {
-      return sched::process_shard_launcher([captured, shard_dir](int shard) {
-        return worker_argv(captured, shard_dir, shard);
-      });
+      sched::LaunchPolicy policy;
+      policy.max_attempts = 1 + captured.shard_retries;
+      return sched::process_shard_launcher(
+          [captured, shard_dir](int shard) {
+            return worker_argv(captured, shard_dir, shard);
+          },
+          policy);
     };
   }
   return request;

@@ -32,6 +32,7 @@ struct Args {
   int jobs = 0;  ///< parallel-search workers; 0 = hardware concurrency
   int shards = 0;       ///< >0: split the schedule search across processes
   int shard_index = -1; ///< search-worker only: which shard this process owns
+  int shard_retries = 1;  ///< failover attempts per failed shard worker
   std::uint64_t seed = 1;
   std::size_t cache_max_entries = 0;  ///< 0 = unbounded cache directory
   std::uint64_t cache_max_bytes = 0;  ///< 0 = no byte-size bound
